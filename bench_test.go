@@ -1,0 +1,197 @@
+package clash
+
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (Sec. VII), at laptop scale. The cmd/clash-bench binary
+// produces the full series; these benchmarks time one representative
+// configuration each and are kept small enough for `go test -bench=.`.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clash/internal/bench"
+	"clash/internal/ilp"
+	"clash/internal/stats"
+	"clash/internal/workload"
+)
+
+// BenchmarkFig7Throughput times the five-strategy TPC-H comparison
+// (Figs. 7b–7d: throughput, memory, latency come from the same run).
+func BenchmarkFig7Throughput(b *testing.B) {
+	for _, nq := range []int{5, 10} {
+		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Fig7(bench.Fig7Config{SF: 0.0005, NumQueries: nq})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, r := range res {
+						b.Logf("%s: %.0f t/s, %.2f MiB, lat %v", r.Strategy,
+							r.ThroughputTPS, float64(r.MemoryBytes)/(1<<20), r.AvgLatency)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Adaptive times the adaptation experiment (Fig. 8a) in
+// compressed logical time.
+func BenchmarkFig8Adaptive(b *testing.B) {
+	cfg := bench.Fig8Config{
+		Rate:   1000,
+		Window: 400 * time.Millisecond,
+		Epoch:  100 * time.Millisecond,
+		Before: time.Second,
+		After:  time.Second,
+		Bucket: 200 * time.Millisecond,
+	}
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"adaptive", true}, {"static", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig8('a', mode.adaptive, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Materialize times the Fig. 8b variant (introducing an
+// intermediate-result store for a fast input stream).
+func BenchmarkFig8Materialize(b *testing.B) {
+	cfg := bench.Fig8Config{
+		FastRate: 2000, SlowRate: 40,
+		Window: 400 * time.Millisecond,
+		Epoch:  100 * time.Millisecond,
+		Before: time.Second,
+		After:  time.Second,
+		Bucket: 200 * time.Millisecond,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8('b', true, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Cost10 times the probe-cost comparison over 10 input
+// relations (Figs. 9a/9b) at one sweep point.
+func BenchmarkFig9Cost10(b *testing.B) {
+	cfg := bench.Fig9Config{Relations: 10, SolveLimit: 2 * time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9Cost(cfg, []int{20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Cost100 times the probe-cost comparison over 100 input
+// relations (Figs. 9c/9d) at one sweep point.
+func BenchmarkFig9Cost100(b *testing.B) {
+	cfg := bench.Fig9Config{Relations: 100, SolveLimit: 5 * time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9Cost(cfg, []int{50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Runtime times one ILP optimization run over 100 input
+// relations (Fig. 9e's y-axis).
+func BenchmarkFig9Runtime(b *testing.B) {
+	env := workload.NewEnv(100, 100)
+	qs := env.RandomQueries(30, 3, 1)
+	est := env.Estimates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(qs, est, OptimizerOptions{
+			Solver: ilp.Options{TimeLimit: 5 * time.Second},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9QuerySize4 times optimization of size-4 queries
+// (one cell of Fig. 9f).
+func BenchmarkFig9QuerySize4(b *testing.B) {
+	env := workload.NewEnv(100, 100)
+	qs := env.RandomQueries(10, 4, 1)
+	est := env.Estimates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(qs, est, OptimizerOptions{
+			Solver: ilp.Options{TimeLimit: 5 * time.Second},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeWorkedExample times the Sec. V-2 two-query ILP.
+func BenchmarkOptimizeWorkedExample(b *testing.B) {
+	qs, _, err := ParseWorkload("q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := NewEstimates(0.01)
+	for _, r := range []string{"R", "S", "T", "U"} {
+		est.SetRate(r, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(qs, est, OptimizerOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineIngest measures raw runtime throughput of a two-way
+// symmetric join with windowed state.
+func BenchmarkEngineIngest(b *testing.B) {
+	est := stats.NewEstimates(0.01)
+	est.SetRate("R", 1000)
+	est.SetRate("S", 1000)
+	eng, err := Start(Config{
+		Workload:         "q1: R(a) S(a)",
+		DefaultWindow:    time.Duration(50_000),
+		InitialEstimates: est,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	eng.OnResult("q1", func(*Tuple) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := "R"
+		if i%2 == 1 {
+			rel = "S"
+		}
+		if err := eng.Ingest(rel, Time(i), Int(int64(i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Drain()
+}
+
+// BenchmarkILPSolve times the raw solver on a CLASH-shaped instance.
+func BenchmarkILPSolve(b *testing.B) {
+	env := workload.NewEnv(10, 100)
+	qs := env.RandomQueries(10, 3, 1)
+	est := env.Estimates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(qs, est, OptimizerOptions{
+			Solver: ilp.Options{TimeLimit: 2 * time.Second},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

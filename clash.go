@@ -1,0 +1,301 @@
+// Package clash is a Go implementation of CLASH — joint optimization and
+// execution of multiple multi-way stream joins, reproducing "Optimizing
+// Multiple Multi-Way Stream Joins" (Dossinger & Michel, ICDE 2021).
+//
+// The library answers continuous windowed equi-join queries over data
+// streams. Queries are written in the paper's notation:
+//
+//	q1: R(a) S(a,b) T(b)
+//
+// and are jointly optimized into a shared topology of partitioned
+// relation stores connected by probe orders, by solving an integer
+// linear program that shares probe-order prefixes between queries
+// (multi-query optimization). The topology executes on an in-process
+// scale-out runtime (one goroutine per store task), adapts to changing
+// data characteristics at epoch granularity, and supports query arrival
+// and expiry at runtime.
+//
+// Quick start:
+//
+//	eng, err := clash.Start(clash.Config{
+//		Workload: "q1: R(a) S(a,b) T(b)",
+//	})
+//	eng.OnResult("q1", func(t *clash.Tuple) { fmt.Println(t) })
+//	eng.Ingest("R", 1, clash.Int(7))
+//	eng.Ingest("S", 2, clash.Int(7), clash.Int(3))
+//	eng.Ingest("T", 3, clash.Int(3))
+//	eng.Stop()
+package clash
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/runtime"
+	"clash/internal/stats"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// Re-exported model types. They alias the internal implementations, so
+// values returned by the engine can be used with the full method sets.
+type (
+	// Query is a multi-way windowed equi-join over streamed relations.
+	Query = query.Query
+	// Relation describes one streamed input relation.
+	Relation = query.Relation
+	// Catalog maps relation names to their schemas and windows.
+	Catalog = query.Catalog
+	// Predicate is an equi-join predicate between qualified attributes.
+	Predicate = query.Predicate
+	// Attr is a qualified attribute (relation, name).
+	Attr = query.Attr
+	// Tuple is a typed record with an event timestamp.
+	Tuple = tuple.Tuple
+	// Value is a typed scalar value.
+	Value = tuple.Value
+	// Time is an event timestamp in nanoseconds.
+	Time = tuple.Time
+	// Estimates is a snapshot of data characteristics (rates and
+	// selectivities) driving the cost-based optimization.
+	Estimates = stats.Estimates
+	// Plan is the result of a multi-query optimization run.
+	Plan = core.Plan
+	// OptimizerOptions configure candidate generation and costing.
+	OptimizerOptions = core.Options
+	// Topology is a deployable processing strategy.
+	Topology = topology.Config
+	// MetricsSnapshot is a point-in-time copy of runtime counters.
+	MetricsSnapshot = runtime.Snapshot
+)
+
+// Int wraps an int64 as a Value.
+func Int(v int64) Value { return tuple.IntValue(v) }
+
+// Str wraps a string as a Value.
+func Str(v string) Value { return tuple.StringValue(v) }
+
+// Float wraps a float64 as a Value.
+func Float(v float64) Value { return tuple.FloatValue(v) }
+
+// Bool wraps a bool as a Value.
+func Bool(v bool) Value { return tuple.BoolValue(v) }
+
+// ParseQuery parses one query in the paper's notation, returning the
+// query and the relations it declares.
+func ParseQuery(text string) (*Query, []*Relation, error) { return query.Parse(text) }
+
+// ParseWorkload parses one query per line and a merged catalog.
+func ParseWorkload(text string) ([]*Query, *Catalog, error) { return query.ParseWorkload(text) }
+
+// NewEstimates returns an empty estimates snapshot with the given
+// fallback selectivity for unobserved predicates.
+func NewEstimates(defaultSelectivity float64) *Estimates {
+	return stats.NewEstimates(defaultSelectivity)
+}
+
+// Optimize jointly optimizes the queries against the estimates (the
+// paper's CMQO). Use OptimizerOptions' zero value for defaults.
+func Optimize(queries []*Query, est *Estimates, opts OptimizerOptions) (*Plan, error) {
+	return core.NewOptimizer(opts).Optimize(queries, est)
+}
+
+// OptimizeIndividually optimizes each query in isolation (the paper's
+// per-query baseline used by the FS/SS sharing strategies).
+func OptimizeIndividually(queries []*Query, est *Estimates, opts OptimizerOptions) ([]*Plan, error) {
+	return core.NewOptimizer(opts).OptimizeIndividually(queries, est)
+}
+
+// CompilePlans translates plans into a deployable topology. With shared
+// true, equal stores and probe-tree prefixes merge across plans.
+func CompilePlans(plans []*Plan, shared bool) (*Topology, error) {
+	return core.Compile(plans, core.CompileOptions{Shared: shared})
+}
+
+// Config configures a CLASH engine.
+type Config struct {
+	// Workload holds one query per line in the paper's notation.
+	// Alternatively set Queries and Catalog explicitly.
+	Workload string
+	// Queries and Catalog override Workload when set.
+	Queries []*Query
+	Catalog *Catalog
+
+	// DefaultWindow applies to relations without their own window
+	// (0 = unbounded history).
+	DefaultWindow time.Duration
+	// EpochLength enables epoch-based adaptive re-optimization
+	// (0 = static plan).
+	EpochLength time.Duration
+	// Adaptive re-optimizes at epoch boundaries from gathered
+	// statistics. Requires EpochLength > 0.
+	Adaptive bool
+	// Shared enables multi-query optimization and state sharing
+	// (default). Independent mode deploys one topology per query.
+	Independent bool
+	// Optimizer passes through optimizer options.
+	Optimizer OptimizerOptions
+	// InitialEstimates seed the optimizer before statistics exist.
+	InitialEstimates *Estimates
+	// MemoryLimitBytes fails the engine when state plus queued messages
+	// exceed it (0 = unlimited).
+	MemoryLimitBytes int64
+	// StepMode drains after every ingest: deterministic results, lower
+	// throughput. Meant for tests and examples.
+	StepMode bool
+	// Synchronous executes the whole topology on the ingesting
+	// goroutine: exact, deterministic join semantics with no task
+	// goroutines. Ingest must be called from a single goroutine. Use it
+	// when result completeness matters more than pipeline parallelism
+	// (the Fig. 7 experiments run this way); the default free-running
+	// mode reproduces overload buffering (Fig. 8) but may miss pairs
+	// whose materialization races a probe.
+	Synchronous bool
+	// SampleSize is the per-relation, per-epoch statistics sample
+	// (default 256).
+	SampleSize int
+	// TwoChoiceRouting enables partial-key-grouping style skew handling
+	// on partitioned stores: inserts go to the less-loaded of two hash
+	// candidates and probes visit both. Results stay exact; the maximum
+	// task load under key skew drops at the price of doubled keyed probe
+	// fan-out.
+	TwoChoiceRouting bool
+}
+
+// Engine is the running system: optimizer, statistics, and the stream
+// processing runtime.
+type Engine struct {
+	cfg     Config
+	eng     *runtime.Engine
+	ctl     *runtime.Controller
+	col     *stats.Collector
+	queries []*Query
+}
+
+// Start optimizes the workload and launches the engine.
+func Start(cfg Config) (*Engine, error) {
+	qs, cat := cfg.Queries, cfg.Catalog
+	if qs == nil {
+		if cfg.Workload == "" {
+			return nil, errors.New("clash: no workload configured")
+		}
+		var err error
+		qs, cat, err = query.ParseWorkload(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cat == nil {
+		return nil, errors.New("clash: queries without a catalog")
+	}
+	for _, q := range qs {
+		if err := cat.Validate(q); err != nil {
+			return nil, err
+		}
+		if q.Size() < 2 {
+			return nil, fmt.Errorf("clash: query %s joins fewer than two relations", q.Name)
+		}
+	}
+	sample := cfg.SampleSize
+	if sample <= 0 {
+		sample = 256
+	}
+	col := stats.NewCollector(sample, 128, 1)
+	est := cfg.InitialEstimates
+	if est == nil {
+		est = stats.NewEstimates(0.01)
+		for _, name := range cat.Names() {
+			est.SetRate(name, 1000)
+		}
+	}
+	eng := runtime.New(runtime.Config{
+		Catalog:          cat,
+		DefaultWindow:    cfg.DefaultWindow,
+		EpochLength:      cfg.EpochLength,
+		MemoryLimitBytes: cfg.MemoryLimitBytes,
+		StepMode:         cfg.StepMode,
+		Synchronous:      cfg.Synchronous,
+		TwoChoiceRouting: cfg.TwoChoiceRouting,
+		Observer:         func(rel string, t *tuple.Tuple) { col.Observe(rel, t) },
+	})
+	ctl, err := runtime.NewController(eng, runtime.ControllerConfig{
+		Optimizer: core.NewOptimizer(cfg.Optimizer),
+		Collector: col,
+		Shared:    !cfg.Independent,
+		Static:    !cfg.Adaptive,
+	}, qs, est)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, eng: eng, ctl: ctl, col: col, queries: qs}, nil
+}
+
+// Ingest feeds one tuple of the relation into the engine. In adaptive
+// mode it also advances the epoch controller.
+func (e *Engine) Ingest(rel string, ts Time, vals ...Value) error {
+	if err := e.eng.Ingest(rel, ts, vals...); err != nil {
+		return err
+	}
+	if e.cfg.EpochLength > 0 {
+		return e.ctl.Tick()
+	}
+	return nil
+}
+
+// OnResult registers a result callback for a query. Callbacks run on
+// worker goroutines and must be fast and thread-safe.
+func (e *Engine) OnResult(queryName string, fn func(*Tuple)) { e.eng.OnResult(queryName, fn) }
+
+// AddQuery installs a new continuous query at runtime; existing store
+// state is reused so results appear without a cold start (Sec. VI-B).
+func (e *Engine) AddQuery(q *Query) error { return e.ctl.AddQuery(q) }
+
+// RemoveQuery deregisters a query; stores that served only this query
+// are torn down by reference counting.
+func (e *Engine) RemoveQuery(name string) error { return e.ctl.RemoveQuery(name) }
+
+// Plan returns the most recently installed plan.
+func (e *Engine) Plan() *Plan { return e.ctl.Plan() }
+
+// Estimates returns the current blended data-characteristic estimates.
+func (e *Engine) Estimates() *Estimates { return e.ctl.Estimates() }
+
+// Reoptimizations returns how many configurations have been installed.
+func (e *Engine) Reoptimizations() int { return e.ctl.Reoptimizations() }
+
+// Metrics returns a snapshot of the runtime counters.
+func (e *Engine) Metrics() MetricsSnapshot { return e.eng.Metrics().Snapshot() }
+
+// ResetLatency clears latency aggregates (per-interval reporting).
+func (e *Engine) ResetLatency() { e.eng.Metrics().ResetLatency() }
+
+// Drain blocks until all in-flight tuples are processed.
+func (e *Engine) Drain() { e.eng.Drain() }
+
+// Failure reports a terminal engine error (e.g. the memory limit).
+func (e *Engine) Failure() error { return e.eng.Failure() }
+
+// Topology returns the configuration active at the given epoch.
+func (e *Engine) Topology(epoch int64) *Topology { return e.eng.ConfigFor(epoch) }
+
+// Checkpoint writes a snapshot of the engine's materialized store state
+// (every store's windowed history) to w. Call it from the ingesting
+// goroutine, or after Drain with no concurrent Ingest. A process
+// restarted from the snapshot resumes with its history intact instead
+// of waiting a full window for complete answers (Sec. VI-B, Fig. 6).
+func (e *Engine) Checkpoint(w io.Writer) error { return e.eng.Checkpoint(w) }
+
+// Restore loads a snapshot produced by Checkpoint into this engine.
+// The engine must have been started with the same workload, estimates,
+// and optimizer options, so the compiled topology contains the
+// checkpointed stores with the same parallelism. Restore before the
+// first Ingest; adaptive engines should restore before the first epoch
+// boundary.
+func (e *Engine) Restore(r io.Reader) error { return e.eng.Restore(r) }
+
+// Stop drains and terminates the engine.
+func (e *Engine) Stop() { e.eng.Stop() }

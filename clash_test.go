@@ -1,0 +1,254 @@
+package clash
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	eng, err := Start(Config{
+		Workload: "q1: R(a) S(a,b) T(b)",
+		StepMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	var mu sync.Mutex
+	var results []*Tuple
+	eng.OnResult("q1", func(tp *Tuple) {
+		mu.Lock()
+		results = append(results, tp)
+		mu.Unlock()
+	})
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(eng.Ingest("R", 1, Int(7)))
+	must(eng.Ingest("S", 2, Int(7), Int(3)))
+	must(eng.Ingest("T", 3, Int(3)))
+	must(eng.Ingest("T", 4, Int(99))) // no partner
+	eng.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	if v, _ := results[0].Get("S.b"); v.Int() != 3 {
+		t.Errorf("result = %v", results[0])
+	}
+	m := eng.Metrics()
+	if m.Ingested != 4 || m.Results != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Start(Config{Workload: "q1: R(a"}); err == nil {
+		t.Error("bad workload should fail")
+	}
+	if _, err := Start(Config{Workload: "q1: R(a)"}); err == nil {
+		t.Error("single-relation query should fail")
+	}
+}
+
+func TestOptimizeAPI(t *testing.T) {
+	qs, _, err := ParseWorkload("q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimates(0.01)
+	for _, r := range []string{"R", "S", "T", "U"} {
+		est.SetRate(r, 100)
+	}
+	joint, err := Optimize(qs, est, OptimizerOptions{DisableMIRs: true, DisablePartitioning: true, StoreParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	individual, err := OptimizeIndividually(qs, est, OptimizerOptions{DisableMIRs: true, DisablePartitioning: true, StoreParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range individual {
+		sum += p.Objective
+	}
+	if joint.Objective >= sum {
+		t.Errorf("MQO (%g) did not beat individual (%g)", joint.Objective, sum)
+	}
+	topo, err := CompilePlans([]*Plan{joint}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Stores) == 0 {
+		t.Error("empty topology")
+	}
+}
+
+func TestAdaptiveEngineAPI(t *testing.T) {
+	eng, err := Start(Config{
+		Workload:      "q1: R(a) S(a)",
+		StepMode:      true,
+		DefaultWindow: 100,
+		EpochLength:   50,
+		Adaptive:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	count := 0
+	var mu sync.Mutex
+	eng.OnResult("q1", func(*Tuple) { mu.Lock(); count++; mu.Unlock() })
+	for i := 0; i < 200; i++ {
+		if err := eng.Ingest("R", Time(i*2), Int(int64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest("S", Time(i*2+1), Int(int64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	if got == 0 {
+		t.Error("no results")
+	}
+	// Reoptimizations counts installed configuration *changes*; a stable
+	// workload may legitimately keep its initial plan.
+	if eng.Reoptimizations() < 1 {
+		t.Errorf("no configuration installed: %d", eng.Reoptimizations())
+	}
+	if eng.Plan() == nil || eng.Estimates() == nil {
+		t.Error("plan/estimates accessors broken")
+	}
+	// Old epochs beyond the GC horizon are pruned; the current epoch
+	// always resolves.
+	if eng.Topology(1<<30) == nil {
+		t.Error("no topology at the current epoch")
+	}
+}
+
+func TestQueryChurnAPI(t *testing.T) {
+	eng, err := Start(Config{
+		Workload:      "q1: R(a) S(a)\n# S joins T too\nq2: S(b) T(b)",
+		StepMode:      true,
+		DefaultWindow: 1000 * time.Nanosecond,
+		EpochLength:   100,
+		Adaptive:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if err := eng.RemoveQuery("q2"); err != nil {
+		t.Fatal(err)
+	}
+	q3, _, err := ParseQuery("q3: R(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddQuery(q3); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest("R", 1, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Failure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronousEngineAPI(t *testing.T) {
+	// The same three-way workload run twice in synchronous mode must
+	// produce identical results without any Drain calls: each Ingest
+	// returns only after the tuple's complete probe chain finished.
+	run := func() (int, MetricsSnapshot) {
+		eng, err := Start(Config{
+			Workload:    "q1: R(a) S(a,b) T(b)",
+			Synchronous: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Stop()
+		count := 0
+		eng.OnResult("q1", func(*Tuple) { count++ }) // safe: no worker goroutines
+		for i := 0; i < 50; i++ {
+			k := Int(int64(i % 4))
+			if err := eng.Ingest("R", Time(3*i), k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("S", Time(3*i+1), k, k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("T", Time(3*i+2), k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return count, eng.Metrics()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 == 0 {
+		t.Fatal("no results")
+	}
+	if c1 != c2 || m1.ProbeSent != m2.ProbeSent || m1.Results != m2.Results {
+		t.Errorf("synchronous runs diverged: %d/%d results, %d/%d probes",
+			c1, c2, m1.ProbeSent, m2.ProbeSent)
+	}
+	if int64(c1) != m1.Results {
+		t.Errorf("callback count %d != metric %d", c1, m1.Results)
+	}
+}
+
+func TestCheckpointRestoreAPI(t *testing.T) {
+	cfg := Config{Workload: "q1: R(a) S(a)", Synchronous: true}
+	eng, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest("R", 1, Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+
+	eng2, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Stop()
+	if err := eng2.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	eng2.OnResult("q1", func(*Tuple) { count++ })
+	if err := eng2.Ingest("S", 2, Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("restored history produced %d results, want 1", count)
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if Int(5).Int() != 5 || Str("x").Str() != "x" || Float(1.5).Float() != 1.5 || !Bool(true).Bool() {
+		t.Error("value constructors broken")
+	}
+}

@@ -1,0 +1,167 @@
+// Command clash-bench regenerates the paper's evaluation figures. Each
+// -fig value prints the series the corresponding figure plots:
+//
+//	7b, 7c, 7d — multi-query performance on TPC-H (throughput, memory,
+//	             latency) for FI/SI/FS/SS/CMQO with 5 and 10 queries
+//	8a, 8b     — adaptive vs. static latency over time under changing
+//	             data characteristics
+//	9a..9f     — ILP probe-cost savings, problem sizes, and runtimes
+//	all        — everything (the default)
+//
+// Scale knobs (-sf, -rate, -quick) trade fidelity for wall time; the
+// defaults finish in a few minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"clash/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clash-bench: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate (7b,7c,7d,8a,8b,9a..9f,all)")
+		sf      = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		solveTO = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name) ||
+			(len(name) > 1 && strings.EqualFold((*fig)[:1], name[:1]) && *fig == name[:1])
+	}
+
+	if want("7b") || want("7c") || want("7d") || *fig == "7" {
+		runFig7(*sf, *quick, *seed)
+	}
+	if want("8a") {
+		runFig8('a', *quick, *seed)
+	}
+	if want("8b") {
+		runFig8('b', *quick, *seed)
+	}
+	for _, f := range []string{"9a", "9c", "9e"} {
+		if want(f) {
+			runFig9Cost(f, *quick, *solveTO, *seed)
+		}
+	}
+	if want("9b") || want("9d") {
+		fmt.Println("(problem sizes are the vars/probe-orders columns of 9a/9c)")
+	}
+	if want("9f") {
+		runFig9Sizes(*quick, *solveTO, *seed)
+	}
+	if *fig == "all" || strings.EqualFold(*fig, "ablation") {
+		runAblations(*quick, *solveTO, *seed)
+	}
+}
+
+func runAblations(quick bool, solveTO time.Duration, seed uint64) {
+	nQ := 20
+	if quick {
+		nQ = 10
+	}
+	fmt.Println("=== Ablations — design choices of DESIGN.md §5 ===")
+	rows, err := bench.Ablations(10, nQ, 3, seed, solveTO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatAblations(rows))
+	fmt.Println()
+
+	fmt.Println("=== Skew routing — two-choice vs. single-choice (hot key 80%) ===")
+	n := 4000
+	if quick {
+		n = 1000
+	}
+	skew, err := bench.SkewAblations(n, 4, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSkewAblations(skew))
+	fmt.Println()
+}
+
+func runFig7(sf float64, quick bool, seed uint64) {
+	for _, nq := range []int{5, 10} {
+		if quick && nq == 10 {
+			continue
+		}
+		fmt.Printf("=== Fig. 7b/7c/7d — %d TPC-H queries, SF %g ===\n", nq, sf)
+		res, err := bench.Fig7(bench.Fig7Config{SF: sf, NumQueries: nq, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatFig7(res))
+		fmt.Println()
+	}
+}
+
+func runFig8(variant byte, quick bool, seed uint64) {
+	cfg := bench.Fig8Config{Seed: seed}
+	if quick {
+		cfg.Before, cfg.After = time.Second, time.Second
+		cfg.Rate = 1000
+	}
+	fmt.Printf("=== Fig. 8%c — adaptive vs static latency ===\n", variant)
+	adaptive, err := bench.Fig8(variant, true, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, err := bench.Fig8(variant, false, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFig8(adaptive, static))
+	fmt.Println()
+}
+
+func runFig9Cost(fig string, quick bool, solveTO time.Duration, seed uint64) {
+	nQs := []int{20, 40, 60, 80, 100}
+	if quick {
+		nQs = []int{20, 40}
+	}
+	cfg := bench.Fig9Config{Seed: seed, SolveLimit: solveTO}
+	switch fig {
+	case "9a":
+		cfg.Relations = 10
+		fmt.Println("=== Fig. 9a/9b — probe cost & problem size, 10 input relations ===")
+	case "9c":
+		cfg.Relations = 100
+		fmt.Println("=== Fig. 9c/9d — probe cost & problem size, 100 input relations ===")
+	case "9e":
+		cfg.Relations = 100
+		fmt.Println("=== Fig. 9e — optimization runtime, 100 input relations ===")
+	}
+	points, err := bench.Fig9Cost(cfg, nQs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFig9Cost(points))
+	fmt.Println()
+}
+
+func runFig9Sizes(quick bool, solveTO time.Duration, seed uint64) {
+	sizes := []int{3, 4, 5}
+	nQs := []int{10, 20, 30}
+	cfg := bench.Fig9Config{Relations: 100, Seed: seed, SolveLimit: solveTO, CapCandidates: 24}
+	if quick {
+		sizes = []int{3, 4}
+		nQs = []int{10}
+	}
+	fmt.Println("=== Fig. 9f — optimization runtime by query size, 100 input relations ===")
+	points, err := bench.Fig9QuerySizes(cfg, sizes, nQs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFig9Sizes(points))
+	fmt.Println()
+}

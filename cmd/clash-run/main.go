@@ -1,0 +1,149 @@
+// Command clash-run executes a workload of continuous queries over a
+// generated TPC-H stream on the CLASH runtime and reports metrics.
+//
+// Usage:
+//
+//	clash-run -queries 5 -sf 0.002 -strategy cmqo
+//	clash-run -workload my.txt -sf 0.01
+//
+// With -workload, queries must reference TPC-H tables (region, nation,
+// supplier, customer, part, partsupp, orders, lineitem).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"clash/internal/bench"
+	"clash/internal/broker"
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/runtime"
+	"clash/internal/tpch"
+	"clash/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clash-run: ")
+	var (
+		workloadPath = flag.String("workload", "", "workload file over TPC-H tables (default: Fig. 7a queries)")
+		numQueries   = flag.Int("queries", 5, "use the paper's 5- or 10-query TPC-H workload")
+		sf           = flag.Float64("sf", 0.002, "TPC-H scale factor")
+		strategy     = flag.String("strategy", "cmqo", "fi|si|fs|ss|cmqo")
+		parallelism  = flag.Int("parallelism", 2, "store parallelism")
+		seed         = flag.Uint64("seed", 42, "generator seed")
+		verbose      = flag.Bool("v", false, "print the plan and topology")
+	)
+	flag.Parse()
+
+	var queries []*query.Query
+	if *workloadPath != "" {
+		b, err := os.ReadFile(*workloadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cat *query.Catalog
+		queries, cat, err = query.ParseWorkload(string(b))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = cat
+		full := tpch.Catalog()
+		for _, q := range queries {
+			if err := full.Validate(q); err != nil {
+				log.Fatalf("workload must use TPC-H tables: %v", err)
+			}
+		}
+	} else if *numQueries >= 10 {
+		queries = tpch.Fig7TenQueries()
+	} else {
+		queries = tpch.Fig7Queries()
+	}
+	cat := tpch.Catalog()
+
+	tables := map[string]bool{}
+	for _, q := range queries {
+		for _, r := range q.Relations {
+			tables[r] = true
+		}
+	}
+	var tableList []string
+	for _, t := range tpch.Tables() {
+		if tables[t] {
+			tableList = append(tableList, t)
+		}
+	}
+
+	fmt.Printf("generating TPC-H data at SF %g for %v ...\n", *sf, tableList)
+	bk := broker.New()
+	if err := tpch.FillBroker(bk, *sf, *seed, tuple.Duration(time.Second), tableList); err != nil {
+		log.Fatal(err)
+	}
+	records := bk.Interleave(tableList...)
+	fmt.Printf("%d records\n", len(records))
+
+	// Estimate characteristics, optimize, compile.
+	est := bench.EstimateFromRecords(cat, queries, records, time.Second)
+	o := core.NewOptimizer(core.Options{StoreParallelism: *parallelism})
+	shared := true
+	var plans []*core.Plan
+	var err error
+	switch strings.ToLower(*strategy) {
+	case "cmqo":
+		var p *core.Plan
+		p, err = o.Optimize(queries, est)
+		plans = []*core.Plan{p}
+	case "fs", "ss":
+		plans, err = o.OptimizeIndividually(queries, est)
+	case "fi", "si":
+		shared = false
+		plans, err = o.OptimizeIndividually(queries, est)
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		for _, p := range plans {
+			fmt.Print(p)
+		}
+	}
+	topo, err := core.Compile(plans, core.CompileOptions{Shared: shared, Parallelism: *parallelism})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		fmt.Print(topo)
+	}
+	fmt.Printf("topology: %d stores, %d tasks\n", len(topo.Stores), topo.TotalTasks())
+
+	eng := runtime.New(runtime.Config{Catalog: cat})
+	if err := eng.Install(topo, 0); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for _, r := range records {
+		if err := eng.Ingest(r.Relation, r.TS, r.Vals...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Drain()
+	wall := time.Since(start)
+	m := eng.Metrics().Snapshot()
+	eng.Stop()
+
+	fmt.Printf("\nprocessed %d tuples in %v (%.0f t/s)\n", m.Ingested, wall.Round(time.Millisecond),
+		float64(m.Ingested)/wall.Seconds())
+	fmt.Printf("probe tuples sent: %d, stored: %d (%.2f MiB)\n", m.ProbeSent, m.Stored,
+		float64(m.StoreBytes)/(1<<20))
+	fmt.Printf("results: %d (avg latency %v)\n", m.Results, m.AvgLatency.Round(time.Microsecond))
+	for q, n := range m.ByQuery {
+		fmt.Printf("  %s: %d results\n", q, n)
+	}
+}

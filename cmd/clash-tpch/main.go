@@ -1,0 +1,98 @@
+// Command clash-tpch emits generated TPC-H data as CSV for inspection,
+// and prints the derived join graph and query workloads.
+//
+// Usage:
+//
+//	clash-tpch -table supplier -sf 0.001        # rows as CSV
+//	clash-tpch -graph                           # join graph
+//	clash-tpch -queries 10                      # the Fig. 7a workloads
+//	clash-tpch -random 8 -size 4 -seed 7        # random workload
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"clash/internal/tpch"
+	"clash/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clash-tpch: ")
+	var (
+		table  = flag.String("table", "", "table to emit as CSV")
+		sf     = flag.Float64("sf", 0.001, "scale factor")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		limit  = flag.Int("limit", 0, "emit at most this many rows (0 = all)")
+		graph  = flag.Bool("graph", false, "print the join graph")
+		fig7   = flag.Int("queries", 0, "print the 5- or 10-query Fig. 7a workload")
+		random = flag.Int("random", 0, "print a random workload of this many queries")
+		size   = flag.Int("size", 3, "relations per random query")
+	)
+	flag.Parse()
+
+	switch {
+	case *graph:
+		fmt.Println("join graph (PK-FK edges and type-compatible pairs):")
+		for _, p := range tpch.JoinGraph() {
+			fmt.Printf("  %s\n", p)
+		}
+	case *fig7 > 0:
+		qs := tpch.Fig7Queries()
+		if *fig7 >= 10 {
+			qs = tpch.Fig7TenQueries()
+		}
+		for _, q := range qs {
+			preds := make([]string, len(q.Preds))
+			for i, p := range q.Preds {
+				preds[i] = p.String()
+			}
+			fmt.Printf("%s  [%s]\n", q, strings.Join(preds, " & "))
+		}
+	case *random > 0:
+		for _, q := range tpch.RandomQueries(*random, *size, *seed) {
+			preds := make([]string, len(q.Preds))
+			for i, p := range q.Preds {
+				preds[i] = p.String()
+			}
+			fmt.Printf("%s  [%s]\n", q, strings.Join(preds, " & "))
+		}
+	case *table != "":
+		emitCSV(*table, *sf, *seed, *limit)
+	default:
+		fmt.Println("tables and cardinalities at SF", *sf)
+		for _, t := range tpch.Tables() {
+			fmt.Printf("  %-10s %10d rows\n", t, tpch.Cardinality(t, *sf))
+		}
+		fmt.Println("\nuse -table, -graph, -queries, or -random; see -help")
+	}
+}
+
+func emitCSV(table string, sf float64, seed uint64, limit int) {
+	cat := tpch.Catalog()
+	rel := cat.Relation(table)
+	if rel == nil {
+		log.Fatalf("unknown table %q (want one of %v)", table, tpch.Tables())
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, strings.Join(rel.Attrs, ","))
+	n := 0
+	err := tpch.Generate(table, sf, seed, func(vals []tuple.Value) bool {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+		n++
+		return limit <= 0 || n < limit
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig7ShapesHold(t *testing.T) {
+	res, err := Fig7(Fig7Config{SF: 0.0005, NumQueries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d strategies", len(res))
+	}
+	byS := map[Strategy]Fig7Result{}
+	for _, r := range res {
+		byS[r.Strategy] = r
+		if r.ThroughputTPS <= 0 || r.MemoryBytes <= 0 {
+			t.Errorf("%s: degenerate result %+v", r.Strategy, r)
+		}
+	}
+	// Shape 1 (Fig. 7c): independent execution needs more memory than
+	// shared execution (the paper: 3.1x with five queries).
+	if byS[StormIndependent].MemoryBytes <= byS[StormShared].MemoryBytes {
+		t.Errorf("memory shape violated: SI %d <= SS %d",
+			byS[StormIndependent].MemoryBytes, byS[StormShared].MemoryBytes)
+	}
+	// Shape 2: CMQO sends no more probe tuples than naive sharing, which
+	// sends no more than independent execution.
+	if byS[CLASHMQO].ProbeTuples > byS[StormShared].ProbeTuples {
+		t.Errorf("probe shape violated: CMQO %d > SS %d",
+			byS[CLASHMQO].ProbeTuples, byS[StormShared].ProbeTuples)
+	}
+	if byS[StormShared].ProbeTuples > byS[StormIndependent].ProbeTuples {
+		t.Errorf("probe shape violated: SS %d > SI %d",
+			byS[StormShared].ProbeTuples, byS[StormIndependent].ProbeTuples)
+	}
+	// Shape 3: every strategy computes the same results per query.
+	want := byS[FlinkIndependent].Results
+	for s, r := range byS {
+		if r.Results != want {
+			t.Errorf("strategy %s produced %d results, others %d", s, r.Results, want)
+		}
+	}
+	// Formatting smoke test.
+	if out := FormatFig7(res); !strings.Contains(out, "CMQO") {
+		t.Error("FormatFig7 output incomplete")
+	}
+}
+
+func TestFig8AdaptiveRecoveres(t *testing.T) {
+	cfg := Fig8Config{
+		Rate:   800,
+		Window: 300 * time.Millisecond,
+		Epoch:  75 * time.Millisecond,
+		Before: 900 * time.Millisecond,
+		After:  900 * time.Millisecond,
+		Bucket: 150 * time.Millisecond,
+		Fanout: 100,
+	}
+	adaptive, err := Fig8('a', true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Fig8('a', false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive) == 0 || len(static) == 0 {
+		t.Fatal("empty series")
+	}
+	for _, p := range adaptive {
+		if p.Failed {
+			t.Fatal("adaptive execution failed; it must survive the spike")
+		}
+	}
+	// Shape: after the shift the static plan sends drastically more
+	// probe tuples than the adaptive one (exploding R⋈S intermediate),
+	// or dies outright.
+	var aProbes, sProbes int64
+	staticFailed := false
+	for _, p := range adaptive {
+		aProbes += p.Probes
+	}
+	for _, p := range static {
+		sProbes += p.Probes
+		staticFailed = staticFailed || p.Failed
+	}
+	if !staticFailed && sProbes <= aProbes {
+		t.Errorf("static shape violated: static probes %d <= adaptive %d and no failure",
+			sProbes, aProbes)
+	}
+	if out := FormatFig8(adaptive, static); !strings.Contains(out, "adaptive") {
+		t.Error("FormatFig8 output incomplete")
+	}
+}
+
+func TestFig8bMaterializes(t *testing.T) {
+	cfg := Fig8Config{
+		FastRate: 1600, SlowRate: 40,
+		Window: 300 * time.Millisecond,
+		Epoch:  75 * time.Millisecond,
+		Before: 900 * time.Millisecond,
+		After:  1200 * time.Millisecond,
+		Bucket: 300 * time.Millisecond,
+	}
+	adaptive, err := Fig8('b', true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive) == 0 {
+		t.Fatal("empty series")
+	}
+	for _, p := range adaptive {
+		if p.Failed {
+			t.Fatal("adaptive run failed")
+		}
+	}
+}
+
+func TestFig9CostShapes(t *testing.T) {
+	cfg := Fig9Config{Relations: 10, SolveLimit: 3 * time.Second}
+	points, err := Fig9Cost(cfg, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		// Shape (Fig. 9a): shared optimization never costs more than
+		// individual optimization.
+		if p.MQO > p.Individual+1e-6 {
+			t.Errorf("nQ=%d: MQO %g > individual %g", p.NQ, p.MQO, p.Individual)
+		}
+		if p.Variables <= 0 || p.ProbeOrders <= 0 {
+			t.Errorf("nQ=%d: degenerate problem size %+v", p.NQ, p)
+		}
+	}
+	// Monotonicity (both curves grow with more queries).
+	if points[1].Individual <= points[0].Individual {
+		t.Error("individual cost did not grow with nQ")
+	}
+	if points[1].Variables <= points[0].Variables {
+		t.Error("problem size did not grow with nQ")
+	}
+	if out := FormatFig9Cost(points); !strings.Contains(out, "MQO") {
+		t.Error("FormatFig9Cost output incomplete")
+	}
+}
+
+func TestFig9SavingsWithSharing(t *testing.T) {
+	// Over only 10 relations, 20+ queries must exhibit clear sharing
+	// savings (the paper reports ~50% at high nQ).
+	cfg := Fig9Config{Relations: 10, SolveLimit: 5 * time.Second}
+	points, err := Fig9Cost(cfg, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	savings := 1 - p.MQO/p.Individual
+	if savings < 0.10 {
+		t.Errorf("sharing savings = %.1f%%, want >= 10%%", savings*100)
+	}
+}
+
+func TestFig9QuerySizes(t *testing.T) {
+	cfg := Fig9Config{Relations: 100, SolveLimit: 3 * time.Second, CapCandidates: 16}
+	points, err := Fig9QuerySizes(cfg, []int{3, 4}, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Shape (Fig. 9f): larger queries cost disproportionally more to
+	// optimize (problem size grows).
+	if points[1].Variables <= points[0].Variables {
+		t.Errorf("size-4 problem (%d vars) not larger than size-3 (%d vars)",
+			points[1].Variables, points[0].Variables)
+	}
+	if out := FormatFig9Sizes(points); !strings.Contains(out, "size") {
+		t.Error("FormatFig9Sizes output incomplete")
+	}
+}
+
+func TestEstimateFromRecordsSmoke(t *testing.T) {
+	res, err := Fig7(Fig7Config{SF: 0.0002, NumQueries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatal("strategies missing")
+	}
+}

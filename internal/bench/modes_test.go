@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/broker"
+	"clash/internal/core"
+	"clash/internal/ilp"
+	"clash/internal/runtime"
+	"clash/internal/tpch"
+	"clash/internal/tuple"
+)
+
+// TestFig7ExecutionModes cross-checks the two engine substrates on the
+// Fig. 7 workload: synchronous execution must produce identical result
+// multisets for every strategy (exact semantics), and free-running
+// asynchronous execution must never exceed them per query (probes racing
+// ahead of MIR feeding chains can only lose pairs, never duplicate them
+// — the seq ordering assigns each pair to exactly one probe direction).
+func TestFig7ExecutionModes(t *testing.T) {
+	testFig7ExecutionModes(t, 5)
+}
+
+// TestFig7TenQueryModes runs the same cross-check on the ten-query
+// workload, whose type-compatible junk joins merge attribute classes
+// across queries — the regression that exposed unsound class-based
+// partition routing (see DESIGN.md §6, deviation 11).
+func TestFig7TenQueryModes(t *testing.T) {
+	testFig7ExecutionModes(t, 10)
+}
+
+func testFig7ExecutionModes(t *testing.T, numQueries int) {
+	cfg := Fig7Config{SF: 0.0002, NumQueries: numQueries}
+	cfg.fill()
+	queries := tpch.Fig7Queries()
+	if numQueries >= 10 {
+		queries = tpch.Fig7TenQueries()
+	}
+	cat := tpch.Catalog()
+	tables := involvedTables(queries)
+	b := broker.New()
+	if err := tpch.FillBroker(b, cfg.SF, cfg.Seed, tuple.Duration(cfg.Span), tables); err != nil {
+		t.Fatal(err)
+	}
+	records := b.Interleave(tables...)
+
+	est := EstimateFromRecords(cat, queries, records, cfg.Span)
+	o := core.NewOptimizer(core.Options{
+		StoreParallelism: cfg.Parallelism,
+		Solver:           ilp.Options{TimeLimit: 3 * time.Second},
+	})
+	individual, err := o.OptimizeIndividually(queries, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := o.Optimize(queries, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(s Strategy, synchronous bool) map[string]int64 {
+		plans := individual
+		if s == CLASHMQO {
+			plans = []*core.Plan{joint}
+		}
+		shared := s == FlinkShared || s == StormShared || s == CLASHMQO
+		topo, err := core.Compile(plans, core.CompileOptions{Shared: shared, Parallelism: cfg.Parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := runtime.New(runtime.Config{Catalog: cat, Synchronous: synchronous})
+		if err := eng.Install(topo, 0); err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Stop()
+		for _, r := range records {
+			if err := eng.Ingest(r.Relation, r.TS, r.Vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Drain()
+		return eng.Metrics().Snapshot().ByQuery
+	}
+
+	var exact map[string]int64
+	for _, s := range Strategies() {
+		sync := run(s, true)
+		if exact == nil {
+			exact = sync
+		} else {
+			for q, n := range exact {
+				if sync[q] != n {
+					t.Errorf("%s sync: query %s produced %d results, want %d", s, q, sync[q], n)
+				}
+			}
+		}
+		async := run(s, false)
+		for q, n := range async {
+			if n > exact[q] {
+				t.Errorf("%s async: query %s produced %d results, exact count is %d (duplicates?)", s, q, n, exact[q])
+			}
+		}
+	}
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clash/internal/cost"
+	"clash/internal/ilp"
+	"clash/internal/mir"
+	"clash/internal/query"
+	"clash/internal/stats"
+)
+
+// builder constructs and solves the ILP of Algorithm 2.
+type builder struct {
+	opts    Options
+	queries []*query.Query
+	rawEst  *stats.Estimates
+	est     *cost.Estimator
+	mirs    []*mir.MIR
+	mirByKy map[string]*mir.MIR
+
+	model *ilp.Model
+
+	orders   []*DecoratedOrder
+	xVar     map[string]int // DecoratedOrder.Key() -> ILP var
+	yVar     map[string]int // step key -> ILP var
+	stepCost map[string]float64
+
+	// top-level candidate groups: query name -> start -> orders
+	topGroups map[string]map[string][]*DecoratedOrder
+	// feeding groups: MIR key -> start -> orders
+	feedGroups map[string]map[string][]*DecoratedOrder
+
+	// partition linking: store MIR key -> attr string -> z var
+	zVar map[string]map[string]int
+}
+
+func newBuilder(opts Options, queries []*query.Query, est *stats.Estimates) *builder {
+	return &builder{
+		opts:       opts,
+		queries:    queries,
+		rawEst:     est,
+		est:        opts.estimator(queries, est),
+		model:      ilp.NewModel(),
+		xVar:       map[string]int{},
+		yVar:       map[string]int{},
+		stepCost:   map[string]float64{},
+		topGroups:  map[string]map[string][]*DecoratedOrder{},
+		feedGroups: map[string]map[string][]*DecoratedOrder{},
+		zVar:       map[string]map[string]int{},
+	}
+}
+
+func (b *builder) run() (*Plan, error) {
+	t0 := time.Now()
+	b.enumerateMIRs()
+	if err := b.generateCandidates(); err != nil {
+		return nil, err
+	}
+	b.buildModel()
+	build := time.Since(t0)
+
+	t1 := time.Now()
+	solverOpts := b.opts.Solver
+	if ws := b.warmStart(); ws != nil {
+		solverOpts.WarmStart = ws
+	}
+	sol := b.model.Solve(&solverOpts)
+	solve := time.Since(t1)
+
+	if sol.Status == ilp.Infeasible && b.opts.MaxCandidatesPerGroup > 0 {
+		// Aggressive capping can drop the only partition-consistent
+		// combinations; retry with the full candidate set.
+		full := b.opts
+		full.MaxCandidatesPerGroup = 0
+		return newBuilder(full, b.queries, b.rawEst).run()
+	}
+	if sol.Status == ilp.Infeasible || sol.Status == ilp.Unbounded {
+		return nil, fmt.Errorf("core: ILP %s (%d queries, %d candidates)\n%s", sol.Status, len(b.queries), len(b.orders), b.model)
+	}
+	if sol.Values == nil {
+		return nil, fmt.Errorf("core: ILP hit limits with no incumbent (nodes=%d)", sol.Nodes)
+	}
+
+	plan := b.extract(sol)
+	plan.Stats = ProblemStats{
+		Queries:     len(b.queries),
+		MIRs:        len(b.mirs),
+		ProbeOrders: len(b.orders),
+		Variables:   b.model.NumVars(),
+		Constraints: b.model.NumCons(),
+		SolveTime:   solve,
+		BuildTime:   build,
+		Nodes:       sol.Nodes,
+		Status:      sol.Status,
+	}
+	return plan, nil
+}
+
+func (b *builder) enumerateMIRs() {
+	all := mir.Enumerate(b.queries)
+	for _, m := range all {
+		if !m.IsBase() {
+			if !b.opts.mirsEnabled() {
+				continue
+			}
+			if b.opts.MIREligible != nil && !b.opts.MIREligible(m.Key()) {
+				continue
+			}
+		}
+		b.mirs = append(b.mirs, m)
+	}
+	b.mirByKy = map[string]*mir.MIR{}
+	for _, m := range b.mirs {
+		b.mirByKy[m.Key()] = m
+	}
+}
+
+// generateCandidates produces decorated probe orders for every query and,
+// transitively, feeding orders for every MIR referenced by a candidate.
+func (b *builder) generateCandidates() error {
+	neededMIRs := map[string]*mir.MIR{}
+	for _, q := range b.queries {
+		cands := mir.Candidates(q, b.mirs)
+		group := map[string][]*DecoratedOrder{}
+		for start, orders := range cands {
+			if len(orders) == 0 {
+				return fmt.Errorf("core: query %s has no probe order from %s (disconnected query graph?)", q.Name, start)
+			}
+			var dec []*DecoratedOrder
+			for _, po := range orders {
+				dec = append(dec, b.decorate(q, "", start, po)...)
+			}
+			dec = b.capGroup(dec)
+			group[start] = dec
+			for _, d := range dec {
+				b.noteMIRUse(d, neededMIRs)
+			}
+		}
+		b.topGroups[q.Name] = group
+	}
+
+	// Feeding orders, processed until closure (feeds may use smaller MIRs).
+	pending := mirKeysSorted(neededMIRs)
+	done := map[string]bool{}
+	for len(pending) > 0 {
+		key := pending[0]
+		pending = pending[1:]
+		if done[key] {
+			continue
+		}
+		done[key] = true
+		m := neededMIRs[key]
+		sub := m.Subquery()
+		cands := mir.Candidates(sub, b.mirs)
+		group := map[string][]*DecoratedOrder{}
+		newNeeds := map[string]*mir.MIR{}
+		for start, orders := range cands {
+			var dec []*DecoratedOrder
+			for _, po := range orders {
+				for _, d := range b.decorate(sub, key, start, po) {
+					d.Fed = m
+					dec = append(dec, d)
+				}
+			}
+			dec = b.capGroup(dec)
+			group[start] = dec
+			for _, d := range dec {
+				b.noteMIRUse(d, newNeeds)
+			}
+		}
+		b.feedGroups[key] = group
+		for k, mm := range newNeeds {
+			if !done[k] {
+				if _, known := neededMIRs[k]; !known {
+					neededMIRs[k] = mm
+				}
+				pending = append(pending, k)
+			}
+		}
+	}
+	return nil
+}
+
+func mirKeysSorted(m map[string]*mir.MIR) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (b *builder) noteMIRUse(d *DecoratedOrder, out map[string]*mir.MIR) {
+	for i, e := range d.Elems {
+		if i > 0 && !e.MIR.IsBase() {
+			out[e.MIR.Key()] = e.MIR
+		}
+	}
+}
+
+// capGroup keeps at most MaxCandidatesPerGroup cheapest candidates.
+func (b *builder) capGroup(dec []*DecoratedOrder) []*DecoratedOrder {
+	max := b.opts.MaxCandidatesPerGroup
+	if max <= 0 || len(dec) <= max {
+		return dec
+	}
+	sort.Slice(dec, func(i, j int) bool { return dec[i].Cost < dec[j].Cost })
+	return dec[:max]
+}
+
+// decorate applies partitioning to a probe order (Alg. 2, line 3),
+// producing one DecoratedOrder per combination of partition candidates
+// of the probed stores, and computes step costs (Eq. 1).
+func (b *builder) decorate(q *query.Query, forMIR, start string, po *mir.ProbeOrder) []*DecoratedOrder {
+	n := po.Len()
+	choices := make([][]query.Attr, n)
+	choices[0] = []query.Attr{{}}
+	for i := 1; i < n; i++ {
+		if b.opts.DisablePartitioning {
+			choices[i] = []query.Attr{{}}
+			continue
+		}
+		cands := mir.PartitionCandidates(po.Elems[i], b.queries)
+		if len(cands) == 0 {
+			cands = []query.Attr{{}}
+		}
+		choices[i] = cands
+	}
+
+	var out []*DecoratedOrder
+	elems := make([]Element, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			d := &DecoratedOrder{
+				Query:  q,
+				ForMIR: forMIR,
+				Start:  start,
+				Elems:  append([]Element(nil), elems...),
+			}
+			b.computeSteps(d)
+			out = append(out, d)
+			return
+		}
+		for _, attr := range choices[i] {
+			elems[i] = Element{MIR: po.Elems[i], Partition: attr}
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// computeSteps derives the physical steps and their Eq. 1 costs for a
+// decorated order. Step keys are canonical so equal steps across queries
+// share one ILP variable.
+func (b *builder) computeSteps(d *DecoratedOrder) {
+	par := b.opts.parallelism()
+	prefix := make([]cost.Target, 0, len(d.Elems))
+	var prefixRels []string
+	for i, e := range d.Elems {
+		t := cost.Target{Rels: e.MIR.RelSet(), Partition: e.Partition, Parallelism: par}
+		if b.opts.UniformChi {
+			t.Parallelism = 1
+			t.Partition = query.Attr{}
+		}
+		if i > 0 {
+			// The prefix identity includes the starting relation: the
+			// partial result reached from arriving-R tuples ("R latest",
+			// the paper's subquery q_R) is a different tuple stream than
+			// the same relation set reached from arriving-S tuples, so
+			// equal relation sets with different starts must not share a
+			// step variable.
+			prefixKey := d.Start + ":" + mir.New(prefixRels, d.Query.Preds).Key()
+			target := t
+			c := b.est.StepCost(prefix, target, d.Query.Preds)
+			key := prefixKey + "->" + e.MIR.Key() + "[" + e.Partition.String() + "]"
+			d.Steps = append(d.Steps, Step{Key: key, PrefixKey: prefixKey, Target: e, Cost: c})
+			d.Cost += c
+		}
+		prefix = append(prefix, t)
+		prefixRels = append(prefixRels, e.MIR.Rels...)
+	}
+	if b.opts.MaterializationCost && d.ForMIR != "" {
+		// Inserting the feeding results into the MIR store: the full
+		// subquery result per time unit, divided by the number of
+		// starting relations contributing (each feeding order carries
+		// its 1/|elems| share), partition always known.
+		m := b.mirByKy[d.ForMIR]
+		if m != nil {
+			card := b.est.JoinCardinality(m.RelSet(), d.Query.Preds)
+			c := card / float64(len(d.Elems))
+			key := d.Start + ":" + mir.New(prefixRels, d.Query.Preds).Key() + "=>" + d.ForMIR
+			d.Steps = append(d.Steps, Step{Key: key, PrefixKey: d.ForMIR, Cost: c})
+			d.Cost += c
+		}
+	}
+}
+
+// buildModel emits the ILP (Algorithm 2).
+func (b *builder) buildModel() {
+	// Variables: x per decorated order, y per distinct step, z per
+	// (store, partition attribute) pair.
+	addOrder := func(d *DecoratedOrder) {
+		key := d.Key()
+		if _, dup := b.xVar[key]; dup {
+			return
+		}
+		b.orders = append(b.orders, d)
+		b.xVar[key] = b.model.AddBinary("x:"+key, 0)
+		for _, s := range d.Steps {
+			if _, ok := b.yVar[s.Key]; !ok {
+				b.yVar[s.Key] = b.model.AddBinary("y:"+s.Key, s.Cost)
+				b.stepCost[s.Key] = s.Cost
+			}
+		}
+		if b.opts.NoPartitionConsistency {
+			return
+		}
+		for i, e := range d.Elems {
+			if i == 0 || e.Partition == (query.Attr{}) {
+				continue
+			}
+			byAttr := b.zVar[e.MIR.Key()]
+			if byAttr == nil {
+				byAttr = map[string]int{}
+				b.zVar[e.MIR.Key()] = byAttr
+			}
+			if _, ok := byAttr[e.Partition.String()]; !ok {
+				byAttr[e.Partition.String()] = b.model.AddBinary(
+					"z:"+e.MIR.Key()+"["+e.Partition.String()+"]", 0)
+			}
+		}
+	}
+	for _, q := range b.queries {
+		for _, s := range sortedKeys(b.topGroups[q.Name]) {
+			for _, d := range b.topGroups[q.Name][s] {
+				addOrder(d)
+			}
+		}
+	}
+	for _, key := range sortedKeys(b.feedGroups) {
+		group := b.feedGroups[key]
+		for _, s := range sortedKeys(group) {
+			for _, d := range group[s] {
+				addOrder(d)
+			}
+		}
+	}
+
+	// (1) Choice rows: exactly one decorated order per (query, start).
+	for _, q := range b.queries {
+		starts := make([]string, 0, len(b.topGroups[q.Name]))
+		for s := range b.topGroups[q.Name] {
+			starts = append(starts, s)
+		}
+		sort.Strings(starts)
+		for _, s := range starts {
+			var terms []ilp.Term
+			for _, d := range b.topGroups[q.Name][s] {
+				terms = append(terms, ilp.T(b.xVar[d.Key()], 1))
+			}
+			b.model.AddConstraint(fmt.Sprintf("choice:%s/%s", q.Name, s), ilp.EQ, 1, terms...)
+		}
+	}
+
+	// (2)-(4) per order: cost row, feeding rows, partition links.
+	for _, d := range b.orders {
+		x := b.xVar[d.Key()]
+		// Cost row, normalized by PCost for numerical conditioning:
+		// -x + Σ (StepCost/PCost) y ≥ 0 forces every step of a chosen
+		// order (equivalent to the paper's Eq. 3 pattern).
+		if d.Cost > 0 {
+			terms := []ilp.Term{ilp.T(x, -1)}
+			for _, s := range d.Steps {
+				if s.Cost > 0 {
+					terms = append(terms, ilp.T(b.yVar[s.Key], s.Cost/d.Cost))
+				}
+			}
+			b.model.AddConstraint("cost:"+d.Key(), ilp.GE, 0, terms...)
+		}
+		// Feeding rows: for each MIR element, each of the MIR's input
+		// relations must run one feeding probe order. (The paper's
+		// -k_j coefficient reads as a typo: with k_j>1 it would force
+		// multiple redundant feeds; one per input relation suffices and
+		// matches the surrounding prose. See DESIGN.md.)
+		for i, e := range d.Elems {
+			if i == 0 || e.MIR.IsBase() {
+				continue
+			}
+			group := b.feedGroups[e.MIR.Key()]
+			rels := append([]string(nil), e.MIR.Rels...)
+			sort.Strings(rels)
+			for _, r := range rels {
+				feeds := group[r]
+				terms := []ilp.Term{ilp.T(x, -1)}
+				for _, f := range feeds {
+					terms = append(terms, ilp.T(b.xVar[f.Key()], 1))
+				}
+				b.model.AddConstraint(
+					fmt.Sprintf("feed:%s/%s<-%s", e.MIR.Key(), r, d.Key()),
+					ilp.GE, 0, terms...)
+			}
+		}
+		// Partition links: choosing the order commits each decorated
+		// store to that partitioning.
+		if !b.opts.NoPartitionConsistency {
+			for i, e := range d.Elems {
+				if i == 0 || e.Partition == (query.Attr{}) {
+					continue
+				}
+				z := b.zVar[e.MIR.Key()][e.Partition.String()]
+				b.model.AddConstraint(
+					fmt.Sprintf("link:%s[%s]", e.MIR.Key(), e.Partition),
+					ilp.GE, 0, ilp.T(z, 1), ilp.T(x, -1))
+			}
+		}
+	}
+
+	// (5) One partitioning per store.
+	storeKeys := make([]string, 0, len(b.zVar))
+	for k := range b.zVar {
+		storeKeys = append(storeKeys, k)
+	}
+	sort.Strings(storeKeys)
+	for _, k := range storeKeys {
+		attrs := make([]string, 0, len(b.zVar[k]))
+		for a := range b.zVar[k] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		var terms []ilp.Term
+		for _, a := range attrs {
+			terms = append(terms, ilp.T(b.zVar[k][a], 1))
+		}
+		b.model.AddConstraint("onepart:"+k, ilp.LE, 1, terms...)
+	}
+}
+
+// extract converts the ILP solution into a Plan: the chosen top-level
+// orders plus the feeding orders actually required, with consistent
+// store partitionings.
+func (b *builder) extract(sol *ilp.Solution) *Plan {
+	plan := &Plan{
+		Queries:    b.queries,
+		Partitions: map[string]query.Attr{},
+		Objective:  sol.Objective,
+		opts:       b.opts,
+	}
+
+	chosen := func(d *DecoratedOrder) bool { return sol.IsOne(b.xVar[d.Key()]) }
+
+	// Top-level selections (exactly one per group by the choice rows).
+	var queue []*DecoratedOrder
+	for _, q := range b.queries {
+		starts := make([]string, 0, len(b.topGroups[q.Name]))
+		for s := range b.topGroups[q.Name] {
+			starts = append(starts, s)
+		}
+		sort.Strings(starts)
+		for _, s := range starts {
+			for _, d := range b.topGroups[q.Name][s] {
+				if chosen(d) {
+					plan.Selected = append(plan.Selected, d)
+					queue = append(queue, d)
+					break
+				}
+			}
+		}
+	}
+
+	// Pull in the required feeding orders transitively. The solver may
+	// have set extra x' variables whose steps were already paid; we keep
+	// only one feed per (MIR, start), preferring the cheapest chosen one.
+	feedDone := map[string]bool{}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		for i, e := range d.Elems {
+			if i == 0 || e.MIR.IsBase() || feedDone[e.MIR.Key()] {
+				continue
+			}
+			feedDone[e.MIR.Key()] = true
+			group := b.feedGroups[e.MIR.Key()]
+			rels := append([]string(nil), e.MIR.Rels...)
+			sort.Strings(rels)
+			for _, r := range rels {
+				var pick *DecoratedOrder
+				for _, f := range group[r] {
+					if chosen(f) && (pick == nil || f.Cost < pick.Cost) {
+						pick = f
+					}
+				}
+				if pick == nil && len(group[r]) > 0 {
+					// Defensive: the feeding constraints guarantee one;
+					// fall back to the cheapest candidate.
+					pick = group[r][0]
+					for _, f := range group[r] {
+						if f.Cost < pick.Cost {
+							pick = f
+						}
+					}
+				}
+				if pick != nil {
+					plan.Selected = append(plan.Selected, pick)
+					queue = append(queue, pick)
+				}
+			}
+		}
+	}
+
+	// Store partitionings from the selected orders' decorations (the z
+	// constraints guarantee consistency).
+	for _, d := range plan.Selected {
+		for i, e := range d.Elems {
+			if i == 0 {
+				continue
+			}
+			if e.Partition != (query.Attr{}) {
+				plan.Partitions[e.MIR.Key()] = e.Partition
+			} else if _, ok := plan.Partitions[e.MIR.Key()]; !ok {
+				plan.Partitions[e.MIR.Key()] = query.Attr{}
+			}
+		}
+	}
+	return plan
+}

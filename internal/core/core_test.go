@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clash/internal/query"
+	"clash/internal/stats"
+)
+
+// workedExample sets up the paper's Sec. V-2 multi-query example:
+// q1 = R(a),S(a,b),T(b) and q2 = S(b),T(b,c),U(c); every relation streams
+// 100 tuples per time unit; S⋈T yields 150 intermediate results, the
+// other joins yield 100 (selectivities 0.015 and 0.01).
+func workedExample() ([]*query.Query, *stats.Estimates) {
+	q1 := query.MustParse("q1: R(a) S(a,b) T(b)")
+	q2 := query.MustParse("q2: S(b) T(b,c) U(c)")
+	est := stats.NewEstimates(0.01)
+	for _, r := range []string{"R", "S", "T", "U"} {
+		est.SetRate(r, 100)
+	}
+	est.SetSelectivity(query.Predicate{
+		Left:  query.Attr{Rel: "S", Name: "b"},
+		Right: query.Attr{Rel: "T", Name: "b"},
+	}, 0.015)
+	return []*query.Query{q1, q2}, est
+}
+
+// exampleOptions matches the example's simplifications: no materialized
+// subqueries, no partitioning (χ ignored).
+func exampleOptions() Options {
+	return Options{DisableMIRs: true, DisablePartitioning: true, StoreParallelism: 1}
+}
+
+func TestPaperWorkedExampleIndividual(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(exampleOptions())
+	total, err := o.IndividualCost(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: 475 tuples per query, 950 in total.
+	if math.Abs(total-950) > 1e-6 {
+		t.Errorf("individual cost = %g, want 950", total)
+	}
+	plans, err := o.OptimizeIndividually(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if math.Abs(p.Objective-475) > 1e-6 {
+			t.Errorf("plan %d objective = %g, want 475", i, p.Objective)
+		}
+	}
+	// Individually, q1 uses ⟨S,R,T⟩ (cost 150), not ⟨S,T,R⟩ (175).
+	if got := plans[0].SelectedFor("q1", "S").String(); got != "⟨S,R,T⟩" {
+		t.Errorf("individual q1/S = %s, want ⟨S,R,T⟩", got)
+	}
+}
+
+func TestPaperWorkedExampleMQO(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(exampleOptions())
+	plan, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared optimum: forced steps R→S(100), RS→T(50), S→T(100),
+	// T→S(100), TS→R(75), ST→U(75), U→T(100), UT→S(50) plus the two
+	// locally suboptimal completions ST→R(75) and TS→U(75) = 800.
+	if math.Abs(plan.Objective-800) > 1e-6 {
+		t.Errorf("MQO objective = %g, want 800\n%s", plan.Objective, plan)
+	}
+	// The paper's key observation: the locally suboptimal ⟨S,T,R⟩ is
+	// chosen for q1 because q2 pays for S→T anyway; symmetrically
+	// ⟨T,S,U⟩ for q2.
+	if got := plan.SelectedFor("q1", "S").String(); got != "⟨S,T,R⟩" {
+		t.Errorf("MQO q1/S = %s, want ⟨S,T,R⟩", got)
+	}
+	if got := plan.SelectedFor("q2", "T").String(); got != "⟨T,S,U⟩" {
+		t.Errorf("MQO q2/T = %s, want ⟨T,S,U⟩", got)
+	}
+	// Savings versus 950 individual.
+	if plan.Objective >= 950 {
+		t.Error("MQO did not beat individual optimization")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(exampleOptions())
+	a, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.String() != b.String() {
+		t.Error("optimization not deterministic")
+	}
+}
+
+func TestOptimizeWithPartitioning(t *testing.T) {
+	qs, est := workedExample()
+	// Parallelism 5: broadcasts cost ×5; partitioning should avoid most.
+	o := NewOptimizer(Options{StoreParallelism: 5})
+	plan, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition consistency: every store got at most one attribute, and
+	// every selected order's decoration agrees with it.
+	for _, d := range plan.Selected {
+		for i, e := range d.Elems {
+			if i == 0 {
+				continue
+			}
+			want := plan.Partitions[e.MIR.Key()]
+			if e.Partition != want {
+				t.Errorf("order %s assumes %s partitioned by %v, plan says %v",
+					d, e.MIR.Label(), e.Partition, want)
+			}
+		}
+	}
+	// With partitioning available, the optimum must not exceed the
+	// all-broadcast cost of the same selection.
+	oNoPart := NewOptimizer(Options{StoreParallelism: 5, DisablePartitioning: true})
+	noPart, err := oNoPart.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Objective > noPart.Objective+1e-9 {
+		t.Errorf("partitioned optimum %g worse than broadcast-only %g", plan.Objective, noPart.Objective)
+	}
+}
+
+func TestUniformChiAblation(t *testing.T) {
+	qs, est := workedExample()
+	a := NewOptimizer(Options{StoreParallelism: 5, UniformChi: true})
+	b := NewOptimizer(Options{StoreParallelism: 1})
+	pa, err := a.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// χ≡1 with any parallelism equals parallelism-1 costing.
+	if math.Abs(pa.Objective-pb.Objective) > 1e-6 {
+		t.Errorf("UniformChi %g != parallelism-1 %g", pa.Objective, pb.Objective)
+	}
+}
+
+func TestMIRSelectionWhenIntermediateCheap(t *testing.T) {
+	// Make R⋈S expensive so probing via a materialized ST store pays
+	// off for R-tuples: ⟨R,ST⟩ costs |R| while ⟨R,S,T⟩ adds |R⋈S|/2.
+	q1 := query.MustParse("q1: R(a) S(a,b) T(b)")
+	est := stats.NewEstimates(0.01)
+	est.SetRate("R", 100)
+	est.SetRate("S", 100)
+	est.SetRate("T", 100)
+	est.SetSelectivity(query.Predicate{
+		Left:  query.Attr{Rel: "R", Name: "a"},
+		Right: query.Attr{Rel: "S", Name: "a"},
+	}, 0.2) // |R⋈S| = 2000 per unit: terrible prefix
+	o := NewOptimizer(Options{StoreParallelism: 1, DisablePartitioning: true})
+	plan, err := o.Optimize([]*query.Query{q1}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOrder := plan.SelectedFor("q1", "R")
+	if rOrder == nil || !strings.Contains(rOrder.String(), "ST") {
+		t.Errorf("q1/R = %v, want probe via materialized ST", rOrder)
+	}
+	// The plan must include feeding orders for the ST store.
+	if feeds := plan.FeedsFor(rOrder.Elems[1].MIR.Key()); len(feeds) != 2 {
+		t.Errorf("ST feeds = %d, want 2 (one per input relation)", len(feeds))
+	}
+}
+
+func TestDisableMIRsExcludesMaterialization(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(Options{DisableMIRs: true, DisablePartitioning: true})
+	plan, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Selected {
+		if d.ForMIR != "" {
+			t.Errorf("feeding order %s present with MIRs disabled", d)
+		}
+		for _, e := range d.Elems {
+			if !e.MIR.IsBase() {
+				t.Errorf("order %s uses composite store with MIRs disabled", d)
+			}
+		}
+	}
+}
+
+func TestMaterializationCostDiscouragesMIRs(t *testing.T) {
+	q1 := query.MustParse("q1: R(a) S(a,b) T(b)")
+	est := stats.NewEstimates(0.01)
+	est.SetRate("R", 100)
+	est.SetRate("S", 100)
+	est.SetRate("T", 100)
+	base := Options{StoreParallelism: 1, DisablePartitioning: true}
+	withCost := base
+	withCost.MaterializationCost = true
+	p1, err := NewOptimizer(base).Optimize([]*query.Query{q1}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewOptimizer(withCost).Optimize([]*query.Query{q1}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Objective < p1.Objective-1e-9 {
+		t.Errorf("materialization cost lowered the optimum: %g < %g", p2.Objective, p1.Objective)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	est := stats.NewEstimates(0.01)
+	o := NewOptimizer(Options{})
+	// Unnamed query.
+	q := query.MustParse("R(a) S(a)")
+	if _, err := o.Optimize([]*query.Query{q}, est); err == nil {
+		t.Error("unnamed query should fail")
+	}
+	// Duplicate names.
+	a := query.MustParse("q: R(a) S(a)")
+	b := query.MustParse("q: S(b) T(b)")
+	if _, err := o.Optimize([]*query.Query{a, b}, est); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	// Empty set is a valid no-op.
+	p, err := o.Optimize(nil, est)
+	if err != nil || len(p.Selected) != 0 {
+		t.Errorf("empty optimize: %v %v", p, err)
+	}
+}
+
+func TestProblemStatsPopulated(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(Options{StoreParallelism: 2})
+	plan, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats
+	if s.Queries != 2 || s.Variables == 0 || s.Constraints == 0 || s.ProbeOrders == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MIRs == 0 {
+		t.Error("MIR count missing")
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	qs, est := workedExample()
+	capped := NewOptimizer(Options{StoreParallelism: 2, DisablePartitioning: true, MaxCandidatesPerGroup: 1})
+	plan, err := capped.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewOptimizer(Options{StoreParallelism: 2, DisablePartitioning: true}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.ProbeOrders >= full.Stats.ProbeOrders {
+		t.Errorf("cap did not reduce candidates: %d vs %d",
+			plan.Stats.ProbeOrders, full.Stats.ProbeOrders)
+	}
+	// Capped solutions are feasible, possibly suboptimal.
+	if plan.Objective < full.Objective-1e-9 {
+		t.Error("capped search beat the full search")
+	}
+}
+
+func TestUsedStores(t *testing.T) {
+	qs, est := workedExample()
+	o := NewOptimizer(exampleOptions())
+	plan, err := o.Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := plan.UsedStores()
+	if len(used) == 0 {
+		t.Fatal("no stores used")
+	}
+	// All four base stores are probed in the worked example.
+	if len(used) != 4 {
+		t.Errorf("used stores = %v, want the 4 base stores", used)
+	}
+}

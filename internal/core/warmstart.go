@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"clash/internal/query"
+)
+
+// warmStart constructs a feasible solution that seeds the branch-and-
+// bound incumbent. Two greedy variants are built and the cheaper one is
+// returned: (a) per (query, start) group the candidate with the smallest
+// *marginal* cost given the steps committed by earlier groups (exploits
+// sharing but can commit myopically), and (b) the union of per-group
+// individually cheapest candidates, whose ILP objective is at most the
+// summed per-query optima — so the solver always starts at or below the
+// "Individual" baseline.
+func (b *builder) warmStart() []float64 {
+	var best []float64
+	bestObj := math.Inf(1)
+	consider := func(ws []float64) {
+		if ws == nil {
+			return
+		}
+		if obj := b.model.ObjectiveOf(ws); obj < bestObj {
+			best, bestObj = ws, obj
+		}
+	}
+	consider(b.warmStartWith(true))
+	consider(b.warmStartWith(false))
+	consider(b.warmStartFromIndividualPlans())
+	consider(b.warmStartLocalSearch())
+	return best
+}
+
+// groupPick identifies one top-level candidate group and its chosen
+// candidate during local search.
+type groupPick struct {
+	query string
+	start string
+}
+
+// lsState holds the index-based evaluation scratch of the local search:
+// step membership is resolved to ILP variable indices once, and paid
+// markers are reset via a touched list rather than reallocation, making
+// one selection evaluation a few thousand integer operations.
+type lsState struct {
+	b       *builder
+	yIdxs   map[*DecoratedOrder][]int
+	yCosts  map[*DecoratedOrder][]float64
+	paid    []bool
+	touched []int
+}
+
+func newLSState(b *builder) *lsState {
+	s := &lsState{
+		b:      b,
+		yIdxs:  map[*DecoratedOrder][]int{},
+		yCosts: map[*DecoratedOrder][]float64{},
+		paid:   make([]bool, b.model.NumVars()),
+	}
+	for _, d := range b.orders {
+		idxs := make([]int, len(d.Steps))
+		costs := make([]float64, len(d.Steps))
+		for i, st := range d.Steps {
+			idxs[i] = b.yVar[st.Key]
+			costs[i] = st.Cost
+		}
+		s.yIdxs[d] = idxs
+		s.yCosts[d] = costs
+	}
+	return s
+}
+
+func (s *lsState) reset() {
+	for _, i := range s.touched {
+		s.paid[i] = false
+	}
+	s.touched = s.touched[:0]
+}
+
+// warmStartLocalSearch runs coordinate-descent over the (query, start)
+// groups: starting from the per-group cheapest candidates, each sweep
+// re-picks every group's candidate to minimize the *total* objective
+// given all other groups' current picks (shared steps are paid once;
+// feeding orders are re-derived greedily per trial). Sweeps repeat until
+// a fixpoint or the time budget is hit. Under heavy cross-query sharing
+// this finds the deep prefix sharing the single-pass greedy misses — it
+// is the solver's primary incumbent for the Fig. 9a regime.
+func (b *builder) warmStartLocalSearch() []float64 {
+	if len(b.queries) < 2 {
+		return nil
+	}
+	budget := 3 * time.Second
+	if tl := b.opts.Solver.TimeLimit; tl > 0 && tl/3 < budget {
+		budget = tl / 3
+	}
+	deadline := time.Now().Add(budget)
+
+	// Stable group order.
+	var order []groupPick
+	for _, q := range b.queries {
+		for _, s := range sortedKeys(b.topGroups[q.Name]) {
+			order = append(order, groupPick{query: q.Name, start: s})
+		}
+	}
+
+	// Initial assignment: per-group cheapest candidate.
+	pick := map[groupPick]*DecoratedOrder{}
+	for _, g := range order {
+		cands := b.topGroups[g.query][g.start]
+		if len(cands) == 0 {
+			return nil
+		}
+		best := cands[0]
+		for _, d := range cands {
+			if d.Cost < best.Cost {
+				best = d
+			}
+		}
+		pick[g] = best
+	}
+
+	st := newLSState(b)
+	cur := b.evalSelection(st, order, pick, nil)
+	if math.IsInf(cur, 1) {
+		return nil
+	}
+	for sweep := 0; sweep < 64; sweep++ {
+		improved := false
+		for _, g := range order {
+			if time.Now().After(deadline) {
+				sweep = 64
+				break
+			}
+			old := pick[g]
+			bestD, bestObj := old, cur
+			for _, d := range b.topGroups[g.query][g.start] {
+				if d == old {
+					continue
+				}
+				pick[g] = d
+				if obj := b.evalSelection(st, order, pick, nil); obj < bestObj-1e-9 {
+					bestD, bestObj = d, obj
+				}
+			}
+			pick[g] = bestD
+			if bestD != old {
+				cur = bestObj
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	vals := make([]float64, b.model.NumVars())
+	if obj := b.evalSelection(st, order, pick, vals); math.IsInf(obj, 1) {
+		return nil
+	}
+	return vals
+}
+
+// evalSelection computes the exact ILP objective of a full top-level
+// selection: the union of the picks' steps is paid once, feeding orders
+// for every used MIR are chosen greedily by marginal cost (closing over
+// MIRs used by feeds), and partition commitments must be consistent
+// unless NoPartitionConsistency. Returns +Inf when the selection cannot
+// be completed feasibly. When vals is non-nil the full ILP assignment is
+// written into it (used once, for the final selection).
+func (b *builder) evalSelection(st *lsState, order []groupPick, pick map[groupPick]*DecoratedOrder, vals []float64) float64 {
+	st.reset()
+	var zCommit map[string]string
+	if !b.opts.NoPartitionConsistency {
+		zCommit = map[string]string{}
+	}
+	total := 0.0
+	var neededMIRs map[string]bool
+
+	compatible := func(d *DecoratedOrder) bool {
+		if zCommit == nil {
+			return true
+		}
+		for i, e := range d.Elems {
+			if i == 0 || e.Partition == (query.Attr{}) {
+				continue
+			}
+			if a, ok := zCommit[e.MIR.Key()]; ok && a != e.Partition.String() {
+				return false
+			}
+		}
+		return true
+	}
+	commit := func(d *DecoratedOrder) {
+		idxs, costs := st.yIdxs[d], st.yCosts[d]
+		for i, y := range idxs {
+			if !st.paid[y] {
+				st.paid[y] = true
+				st.touched = append(st.touched, y)
+				total += costs[i]
+				if vals != nil {
+					vals[y] = 1
+				}
+			}
+		}
+		if vals != nil {
+			vals[b.xVar[d.Key()]] = 1
+		}
+		for i, e := range d.Elems {
+			if i > 0 && !e.MIR.IsBase() {
+				if neededMIRs == nil {
+					neededMIRs = map[string]bool{}
+				}
+				neededMIRs[e.MIR.Key()] = true
+			}
+			if zCommit == nil || i == 0 || e.Partition == (query.Attr{}) {
+				continue
+			}
+			if _, ok := zCommit[e.MIR.Key()]; !ok {
+				zCommit[e.MIR.Key()] = e.Partition.String()
+				if vals != nil {
+					vals[b.zVar[e.MIR.Key()][e.Partition.String()]] = 1
+				}
+			}
+		}
+	}
+
+	for _, g := range order {
+		d := pick[g]
+		if d == nil || !compatible(d) {
+			return math.Inf(1)
+		}
+		commit(d)
+	}
+
+	// Feeding closure: cheapest-marginal compatible candidate per
+	// (MIR, start) group.
+	if neededMIRs == nil {
+		return total
+	}
+	done := map[string]bool{}
+	for {
+		var pending []string
+		for k := range neededMIRs {
+			if !done[k] {
+				pending = append(pending, k)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		sort.Strings(pending)
+		for _, k := range pending {
+			done[k] = true
+			group := b.feedGroups[k]
+			for _, s := range sortedKeys(group) {
+				var best *DecoratedOrder
+				bestM := math.Inf(1)
+				for _, d := range group[s] {
+					if !compatible(d) {
+						continue
+					}
+					m := 0.0
+					idxs, costs := st.yIdxs[d], st.yCosts[d]
+					for i, y := range idxs {
+						if !st.paid[y] {
+							m += costs[i]
+						}
+					}
+					if m < bestM {
+						best, bestM = d, m
+					}
+				}
+				if best == nil {
+					return math.Inf(1)
+				}
+				commit(best)
+			}
+		}
+	}
+	return total
+}
+
+// warmStartFromIndividualPlans solves each query in isolation and maps
+// the union of the per-query selections onto this builder's variables.
+// Decorated-order keys are canonical, so a single query's selections are
+// a subset of the joint candidate space. The union's objective is at
+// most the summed individual optima (shared steps only collapse), which
+// pins the MQO incumbent to the Individual baseline from the start.
+func (b *builder) warmStartFromIndividualPlans() []float64 {
+	if len(b.queries) < 2 {
+		return nil
+	}
+	opts := b.opts
+	opts.MIREligible = b.opts.MIREligible
+	plans, err := NewOptimizer(opts).OptimizeIndividually(b.queries, b.rawEst)
+	if err != nil {
+		return nil
+	}
+	vals := make([]float64, b.model.NumVars())
+	for _, p := range plans {
+		for _, d := range p.Selected {
+			x, ok := b.xVar[d.Key()]
+			if !ok {
+				return nil // candidate capped away in the joint model
+			}
+			vals[x] = 1
+			for _, s := range d.Steps {
+				y, ok := b.yVar[s.Key]
+				if !ok {
+					return nil
+				}
+				vals[y] = 1
+			}
+			if b.opts.NoPartitionConsistency {
+				continue
+			}
+			for i, e := range d.Elems {
+				if i == 0 || e.Partition == (query.Attr{}) {
+					continue
+				}
+				z := b.zVar[e.MIR.Key()][e.Partition.String()]
+				vals[z] = 1
+			}
+		}
+	}
+	// Cross-query partition conflicts make the union infeasible in the
+	// strengthened formulation; Feasible rejects it then.
+	if b.model.Feasible(vals, 1e-5) != nil {
+		return nil
+	}
+	return vals
+}
+
+// warmStartWith builds one greedy selection; useMarginal chooses between
+// marginal-cost and absolute-cost candidate ranking.
+func (b *builder) warmStartWith(useMarginal bool) []float64 {
+	vals := make([]float64, b.model.NumVars())
+	paidY := map[string]bool{}
+	zCommit := map[string]string{} // store MIR key -> committed attr
+
+	compatible := func(d *DecoratedOrder) bool {
+		if b.opts.NoPartitionConsistency {
+			return true
+		}
+		for i, e := range d.Elems {
+			if i == 0 || e.Partition == (query.Attr{}) {
+				continue
+			}
+			if a, ok := zCommit[e.MIR.Key()]; ok && a != e.Partition.String() {
+				return false
+			}
+		}
+		return true
+	}
+	marginal := func(d *DecoratedOrder) float64 {
+		m := 0.0
+		for _, s := range d.Steps {
+			if !paidY[s.Key] {
+				m += s.Cost
+			}
+		}
+		return m
+	}
+	neededMIRs := map[string]bool{}
+	commit := func(d *DecoratedOrder) {
+		vals[b.xVar[d.Key()]] = 1
+		for _, s := range d.Steps {
+			if !paidY[s.Key] {
+				paidY[s.Key] = true
+				vals[b.yVar[s.Key]] = 1
+			}
+		}
+		for i, e := range d.Elems {
+			if i > 0 && !e.MIR.IsBase() {
+				neededMIRs[e.MIR.Key()] = true
+			}
+			if i == 0 || e.Partition == (query.Attr{}) || b.opts.NoPartitionConsistency {
+				continue
+			}
+			if _, ok := zCommit[e.MIR.Key()]; !ok {
+				zCommit[e.MIR.Key()] = e.Partition.String()
+				vals[b.zVar[e.MIR.Key()][e.Partition.String()]] = 1
+			}
+		}
+	}
+	pick := func(cands []*DecoratedOrder) *DecoratedOrder {
+		var best *DecoratedOrder
+		bestCost := math.Inf(1)
+		for _, d := range cands {
+			if !compatible(d) {
+				continue
+			}
+			m := d.Cost
+			if useMarginal {
+				m = marginal(d)
+			}
+			if m < bestCost {
+				best, bestCost = d, m
+			}
+		}
+		return best
+	}
+
+	for _, q := range b.queries {
+		group := b.topGroups[q.Name]
+		for _, s := range sortedKeys(group) {
+			d := pick(group[s])
+			if d == nil {
+				return nil // no z-compatible candidate (capped groups)
+			}
+			commit(d)
+		}
+	}
+	// Feeding closure.
+	done := map[string]bool{}
+	for {
+		var pending []string
+		for k := range neededMIRs {
+			if !done[k] {
+				pending = append(pending, k)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		sort.Strings(pending)
+		for _, k := range pending {
+			done[k] = true
+			group := b.feedGroups[k]
+			for _, s := range sortedKeys(group) {
+				d := pick(group[s])
+				if d == nil {
+					return nil
+				}
+				commit(d)
+			}
+		}
+	}
+
+	if b.model.Feasible(vals, 1e-5) != nil {
+		return nil
+	}
+	return vals
+}

@@ -1,0 +1,169 @@
+// Package cost implements the paper's probe-cost model (Eq. 1): the
+// number of tuples sent between stores per time unit for executing a
+// probe order, under the independence assumption for intermediate-result
+// cardinalities.
+//
+//	PCost(Q) = Σ_i Σ_j |⋈_{k≤j} S_{σi(k)}| · (1/j) · χ(σi(j+1))
+//
+// where χ is 1 when the probing tuple can compute the target store's
+// partitioning value and the store's parallelism otherwise (the tuple must
+// be broadcast to every task, illustration 7 in Fig. 2 of the paper).
+package cost
+
+import (
+	"clash/internal/query"
+	"clash/internal/stats"
+)
+
+// Target describes one element of a probe order as the cost model sees
+// it: the set of relations materialized in the targeted store, the store's
+// partitioning attribute (zero Attr means unpartitioned: probes always
+// broadcast), and its parallelism.
+type Target struct {
+	Rels        map[string]bool
+	Partition   query.Attr
+	Parallelism int
+}
+
+// Estimator derives cardinalities and probe costs from data
+// characteristics. The zero value is unusable; construct with New.
+type Estimator struct {
+	est   *stats.Estimates
+	preds []query.Predicate
+}
+
+// New builds an estimator for the given estimates. queryPreds should
+// contain the predicates of all queries under optimization; routing
+// decisions (χ) restrict them per step to the predicates actually
+// established on the partial result.
+func New(est *stats.Estimates, queryPreds []query.Predicate) *Estimator {
+	return &Estimator{est: est, preds: queryPreds}
+}
+
+// Estimates exposes the underlying snapshot (read-only use).
+func (e *Estimator) Estimates() *stats.Estimates { return e.est }
+
+// JoinCardinality estimates the per-time-unit size of the join over the
+// given relation set: the product of arrival rates times the selectivity
+// of every predicate whose both sides fall inside the set.
+func (e *Estimator) JoinCardinality(rels map[string]bool, preds []query.Predicate) float64 {
+	card := 1.0
+	for r := range rels {
+		card *= e.est.Rate(r)
+	}
+	seen := map[string]bool{}
+	for _, p := range preds {
+		if rels[p.Left.Rel] && rels[p.Right.Rel] && !seen[p.String()] {
+			seen[p.String()] = true
+			card *= e.est.Selectivity(p)
+		}
+	}
+	return card
+}
+
+// Knows reports whether a tuple covering the prefix relations can
+// compute the value of the target partitioning attribute *soundly*: the
+// attribute belongs to a prefix relation, or an equality chain links a
+// prefix attribute to it using only predicates already established —
+// predicates connecting the prefix to the target (this probe applies
+// them) and predicates internal to the target (every stored tuple
+// satisfies them). Chains through relations outside prefix ∪ target
+// must not transfer the value: their predicates have not been applied
+// to the partial result, so equality is not guaranteed. (This matches
+// the compiler's per-emission RouteBy computation; using global
+// equivalence classes here would price transfers as keyed that the
+// runtime can only broadcast.)
+func (e *Estimator) Knows(prefix map[string]bool, target Target) bool {
+	part := target.Partition
+	if part == (query.Attr{}) {
+		return false
+	}
+	if prefix[part.Rel] {
+		return true
+	}
+	restricted := make([]query.Predicate, 0, len(e.preds))
+	for _, p := range e.preds {
+		l, r := p.Left.Rel, p.Right.Rel
+		crossing := (prefix[l] && target.Rels[r]) || (target.Rels[l] && prefix[r])
+		internal := target.Rels[l] && target.Rels[r]
+		if crossing || internal {
+			restricted = append(restricted, p)
+		}
+	}
+	classes := query.AttrClasses(restricted)
+	for _, p := range restricted {
+		for _, a := range [2]query.Attr{p.Left, p.Right} {
+			if prefix[a.Rel] && query.SameClass(classes, a, part) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Chi returns the broadcast factor χ for probing the target store with a
+// tuple covering the prefix relations: 1 when the partitioning value is
+// known, the store's parallelism otherwise.
+func (e *Estimator) Chi(prefix map[string]bool, target Target) float64 {
+	par := target.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if e.Knows(prefix, target) {
+		return 1
+	}
+	return float64(par)
+}
+
+// StepCost estimates the cost of step j of a probe order: the prefix
+// (the first j elements) sends its partial join result to the store of
+// element j+1. preds are the predicates of the enclosing query.
+//
+// The 1/j factor reflects that the arriving tuple joins only with tuples
+// that arrived earlier, so each probe order computes a 1/j fraction of
+// the symmetric j-way intermediate result (Sec. III of the paper).
+func (e *Estimator) StepCost(prefix []Target, next Target, preds []query.Predicate) float64 {
+	rels := unionRels(prefix)
+	j := len(prefix)
+	if j < 1 {
+		return 0
+	}
+	card := e.JoinCardinality(rels, preds)
+	return card / float64(j) * e.Chi(rels, next)
+}
+
+// ProbeOrderCost sums the step costs of a full probe order
+// ⟨elements[0], elements[1], …⟩ per Eq. 1's inner sum.
+func (e *Estimator) ProbeOrderCost(elements []Target, preds []query.Predicate) float64 {
+	total := 0.0
+	for j := 1; j < len(elements); j++ {
+		total += e.StepCost(elements[:j], elements[j], preds)
+	}
+	return total
+}
+
+// QueryCost evaluates Eq. 1 for a query: the sum of the probe-order costs
+// over one probe order per starting relation. orders maps each starting
+// relation to its probe order.
+func (e *Estimator) QueryCost(orders map[string][]Target, preds []query.Predicate) float64 {
+	total := 0.0
+	for _, o := range orders {
+		total += e.ProbeOrderCost(o, preds)
+	}
+	return total
+}
+
+func unionRels(ts []Target) map[string]bool {
+	u := map[string]bool{}
+	for _, t := range ts {
+		for r := range t.Rels {
+			u[r] = true
+		}
+	}
+	return u
+}
+
+// RelTarget is a convenience constructor for a single-relation target.
+func RelTarget(rel string, part query.Attr, parallelism int) Target {
+	return Target{Rels: map[string]bool{rel: true}, Partition: part, Parallelism: parallelism}
+}

@@ -1,0 +1,219 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"clash/internal/query"
+	"clash/internal/stats"
+)
+
+// paperEstimates reproduces the Sec. V-2 worked example: all relations
+// stream at 100 tuples per time unit; S⋈T produces 150 intermediate
+// results, all other joins produce 100.
+func paperEstimates(t *testing.T) (*Estimator, *query.Query, *query.Query) {
+	t.Helper()
+	q1 := query.MustParse("q1: R(a) S(a,b) T(b)")
+	q2 := query.MustParse("q2: S(b2) T(b2,c) U(c)")
+	// Rename: the paper's second example query joins S–T on b and T–U on
+	// c; express S–T with the same predicate as in q1 so the shared step
+	// is literally shared.
+	q2 = query.MustParse("q2: S(b) T(b,c) U(c)")
+	e := stats.NewEstimates(0.01)
+	for _, r := range []string{"R", "S", "T", "U"} {
+		e.SetRate(r, 100)
+	}
+	st := query.Predicate{Left: query.Attr{Rel: "S", Name: "b"}, Right: query.Attr{Rel: "T", Name: "b"}}
+	e.SetSelectivity(st, 0.015) // 100*100*0.015 = 150
+	var preds []query.Predicate
+	preds = append(preds, q1.Preds...)
+	preds = append(preds, q2.Preds...)
+	return New(e, preds), q1, q2
+}
+
+func tgt(rel string) Target { return RelTarget(rel, query.Attr{}, 1) }
+
+func TestJoinCardinalityPaperNumbers(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	rs := map[string]bool{"R": true, "S": true}
+	if got := est.JoinCardinality(rs, q1.Preds); got != 100 {
+		t.Errorf("|R⋈S| = %g, want 100", got)
+	}
+	st := map[string]bool{"S": true, "T": true}
+	if got := est.JoinCardinality(st, q1.Preds); got != 150 {
+		t.Errorf("|S⋈T| = %g, want 150", got)
+	}
+	single := map[string]bool{"S": true}
+	if got := est.JoinCardinality(single, q1.Preds); got != 100 {
+		t.Errorf("|S| = %g, want rate 100", got)
+	}
+	full := map[string]bool{"R": true, "S": true, "T": true}
+	// 100^3 * 0.01 * 0.015 = 150.
+	if got := est.JoinCardinality(full, q1.Preds); math.Abs(got-150) > 1e-9 {
+		t.Errorf("|R⋈S⋈T| = %g, want 150", got)
+	}
+}
+
+func TestProbeOrderCostPaperExample(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	// ⟨S,R,T⟩: 100 (S→R) + 100/2 (RS→T) = 150.
+	srt := est.ProbeOrderCost([]Target{tgt("S"), tgt("R"), tgt("T")}, q1.Preds)
+	if srt != 150 {
+		t.Errorf("PCost⟨S,R,T⟩ = %g, want 150", srt)
+	}
+	// ⟨S,T,R⟩: 100 (S→T) + 150/2 (ST→R) = 175.
+	str := est.ProbeOrderCost([]Target{tgt("S"), tgt("T"), tgt("R")}, q1.Preds)
+	if str != 175 {
+		t.Errorf("PCost⟨S,T,R⟩ = %g, want 175", str)
+	}
+}
+
+func TestStepCostComponents(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	// First step: |S| * 1/1 * χ=1 = 100.
+	if got := est.StepCost([]Target{tgt("S")}, tgt("R"), q1.Preds); got != 100 {
+		t.Errorf("step1 = %g, want 100", got)
+	}
+	// Second step: |S⋈T|/2 = 75.
+	if got := est.StepCost([]Target{tgt("S"), tgt("T")}, tgt("R"), q1.Preds); got != 75 {
+		t.Errorf("step2 = %g, want 75", got)
+	}
+	// Empty prefix is free.
+	if got := est.StepCost(nil, tgt("R"), q1.Preds); got != 0 {
+		t.Errorf("empty prefix = %g", got)
+	}
+}
+
+func TestChiBroadcast(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	// T-store partitioned by T.b, parallelism 5.
+	tb := Target{Rels: map[string]bool{"T": true}, Partition: query.Attr{Rel: "T", Name: "b"}, Parallelism: 5}
+	// A tuple covering {R} does not know b (R has only a): broadcast.
+	if got := est.Chi(map[string]bool{"R": true}, tb); got != 5 {
+		t.Errorf("χ(R→T[b]) = %g, want 5 (broadcast)", got)
+	}
+	// A tuple covering {R,S} knows S.b = T.b: routed.
+	if got := est.Chi(map[string]bool{"R": true, "S": true}, tb); got != 1 {
+		t.Errorf("χ(RS→T[b]) = %g, want 1", got)
+	}
+	// Unpartitioned stores always broadcast.
+	un := Target{Rels: map[string]bool{"T": true}, Parallelism: 4}
+	if got := est.Chi(map[string]bool{"S": true}, un); got != 4 {
+		t.Errorf("χ(unpartitioned) = %g, want 4", got)
+	}
+	// Parallelism 1 broadcast degenerates to 1.
+	solo := Target{Rels: map[string]bool{"T": true}, Parallelism: 1}
+	if got := est.Chi(map[string]bool{"R": true}, solo); got != 1 {
+		t.Errorf("χ(parallelism 1) = %g, want 1", got)
+	}
+	_ = q1
+}
+
+func TestChiTransitiveRouting(t *testing.T) {
+	// R.a=S.a and S.a=T.x: a tuple covering only {R} must NOT be priced
+	// as routable to a T-store partitioned by T.x — the chain runs
+	// through S, which the partial result has not joined, so R.a=T.x is
+	// not established (and CLASH never generates this cross-product
+	// probe anyway). Once S is in the prefix, S.a=T.x routes directly.
+	preds := []query.Predicate{
+		{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "S", Name: "a"}},
+		{Left: query.Attr{Rel: "S", Name: "a"}, Right: query.Attr{Rel: "T", Name: "x"}},
+	}
+	e := stats.NewEstimates(0.01)
+	est := New(e, preds)
+	tx := Target{Rels: map[string]bool{"T": true}, Partition: query.Attr{Rel: "T", Name: "x"}, Parallelism: 8}
+	if got := est.Chi(map[string]bool{"R": true}, tx); got != 8 {
+		t.Errorf("unapplied chain: χ = %g, want 8 (broadcast)", got)
+	}
+	if got := est.Chi(map[string]bool{"R": true, "S": true}, tx); got != 1 {
+		t.Errorf("applied chain: χ = %g, want 1", got)
+	}
+}
+
+func TestStepCostBroadcastMultiplies(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	tb := Target{Rels: map[string]bool{"T": true}, Partition: query.Attr{Rel: "T", Name: "b"}, Parallelism: 5}
+	// R probing T[b] directly: broadcast ×5 on top of |R| = 100.
+	got := est.StepCost([]Target{tgt("R")}, tb, q1.Preds)
+	if got != 500 {
+		t.Errorf("broadcast step = %g, want 500", got)
+	}
+}
+
+func TestMIRTargetCardinality(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	// Probe order ⟨R, ST⟩: one step, |R| * χ. The ST store holds S⋈T.
+	stStore := Target{Rels: map[string]bool{"S": true, "T": true}, Partition: query.Attr{Rel: "S", Name: "a"}, Parallelism: 1}
+	got := est.ProbeOrderCost([]Target{tgt("R"), stStore}, q1.Preds)
+	if got != 100 {
+		t.Errorf("PCost⟨R,ST⟩ = %g, want 100", got)
+	}
+	// Prefix {R, ST} covers all three relations; a further step from the
+	// combined prefix uses card(R⋈S⋈T) = 150 at j=2 → 75.
+	u := tgt("U")
+	all := []Target{tgt("R"), stStore, u}
+	// Note: no predicate links U here, so the cross product inflates by
+	// rate(U)=100; this path only checks the j divisor handling.
+	got = est.StepCost(all[:2], u, q1.Preds)
+	if math.Abs(got-75) > 1e-9 {
+		t.Errorf("MIR prefix step = %g, want 150/2", got)
+	}
+}
+
+func TestQueryCostSumsStartingRelations(t *testing.T) {
+	est, q1, _ := paperEstimates(t)
+	orders := map[string][]Target{
+		"R": {tgt("R"), tgt("S"), tgt("T")},
+		"S": {tgt("S"), tgt("R"), tgt("T")},
+		"T": {tgt("T"), tgt("S"), tgt("R")},
+	}
+	want := est.ProbeOrderCost(orders["R"], q1.Preds) +
+		est.ProbeOrderCost(orders["S"], q1.Preds) +
+		est.ProbeOrderCost(orders["T"], q1.Preds)
+	if got := est.QueryCost(orders, q1.Preds); got != want {
+		t.Errorf("QueryCost = %g, want %g", got, want)
+	}
+}
+
+func TestKnowsZeroAttr(t *testing.T) {
+	est, _, _ := paperEstimates(t)
+	un := Target{Rels: map[string]bool{"S": true}}
+	if est.Knows(map[string]bool{"R": true}, un) {
+		t.Error("zero partition attribute must never be known")
+	}
+}
+
+func TestKnowsRejectsUnappliedChains(t *testing.T) {
+	// q: R.a=S.a and S.a=T.a. A partial result over {R} probing T[T.a]
+	// has NOT established R.a=T.a: the chain runs through S, which is
+	// not joined yet, so the value must not be considered known. With
+	// S in the prefix the chain is applied and the value is known.
+	preds := []query.Predicate{
+		{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "S", Name: "a"}},
+		{Left: query.Attr{Rel: "S", Name: "a"}, Right: query.Attr{Rel: "T", Name: "a"}},
+	}
+	e := New(stats.NewEstimates(0.01), preds)
+	tT := Target{Rels: map[string]bool{"T": true}, Partition: query.Attr{Rel: "T", Name: "a"}, Parallelism: 4}
+	if e.Knows(map[string]bool{"R": true}, tT) {
+		t.Error("value considered known through an unapplied chain")
+	}
+	if !e.Knows(map[string]bool{"R": true, "S": true}, tT) {
+		t.Error("value not known although S.a=T.a connects the prefix directly")
+	}
+}
+
+func TestKnowsIgnoresForeignQueryEqualities(t *testing.T) {
+	// Another query's predicate R.b=T.x must not let an R-probe route
+	// into T[T.x] for a query that only equates R.a=T.y: the conflation
+	// is exactly the routing bug global classes cause.
+	preds := []query.Predicate{
+		{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "T", Name: "y"}},
+		{Left: query.Attr{Rel: "R", Name: "b"}, Right: query.Attr{Rel: "U", Name: "k"}},
+		{Left: query.Attr{Rel: "U", Name: "k"}, Right: query.Attr{Rel: "T", Name: "x"}},
+	}
+	e := New(stats.NewEstimates(0.01), preds)
+	tT := Target{Rels: map[string]bool{"T": true}, Partition: query.Attr{Rel: "T", Name: "x"}, Parallelism: 4}
+	if e.Knows(map[string]bool{"R": true}, tT) {
+		t.Error("R probe considered T.x known via a chain through unjoined U")
+	}
+}

@@ -1,0 +1,792 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Options control the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes (0 = default 5e6).
+	MaxNodes int
+	// MaxLPIter bounds simplex iterations per LP solve (0 = default).
+	MaxLPIter int
+	// LPCellLimit disables LP relaxations when rows*cols exceeds it
+	// (0 = default 1<<21). Propagation-only search is used above the
+	// limit; the solver remains exact, only bounds get weaker.
+	LPCellLimit int
+	// TimeLimit aborts the search returning the incumbent (0 = none).
+	TimeLimit time.Duration
+	// Tol is the integrality/feasibility tolerance (0 = 1e-6).
+	Tol float64
+	// WarmStart, when it has one value per variable and is feasible,
+	// seeds the incumbent so the search starts with a strong bound.
+	WarmStart []float64
+}
+
+func (o *Options) fill() {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 5_000_000
+	}
+	if o.MaxLPIter == 0 {
+		o.MaxLPIter = 20_000
+	}
+	if o.LPCellLimit == 0 {
+		o.LPCellLimit = 1 << 21
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+}
+
+// Solve minimizes the model. For pure-binary feasible models it returns a
+// provably optimal solution unless a node/time limit interrupts, in which
+// case Status is Limit and the best incumbent (if any) is returned.
+//
+// Models whose constraint graph decomposes into independent connected
+// components are solved component-wise (a presolve step that makes
+// workloads of mostly-unrelated queries, e.g. Fig. 9c/9d, near-linear).
+func (m *Model) Solve(opt *Options) *Solution {
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	o.fill()
+	if comps := components(m); len(comps) > 1 {
+		return solveByComponents(m, comps, o)
+	}
+	s := &searcher{m: m, o: o}
+	return s.solve()
+}
+
+// components computes connected components of the variable-constraint
+// graph; each is a list of variable indices. Variables without any
+// constraint form singleton components.
+func components(m *Model) [][]int {
+	n := len(m.Vars)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, c := range m.Cons {
+		if len(c.Terms) == 0 {
+			continue
+		}
+		r0 := find(c.Terms[0].Var)
+		for _, t := range c.Terms[1:] {
+			r := find(t.Var)
+			if r != r0 {
+				parent[r] = r0
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, vs := range byRoot {
+		out = append(out, vs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// solveByComponents solves each component independently and stitches the
+// solutions together. Time and node budgets are shared across components.
+func solveByComponents(m *Model, comps [][]int, o Options) *Solution {
+	total := &Solution{Values: make([]float64, len(m.Vars))}
+	deadline := time.Time{}
+	if o.TimeLimit > 0 {
+		deadline = time.Now().Add(o.TimeLimit)
+	}
+	// Pre-bucket constraints by their first variable's component.
+	compOf := make([]int, len(m.Vars))
+	for ci, vs := range comps {
+		for _, v := range vs {
+			compOf[v] = ci
+		}
+	}
+	consOf := make([][]Constraint, len(comps))
+	for _, c := range m.Cons {
+		if len(c.Terms) == 0 {
+			continue
+		}
+		ci := compOf[c.Terms[0].Var]
+		consOf[ci] = append(consOf[ci], c)
+	}
+	for ci, vs := range comps {
+		sub := NewModel()
+		remap := make(map[int]int, len(vs))
+		for _, v := range vs {
+			remap[v] = sub.AddVar(m.Vars[v])
+		}
+		for _, c := range consOf[ci] {
+			terms := make([]Term, len(c.Terms))
+			for i, t := range c.Terms {
+				terms[i] = T(remap[t.Var], t.Coeff)
+			}
+			sub.AddConstraint(c.Name, c.Rel, c.RHS, terms...)
+		}
+		so := o
+		if !deadline.IsZero() {
+			so.TimeLimit = time.Until(deadline)
+			if so.TimeLimit <= 0 {
+				so.TimeLimit = time.Nanosecond
+			}
+		}
+		if len(o.WarmStart) == len(m.Vars) {
+			ws := make([]float64, len(vs))
+			for _, v := range vs {
+				ws[remap[v]] = o.WarmStart[v]
+			}
+			so.WarmStart = ws
+		}
+		s := &searcher{m: sub, o: so}
+		res := s.solve()
+		total.Nodes += res.Nodes
+		total.Iterations += res.Iterations
+		switch res.Status {
+		case Infeasible, Unbounded:
+			total.Status = res.Status
+			total.Values = nil
+			return total
+		case Limit:
+			total.Status = Limit
+		}
+		if res.Values == nil {
+			total.Values = nil
+			return total
+		}
+		for _, v := range vs {
+			total.Values[v] = res.Values[remap[v]]
+		}
+		total.Objective += res.Objective
+	}
+	return total
+}
+
+type searcher struct {
+	m *Model
+	o Options
+
+	lo, hi []float64
+	trail  []trailEntry
+
+	// varCons[v] lists the constraint indices touching variable v.
+	varCons [][]int
+
+	best    []float64
+	bestObj float64
+	nodes   int
+	lpIters int
+	useLP   bool
+	st      *structure
+	deadln  time.Time
+	hitLim  bool
+
+	// reusable propagation buffers (hot path)
+	pendingBuf []int
+	inQueue    []bool
+	depth      int
+}
+
+type trailEntry struct {
+	v      int
+	lo, hi float64
+}
+
+func (s *searcher) solve() *Solution {
+	m := s.m
+	n := len(m.Vars)
+	s.lo = make([]float64, n)
+	s.hi = make([]float64, n)
+	for i, v := range m.Vars {
+		s.lo[i], s.hi[i] = v.Lower, v.Upper
+	}
+	s.varCons = make([][]int, n)
+	for ci, c := range m.Cons {
+		for _, t := range c.Terms {
+			s.varCons[t.Var] = append(s.varCons[t.Var], ci)
+		}
+	}
+	s.bestObj = math.Inf(1)
+	s.st = analyze(m)
+	cells := (len(m.Cons) + n) * n
+	s.useLP = cells <= s.o.LPCellLimit && cells > 0
+	if s.o.TimeLimit > 0 {
+		s.deadln = time.Now().Add(s.o.TimeLimit)
+	}
+
+	s.pendingBuf = make([]int, 0, len(m.Cons))
+	s.inQueue = make([]bool, len(m.Cons))
+
+	if len(s.o.WarmStart) == n && m.Feasible(s.o.WarmStart, s.o.Tol*10) == nil {
+		s.offer(s.o.WarmStart, m.ObjectiveOf(s.o.WarmStart))
+	}
+
+	// Root propagation: catches trivially infeasible models.
+	if !s.propagate(-1) {
+		return &Solution{Status: Infeasible, Nodes: 0, Iterations: s.lpIters}
+	}
+	// Unbounded detection: pure-binary models are never unbounded; a
+	// continuous variable with infinite bound and helpful objective is.
+	for i, v := range m.Vars {
+		if !v.Integer && (math.IsInf(s.lo[i], -1) && v.Obj > 0 || math.IsInf(s.hi[i], 1) && v.Obj < 0) {
+			if r := solveLP(m, s.lo, s.hi, s.o.MaxLPIter); r.status == Unbounded {
+				return &Solution{Status: Unbounded, Iterations: s.lpIters}
+			}
+			break
+		}
+	}
+
+	s.dfs(-1)
+
+	sol := &Solution{Nodes: s.nodes, Iterations: s.lpIters}
+	switch {
+	case s.best == nil && s.hitLim:
+		sol.Status = Limit
+	case s.best == nil:
+		sol.Status = Infeasible
+	case s.hitLim:
+		sol.Status = Limit
+		sol.Objective = s.bestObj
+		sol.Values = s.best
+	default:
+		sol.Status = Optimal
+		sol.Objective = s.bestObj
+		sol.Values = s.best
+	}
+	return sol
+}
+
+// dfs explores the current node: propagate, bound, find or branch.
+// branched is the variable fixed by the parent (-1 at the root).
+func (s *searcher) dfs(branched int) {
+	if s.hitLim {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.o.MaxNodes || (!s.deadln.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadln)) {
+		s.hitLim = true
+		return
+	}
+
+	mark := len(s.trail)
+	defer s.undo(mark)
+
+	if !s.propagate(branched) {
+		return
+	}
+	// Group-implication inference: a variable forced by every still-
+	// available candidate of a choice group must be 1 regardless of the
+	// choice. Alternate with linear propagation to a fixpoint.
+	for {
+		fixed, ok := s.groupImplications()
+		if !ok {
+			return
+		}
+		if len(fixed) == 0 {
+			break
+		}
+		for _, v := range fixed {
+			if !s.propagate(v) {
+				return
+			}
+		}
+	}
+	lb := s.boxBound() + s.st.groupBound(s.m, s.lo, s.hi)
+	if lb >= s.bestObj-s.o.Tol {
+		return
+	}
+
+	branchVar := -1
+	var lpVals []float64
+	// LP relaxations only near the root: they give strong bounds and
+	// branching hints where they matter, while deep nodes rely on the
+	// much cheaper propagation machinery. The pivot budget shrinks with
+	// the tableau size so a single LP can never eat the time budget.
+	if s.useLP && s.depth <= 2 {
+		r := solveLP(s.m, s.lo, s.hi, s.lpIterBudget())
+		s.lpIters += r.iters
+		switch r.status {
+		case Infeasible:
+			return
+		case Optimal:
+			if r.obj >= s.bestObj-s.o.Tol {
+				return
+			}
+			lpVals = r.x
+			branchVar = s.mostFractional(r.x)
+			if branchVar < 0 {
+				// LP solution is integral: incumbent.
+				s.offer(r.x, r.obj)
+				return
+			}
+		}
+	}
+	if branchVar < 0 {
+		branchVar = s.pickBranchVar()
+	}
+	if branchVar < 0 {
+		// All integer variables fixed.
+		s.finishLeaf()
+		return
+	}
+
+	// Branch order: follow the LP hint when present, else try 1 first
+	// (selection rows need one chosen candidate; diving on 1 finds
+	// incumbents fast for the CLASH structure).
+	first := 1.0
+	if lpVals != nil && lpVals[branchVar] < 0.5 {
+		first = 0
+	}
+	for _, val := range []float64{first, 1 - first} {
+		m2 := len(s.trail)
+		s.fix(branchVar, val)
+		s.depth++
+		s.dfs(branchVar)
+		s.depth--
+		s.undo(m2)
+		if s.hitLim {
+			return
+		}
+	}
+}
+
+// finishLeaf handles a node where every integer variable is fixed:
+// evaluate directly for pure-integer models, or optimize the continuous
+// remainder by LP.
+func (s *searcher) finishLeaf() {
+	n := len(s.m.Vars)
+	hasCont := false
+	for i, v := range s.m.Vars {
+		if !v.Integer && s.hi[i]-s.lo[i] > s.o.Tol {
+			hasCont = true
+			break
+		}
+	}
+	if !hasCont {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = s.lo[i]
+		}
+		if err := s.m.Feasible(x, s.o.Tol*10); err != nil {
+			return
+		}
+		s.offer(x, s.m.ObjectiveOf(x))
+		return
+	}
+	r := solveLP(s.m, s.lo, s.hi, s.lpIterBudget())
+	s.lpIters += r.iters
+	if r.status == Optimal {
+		s.offer(r.x, r.obj)
+	}
+}
+
+func (s *searcher) offer(x []float64, obj float64) {
+	if obj < s.bestObj-s.o.Tol {
+		cp := make([]float64, len(x))
+		copy(cp, x)
+		// Snap integers exactly.
+		for i, v := range s.m.Vars {
+			if v.Integer {
+				cp[i] = math.Round(cp[i])
+			}
+		}
+		s.best = cp
+		s.bestObj = s.m.ObjectiveOf(cp)
+	}
+}
+
+// lpIterBudget caps simplex pivots so one LP costs at most ~2e8 tableau
+// operations regardless of size.
+func (s *searcher) lpIterBudget() int {
+	m := len(s.m.Cons)
+	cols := len(s.m.Vars) + 2*m
+	cells := m * cols
+	if cells <= 0 {
+		return s.o.MaxLPIter
+	}
+	budget := 200_000_000 / cells
+	if budget > s.o.MaxLPIter {
+		budget = s.o.MaxLPIter
+	}
+	if budget < 50 {
+		budget = 50
+	}
+	return budget
+}
+
+// boxBound is the objective lower bound implied by the current bounds:
+// each variable sits at the bound its coefficient prefers.
+func (s *searcher) boxBound() float64 {
+	lb := 0.0
+	for i, v := range s.m.Vars {
+		if v.Obj > 0 {
+			lb += v.Obj * s.lo[i]
+		} else if v.Obj < 0 {
+			lb += v.Obj * s.hi[i]
+		}
+	}
+	return lb
+}
+
+// mostFractional returns the integer variable farthest from integrality
+// in x, or -1 when x is integral.
+func (s *searcher) mostFractional(x []float64) int {
+	best, bestDist := -1, s.o.Tol
+	for i, v := range s.m.Vars {
+		if !v.Integer {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		d := math.Min(f, 1-f)
+		if d > bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return best
+}
+
+// impliedCost is the additional objective a candidate x = 1 forces under
+// the current bounds: the objective of its not-yet-paid forced variables
+// plus its own coefficient. Diving into the cheapest implied candidate
+// makes the first leaf a greedy solution, which prunes well.
+func (s *searcher) impliedCost(x int) float64 {
+	add := s.m.Vars[x].Obj
+	for _, y := range s.st.forces[x] {
+		if s.lo[y] < 0.5 && s.m.Vars[y].Obj > 0 {
+			add += s.m.Vars[y].Obj
+		}
+	}
+	return add
+}
+
+// groupImplications fixes to 1 every variable forced by all available
+// candidates of an undecided choice group. Returns the fixed variables
+// and false when a group has no available candidate left.
+func (s *searcher) groupImplications() (fixed []int, ok bool) {
+	if !s.st.valid {
+		return nil, true
+	}
+	for _, members := range s.st.groups {
+		decided := false
+		var avail []int
+		for _, x := range members {
+			if s.lo[x] > 0.5 {
+				decided = true
+				break
+			}
+			if s.hi[x] > 0.5 {
+				avail = append(avail, x)
+			}
+		}
+		if decided {
+			continue
+		}
+		if len(avail) == 0 {
+			return nil, false
+		}
+		// Intersect the forces of the available candidates.
+		common := map[int]int{}
+		for _, x := range avail {
+			for _, y := range s.st.forces[x] {
+				common[y]++
+			}
+		}
+		for y, n := range common {
+			if n == len(avail) && s.lo[y] < 0.5 {
+				if s.hi[y] < 0.5 {
+					return nil, false
+				}
+				s.setLo(y, 1)
+				fixed = append(fixed, y)
+			}
+		}
+	}
+	return fixed, true
+}
+
+// pickBranchVar chooses an unfixed integer variable. Preference: the
+// choice group with the fewest available candidates (most constrained
+// first), picking the candidate with the smallest implied additional
+// cost so diving yields a greedy solution. Models without recognized
+// groups fall back to a constraint scan.
+func (s *searcher) pickBranchVar() int {
+	if s.st.valid {
+		bestFree, bestVar, bestCost := math.MaxInt32, -1, math.Inf(1)
+		for _, members := range s.st.groups {
+			decided := false
+			free := 0
+			cand, candCost := -1, math.Inf(1)
+			for _, x := range members {
+				if s.lo[x] > 0.5 {
+					decided = true
+					break
+				}
+				if s.hi[x] > 0.5 {
+					free++
+					if ic := s.impliedCost(x); ic < candCost {
+						cand, candCost = x, ic
+					}
+				}
+			}
+			if decided || cand < 0 {
+				continue
+			}
+			if free < bestFree || (free == bestFree && candCost < bestCost) {
+				bestFree, bestVar, bestCost = free, cand, candCost
+			}
+		}
+		if bestVar >= 0 {
+			return bestVar
+		}
+	} else if v := s.pickFromEqRows(); v >= 0 {
+		return v
+	}
+	// Fallback: any unfixed integer variable, cheapest implied cost first.
+	best, bo := -1, math.Inf(1)
+	for i, v := range s.m.Vars {
+		if v.Integer && s.hi[i]-s.lo[i] > s.o.Tol {
+			if ic := s.impliedCost(i); ic < bo {
+				best, bo = i, ic
+			}
+		}
+	}
+	return best
+}
+
+// pickFromEqRows is the generic most-constrained-equality heuristic for
+// models without recognized choice groups.
+func (s *searcher) pickFromEqRows() int {
+	bestRowFree := math.MaxInt32
+	bestVar := -1
+	var bestCost float64
+	for _, c := range s.m.Cons {
+		if c.Rel != EQ {
+			continue
+		}
+		free := 0
+		lhsFixed := 0.0
+		cand, candCost := -1, math.Inf(1)
+		for _, t := range c.Terms {
+			if s.hi[t.Var]-s.lo[t.Var] > s.o.Tol {
+				free++
+				if s.m.Vars[t.Var].Integer {
+					if ic := s.impliedCost(t.Var); ic < candCost {
+						cand, candCost = t.Var, ic
+					}
+				}
+			} else {
+				lhsFixed += t.Coeff * s.lo[t.Var]
+			}
+		}
+		if free == 0 || cand < 0 {
+			continue
+		}
+		if math.Abs(lhsFixed-c.RHS) < s.o.Tol && free > 0 {
+			free += 1000
+		}
+		if free < bestRowFree || (free == bestRowFree && candCost < bestCost) {
+			bestRowFree, bestVar, bestCost = free, cand, candCost
+		}
+	}
+	return bestVar
+}
+
+func (s *searcher) fix(v int, val float64) {
+	s.setLo(v, val)
+	s.setHi(v, val)
+}
+
+func (s *searcher) setLo(v int, val float64) {
+	if val > s.lo[v] {
+		s.trail = append(s.trail, trailEntry{v, s.lo[v], s.hi[v]})
+		s.lo[v] = val
+	}
+}
+
+func (s *searcher) setHi(v int, val float64) {
+	if val < s.hi[v] {
+		s.trail = append(s.trail, trailEntry{v, s.lo[v], s.hi[v]})
+		s.hi[v] = val
+	}
+}
+
+func (s *searcher) undo(mark int) {
+	for len(s.trail) > mark {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.lo[e.v], s.hi[e.v] = e.lo, e.hi
+	}
+}
+
+// propagate performs activity-based bound tightening to a fixpoint,
+// seeded from the constraints touching the branched variable (all
+// constraints when branched < 0). Returns false on infeasibility.
+func (s *searcher) propagate(branched int) bool {
+	pending := s.pendingBuf[:0]
+	inQueue := s.inQueue
+	if branched < 0 {
+		for i := range s.m.Cons {
+			pending = append(pending, i)
+			inQueue[i] = true
+		}
+	} else {
+		for _, ci := range s.varCons[branched] {
+			if !inQueue[ci] {
+				inQueue[ci] = true
+				pending = append(pending, ci)
+			}
+		}
+	}
+	ok := true
+	for head := 0; head < len(pending); head++ {
+		ci := pending[head]
+		inQueue[ci] = false
+		c := &s.m.Cons[ci]
+
+		changedVars, good := s.tightenOne(c)
+		if !good {
+			ok = false
+			// Drain the queue flags before returning.
+			for _, rest := range pending[head:] {
+				inQueue[rest] = false
+			}
+			break
+		}
+		for _, v := range changedVars {
+			for _, other := range s.varCons[v] {
+				if !inQueue[other] {
+					inQueue[other] = true
+					pending = append(pending, other)
+				}
+			}
+		}
+	}
+	s.pendingBuf = pending[:0]
+	return ok
+}
+
+// tightenOne applies one constraint's activity bounds. For each sense it
+// derives variable bound updates; integer bounds are rounded.
+func (s *searcher) tightenOne(c *Constraint) (changed []int, ok bool) {
+	// Work with the two one-sided forms: lhs ≤ rhsUp and lhs ≥ rhsLo.
+	up := math.Inf(1)
+	lo := math.Inf(-1)
+	switch c.Rel {
+	case LE:
+		up = c.RHS
+	case GE:
+		lo = c.RHS
+	case EQ:
+		up, lo = c.RHS, c.RHS
+	}
+
+	minAct, maxAct := 0.0, 0.0
+	for _, t := range c.Terms {
+		if t.Coeff > 0 {
+			minAct += t.Coeff * s.lo[t.Var]
+			maxAct += t.Coeff * s.hi[t.Var]
+		} else {
+			minAct += t.Coeff * s.hi[t.Var]
+			maxAct += t.Coeff * s.lo[t.Var]
+		}
+	}
+	tol := s.o.Tol
+	if minAct > up+tol || maxAct < lo-tol {
+		return nil, false
+	}
+
+	for _, t := range c.Terms {
+		v, a := t.Var, t.Coeff
+		isInt := s.m.Vars[v].Integer
+		// Contribution bounds of this term under current bounds.
+		var termMin, termMax float64
+		if a > 0 {
+			termMin, termMax = a*s.lo[v], a*s.hi[v]
+		} else {
+			termMin, termMax = a*s.hi[v], a*s.lo[v]
+		}
+		// Upper side: a*x ≤ up - (minAct - termMin)
+		if !math.IsInf(up, 1) {
+			room := up - (minAct - termMin)
+			if a > 0 {
+				nb := room / a
+				if isInt {
+					nb = math.Floor(nb + tol)
+				}
+				if nb < s.hi[v]-tol {
+					if nb < s.lo[v]-tol {
+						return nil, false
+					}
+					s.setHi(v, nb)
+					changed = append(changed, v)
+				}
+			} else {
+				nb := room / a // negative divisor: lower bound
+				if isInt {
+					nb = math.Ceil(nb - tol)
+				}
+				if nb > s.lo[v]+tol {
+					if nb > s.hi[v]+tol {
+						return nil, false
+					}
+					s.setLo(v, nb)
+					changed = append(changed, v)
+				}
+			}
+		}
+		// Lower side: a*x ≥ lo - (maxAct - termMax)
+		if !math.IsInf(lo, -1) {
+			room := lo - (maxAct - termMax)
+			if a > 0 {
+				nb := room / a
+				if isInt {
+					nb = math.Ceil(nb - tol)
+				}
+				if nb > s.lo[v]+tol {
+					if nb > s.hi[v]+tol {
+						return nil, false
+					}
+					s.setLo(v, nb)
+					changed = append(changed, v)
+				}
+			} else {
+				nb := room / a
+				if isInt {
+					nb = math.Floor(nb + tol)
+				}
+				if nb < s.hi[v]-tol {
+					if nb < s.lo[v]-tol {
+						return nil, false
+					}
+					s.setHi(v, nb)
+					changed = append(changed, v)
+				}
+			}
+		}
+		// Recompute activities incrementally after a change.
+		var newMin, newMax float64
+		if a > 0 {
+			newMin, newMax = a*s.lo[v], a*s.hi[v]
+		} else {
+			newMin, newMax = a*s.hi[v], a*s.lo[v]
+		}
+		minAct += newMin - termMin
+		maxAct += newMax - termMax
+	}
+	return changed, true
+}

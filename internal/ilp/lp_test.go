@@ -1,0 +1,197 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+)
+
+func lpSolve(t *testing.T, m *Model) lpResult {
+	t.Helper()
+	lo := make([]float64, len(m.Vars))
+	hi := make([]float64, len(m.Vars))
+	for i, v := range m.Vars {
+		lo[i], hi[i] = v.Lower, v.Upper
+	}
+	return solveLP(m, lo, hi, 50000)
+}
+
+func TestLPSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6, x,y in [0, 10].
+	// As minimization: min -3x - 2y. Optimum at (4, 0): obj -12.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10, -3)
+	y := m.AddContinuous("y", 0, 10, -2)
+	m.AddConstraint("c1", LE, 4, T(x, 1), T(y, 1))
+	m.AddConstraint("c2", LE, 6, T(x, 1), T(y, 3))
+	r := lpSolve(t, m)
+	if r.status != Optimal {
+		t.Fatalf("status = %v", r.status)
+	}
+	if math.Abs(r.obj-(-12)) > 1e-6 {
+		t.Errorf("obj = %g, want -12 (x=%g y=%g)", r.obj, r.x[x], r.x[y])
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x,y >= 0. Optimum (3,0), obj 3.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 100, 1)
+	y := m.AddContinuous("y", 0, 100, 2)
+	m.AddConstraint("sum", EQ, 3, T(x, 1), T(y, 1))
+	r := lpSolve(t, m)
+	if r.status != Optimal || math.Abs(r.obj-3) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal 3", r.status, r.obj)
+	}
+	if math.Abs(r.x[x]-3) > 1e-6 {
+		t.Errorf("x = %g, want 3", r.x[x])
+	}
+}
+
+func TestLPGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x >= 1. Optimum (4, 0): obj 8.
+	m := NewModel()
+	x := m.AddContinuous("x", 1, 1000, 2)
+	y := m.AddContinuous("y", 0, 1000, 3)
+	m.AddConstraint("cover", GE, 4, T(x, 1), T(y, 1))
+	r := lpSolve(t, m)
+	if r.status != Optimal || math.Abs(r.obj-8) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal 8", r.status, r.obj)
+	}
+}
+
+func TestLPUpperBoundsRespected(t *testing.T) {
+	// min -x - y s.t. x + y <= 10, x <= 2, y <= 3 via variable bounds.
+	// Optimum (2, 3): obj -5. Exercises nonbasic-at-upper handling.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 2, -1)
+	y := m.AddContinuous("y", 0, 3, -1)
+	m.AddConstraint("c", LE, 10, T(x, 1), T(y, 1))
+	r := lpSolve(t, m)
+	if r.status != Optimal || math.Abs(r.obj-(-5)) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal -5", r.status, r.obj)
+	}
+	if math.Abs(r.x[x]-2) > 1e-6 || math.Abs(r.x[y]-3) > 1e-6 {
+		t.Errorf("solution (%g, %g), want (2, 3)", r.x[x], r.x[y])
+	}
+}
+
+func TestLPShiftedLowerBounds(t *testing.T) {
+	// min x + y s.t. x + y >= 5, x in [2, 10], y in [1, 10].
+	// Optimum obj 5 with x+y = 5 (e.g. x=4,y=1 or x=2,y=3).
+	m := NewModel()
+	x := m.AddContinuous("x", 2, 10, 1)
+	y := m.AddContinuous("y", 1, 10, 1)
+	m.AddConstraint("c", GE, 5, T(x, 1), T(y, 1))
+	r := lpSolve(t, m)
+	if r.status != Optimal || math.Abs(r.obj-5) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal 5", r.status, r.obj)
+	}
+	if r.x[x] < 2-1e-9 || r.x[y] < 1-1e-9 {
+		t.Errorf("lower bounds violated: (%g, %g)", r.x[x], r.x[y])
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 1, 1)
+	m.AddConstraint("impossible", GE, 5, T(x, 1))
+	r := lpSolve(t, m)
+	if r.status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.status)
+	}
+}
+
+func TestLPInfeasibleEquality(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 10, 1)
+	y := m.AddContinuous("y", 0, 10, 1)
+	m.AddConstraint("a", EQ, 3, T(x, 1), T(y, 1))
+	m.AddConstraint("b", EQ, 8, T(x, 1), T(y, 1))
+	r := lpSolve(t, m)
+	if r.status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.status)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	// min -x with x unbounded above.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, math.Inf(1), -1)
+	m.AddConstraint("c", GE, 0, T(x, 1))
+	r := lpSolve(t, m)
+	if r.status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.status)
+	}
+}
+
+func TestLPDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's fallback must terminate.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7 (Beale's example)
+	m := NewModel()
+	inf := math.Inf(1)
+	x4 := m.AddContinuous("x4", 0, inf, -0.75)
+	x5 := m.AddContinuous("x5", 0, inf, 150)
+	x6 := m.AddContinuous("x6", 0, inf, -0.02)
+	x7 := m.AddContinuous("x7", 0, inf, 6)
+	m.AddConstraint("r1", LE, 0, T(x4, 0.25), T(x5, -60), T(x6, -0.04), T(x7, 9))
+	m.AddConstraint("r2", LE, 0, T(x4, 0.5), T(x5, -90), T(x6, -0.02), T(x7, 3))
+	m.AddConstraint("r3", LE, 1, T(x6, 1))
+	r := lpSolve(t, m)
+	if r.status != Optimal {
+		t.Fatalf("status = %v, want optimal (Bland should break cycling)", r.status)
+	}
+	if math.Abs(r.obj-(-0.05)) > 1e-6 {
+		t.Errorf("obj = %g, want -0.05", r.obj)
+	}
+}
+
+func TestLPSolutionFeasible(t *testing.T) {
+	// Random-ish medium LP: verify the returned point satisfies the model.
+	m := NewModel()
+	n := 12
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddContinuous("", 0, float64(3+i%5), float64((i*7)%5)-2)
+	}
+	for c := 0; c < 8; c++ {
+		var terms []Term
+		for i := 0; i < n; i++ {
+			if (i+c)%3 == 0 {
+				terms = append(terms, T(vars[i], float64(1+(i+c)%4)))
+			}
+		}
+		m.AddConstraint("", LE, float64(10+c), terms...)
+	}
+	r := lpSolve(t, m)
+	if r.status != Optimal {
+		t.Fatalf("status = %v", r.status)
+	}
+	if err := m.Feasible(r.x, 1e-6); err != nil {
+		t.Errorf("LP solution infeasible: %v", err)
+	}
+	if math.Abs(m.ObjectiveOf(r.x)-r.obj) > 1e-6 {
+		t.Error("objective mismatch")
+	}
+}
+
+func TestLPFixedVariables(t *testing.T) {
+	// B&B passes tightened bounds: lo==hi pins variables.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 1, 1)
+	y := m.AddContinuous("y", 0, 1, 1)
+	m.AddConstraint("c", GE, 1, T(x, 1), T(y, 1))
+	lo := []float64{1, 0}
+	hi := []float64{1, 1}
+	r := solveLP(m, lo, hi, 1000)
+	if r.status != Optimal || math.Abs(r.x[x]-1) > 1e-9 {
+		t.Fatalf("fixed variable not honored: %v %v", r.status, r.x)
+	}
+	if math.Abs(r.obj-1) > 1e-6 {
+		t.Errorf("obj = %g, want 1", r.obj)
+	}
+	// Contradictory bounds are infeasible.
+	r = solveLP(m, []float64{2, 0}, []float64{1, 1}, 1000)
+	if r.status != Infeasible {
+		t.Errorf("crossed bounds: status = %v", r.status)
+	}
+}

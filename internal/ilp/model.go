@@ -1,0 +1,253 @@
+// Package ilp implements a small mixed 0/1 integer linear programming
+// solver: a bounded-variable two-phase primal simplex for LP relaxations
+// and a branch-and-bound search with constraint propagation on top. It
+// replaces the paper's use of Gurobi (DESIGN.md, substitution table).
+//
+// The solver is exact: for feasible models it returns a provably optimal
+// solution (within tolerance), which is what the reproduction of the
+// paper's Fig. 9 experiments requires. It is tuned for the structure the
+// CLASH optimizer emits — selection rows (Σx = 1), implication-style cost
+// rows, and non-negative objectives — but is a general 0/1 solver.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ a_i x_i ≤ b
+	GE            // Σ a_i x_i ≥ b
+	EQ            // Σ a_i x_i = b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is one coefficient of a constraint.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// T is shorthand for building terms.
+func T(v int, c float64) Term { return Term{Var: v, Coeff: c} }
+
+// Constraint is a linear constraint over model variables.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Rel   Rel
+	RHS   float64
+}
+
+// Variable describes one model variable.
+type Variable struct {
+	Name    string
+	Obj     float64
+	Lower   float64
+	Upper   float64
+	Integer bool
+}
+
+// Model is a minimization MILP: min c'x subject to linear constraints and
+// variable bounds; Integer variables are restricted to integral values
+// (in CLASH always {0,1}).
+type Model struct {
+	Vars []Variable
+	Cons []Constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddBinary adds a 0/1 variable with the given objective coefficient and
+// returns its index.
+func (m *Model) AddBinary(name string, obj float64) int {
+	return m.AddVar(Variable{Name: name, Obj: obj, Lower: 0, Upper: 1, Integer: true})
+}
+
+// AddContinuous adds a continuous variable with bounds [lo, hi].
+func (m *Model) AddContinuous(name string, lo, hi, obj float64) int {
+	return m.AddVar(Variable{Name: name, Obj: obj, Lower: lo, Upper: hi})
+}
+
+// AddVar adds a variable and returns its index.
+func (m *Model) AddVar(v Variable) int {
+	if v.Upper < v.Lower {
+		panic(fmt.Sprintf("ilp: variable %q has upper %g < lower %g", v.Name, v.Upper, v.Lower))
+	}
+	m.Vars = append(m.Vars, v)
+	return len(m.Vars) - 1
+}
+
+// AddConstraint adds a constraint; duplicate variables within one
+// constraint are merged.
+func (m *Model) AddConstraint(name string, rel Rel, rhs float64, terms ...Term) {
+	merged := map[int]float64{}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(m.Vars) {
+			panic(fmt.Sprintf("ilp: constraint %q references variable %d of %d", name, t.Var, len(m.Vars)))
+		}
+		merged[t.Var] += t.Coeff
+	}
+	out := make([]Term, 0, len(merged))
+	for v, c := range merged {
+		if c != 0 {
+			out = append(out, Term{Var: v, Coeff: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	m.Cons = append(m.Cons, Constraint{Name: name, Terms: out, Rel: rel, RHS: rhs})
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.Vars) }
+
+// NumCons returns the number of constraints.
+func (m *Model) NumCons() int { return len(m.Cons) }
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	Limit // node or iteration limit hit; Solution carries the incumbent if any
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "limit"
+	}
+}
+
+// Solution is the result of solving a model.
+type Solution struct {
+	Status     Status
+	Objective  float64
+	Values     []float64
+	Nodes      int // branch-and-bound nodes explored
+	Iterations int // simplex iterations across all LP solves
+}
+
+// Value returns the solution value of variable v rounded to integrality
+// when the variable is integer.
+func (s *Solution) Value(v int) float64 { return s.Values[v] }
+
+// IsOne reports whether binary variable v is set in the solution.
+func (s *Solution) IsOne(v int) bool { return s.Values[v] > 0.5 }
+
+// Feasible checks the solution against the model within tol; it returns a
+// descriptive error for the first violated constraint. Used by tests and
+// as an internal sanity check.
+func (m *Model) Feasible(values []float64, tol float64) error {
+	if len(values) != len(m.Vars) {
+		return fmt.Errorf("ilp: %d values for %d variables", len(values), len(m.Vars))
+	}
+	for i, v := range m.Vars {
+		x := values[i]
+		if x < v.Lower-tol || x > v.Upper+tol {
+			return fmt.Errorf("ilp: variable %q = %g outside [%g, %g]", v.Name, x, v.Lower, v.Upper)
+		}
+		if v.Integer && math.Abs(x-math.Round(x)) > tol {
+			return fmt.Errorf("ilp: variable %q = %g not integral", v.Name, x)
+		}
+	}
+	for _, c := range m.Cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coeff * values[t.Var]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+tol {
+				return fmt.Errorf("ilp: constraint %q violated: %g > %g", c.Name, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return fmt.Errorf("ilp: constraint %q violated: %g < %g", c.Name, lhs, c.RHS)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return fmt.Errorf("ilp: constraint %q violated: %g != %g", c.Name, lhs, c.RHS)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectiveOf evaluates the objective at the given point.
+func (m *Model) ObjectiveOf(values []float64) float64 {
+	obj := 0.0
+	for i, v := range m.Vars {
+		obj += v.Obj * values[i]
+	}
+	return obj
+}
+
+// String renders the model in an LP-like text format for debugging.
+func (m *Model) String() string {
+	var b strings.Builder
+	b.WriteString("min ")
+	first := true
+	for i, v := range m.Vars {
+		if v.Obj == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%g %s", v.Obj, m.varName(i))
+	}
+	b.WriteString("\ns.t.\n")
+	for _, c := range m.Cons {
+		fmt.Fprintf(&b, "  %s: ", c.Name)
+		for k, t := range c.Terms {
+			if k > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%g %s", t.Coeff, m.varName(t.Var))
+		}
+		fmt.Fprintf(&b, " %s %g\n", c.Rel, c.RHS)
+	}
+	for i, v := range m.Vars {
+		kind := ""
+		if v.Integer {
+			kind = " int"
+		}
+		fmt.Fprintf(&b, "  %g <= %s <= %g%s\n", v.Lower, m.varName(i), v.Upper, kind)
+	}
+	return b.String()
+}
+
+func (m *Model) varName(i int) string {
+	if n := m.Vars[i].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("x%d", i)
+}

@@ -1,0 +1,278 @@
+package mir
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"clash/internal/query"
+)
+
+// fig3Queries returns the paper's Fig. 3 example:
+// q1 = R(b),S(b,c),T(c) and q2 = S(c),T(c,d),U(d).
+func fig3Queries() (*query.Query, *query.Query) {
+	q1 := query.MustParse("q1: R(b) S(b,c) T(c)")
+	q2 := query.MustParse("q2: S(c) T(c,d) U(d)")
+	return q1, q2
+}
+
+func labels(ms []*MIR) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Label()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func orderStrings(orders []*ProbeOrder) []string {
+	out := make([]string, len(orders))
+	for i, o := range orders {
+		out[i] = o.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEnumerateFig3(t *testing.T) {
+	q1, q2 := fig3Queries()
+	ms := Enumerate([]*query.Query{q1, q2})
+	got := labels(ms)
+	want := []string{"R", "RS", "S", "ST", "T", "TU", "U"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("MIRs = %v, want %v (paper Fig. 3)", got, want)
+	}
+	// Base relations come first in the (size, key) order.
+	for i := 0; i < 4; i++ {
+		if !ms[i].IsBase() {
+			t.Errorf("element %d should be a base relation, got %v", i, ms[i])
+		}
+	}
+}
+
+func TestEnumerateSharesSTAcrossQueries(t *testing.T) {
+	q1, q2 := fig3Queries()
+	ms := Enumerate([]*query.Query{q1, q2})
+	count := 0
+	for _, m := range ms {
+		if m.Label() == "ST" {
+			count++
+			if len(m.Preds) != 1 || m.Preds[0].String() != "S.c=T.c" {
+				t.Errorf("ST predicates = %v", m.Preds)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("ST appears %d times, want 1 (shared store)", count)
+	}
+}
+
+func TestEnumerateExcludesCrossProducts(t *testing.T) {
+	q := query.MustParse("q: R(a) S(a,b) T(b)")
+	for _, m := range Enumerate([]*query.Query{q}) {
+		if m.Label() == "RT" {
+			t.Error("RT is a cross product and must not be an MIR")
+		}
+	}
+}
+
+func TestEnumerateLinearCount(t *testing.T) {
+	// Linear query over n relations: connected subsets are the
+	// consecutive subsequences, n(n+1)/2, minus the full sequence.
+	q := query.MustParse("q: A(x1) B(x1,x2) C(x2,x3) D(x3,x4) E(x4)")
+	n := 5
+	want := n*(n+1)/2 - 1
+	if got := len(Enumerate([]*query.Query{q})); got != want {
+		t.Errorf("linear MIR count = %d, want %d", got, want)
+	}
+}
+
+func TestEnumerateCliqueCount(t *testing.T) {
+	// Clique over n relations: all non-empty proper subsets, 2^n - 2.
+	q := query.MustParse("q: A(x,y) B(x,z) C(y,z)")
+	want := 1<<3 - 2
+	if got := len(Enumerate([]*query.Query{q})); got != want {
+		t.Errorf("clique MIR count = %d, want %d", got, want)
+	}
+}
+
+func TestCandidatesFig3(t *testing.T) {
+	q1, q2 := fig3Queries()
+	ms := Enumerate([]*query.Query{q1, q2})
+
+	c1 := Candidates(q1, ms)
+	wantQ1 := map[string][]string{
+		"R": {"⟨R,S,T⟩", "⟨R,ST⟩"},
+		"S": {"⟨S,R,T⟩", "⟨S,T,R⟩"},
+		"T": {"⟨T,RS⟩", "⟨T,S,R⟩"},
+	}
+	for rel, want := range wantQ1 {
+		got := orderStrings(c1[rel])
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("q1 candidates for %s = %v, want %v", rel, got, want)
+		}
+	}
+
+	c2 := Candidates(q2, ms)
+	wantQ2 := map[string][]string{
+		"S": {"⟨S,T,U⟩", "⟨S,TU⟩"},
+		"T": {"⟨T,S,U⟩", "⟨T,U,S⟩"},
+		"U": {"⟨U,ST⟩", "⟨U,T,S⟩"},
+	}
+	for rel, want := range wantQ2 {
+		got := orderStrings(c2[rel])
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("q2 candidates for %s = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+func TestCandidatesForMIRSubqueries(t *testing.T) {
+	q1, q2 := fig3Queries()
+	ms := Enumerate([]*query.Query{q1, q2})
+	var st *MIR
+	for _, m := range ms {
+		if m.Label() == "ST" {
+			st = m
+		}
+	}
+	if st == nil {
+		t.Fatal("ST not enumerated")
+	}
+	sub := st.Subquery()
+	c := Candidates(sub, ms)
+	if got := orderStrings(c["S"]); len(got) != 1 || got[0] != "⟨S,T⟩" {
+		t.Errorf("qST candidates for S = %v", got)
+	}
+	if got := orderStrings(c["T"]); len(got) != 1 || got[0] != "⟨T,S⟩" {
+		t.Errorf("qST candidates for T = %v", got)
+	}
+}
+
+func TestCandidatesPredicateMismatchExcluded(t *testing.T) {
+	// An ST MIR joined on a *different* predicate must not be used.
+	q := query.MustParse("q: R(b) S(b,c) T(c)")
+	wrongST := New([]string{"S", "T"}, []query.Predicate{
+		{Left: query.Attr{Rel: "S", Name: "x"}, Right: query.Attr{Rel: "T", Name: "x"}},
+	})
+	bases := []*MIR{
+		New([]string{"R"}, nil), New([]string{"S"}, nil), New([]string{"T"}, nil), wrongST,
+	}
+	c := Candidates(q, bases)
+	for _, o := range c["R"] {
+		if strings.Contains(o.String(), "ST") {
+			t.Errorf("probe order %v uses mismatched MIR", o)
+		}
+	}
+}
+
+func TestCandidatesAvoidCrossProductSteps(t *testing.T) {
+	q := query.MustParse("q: R(a) S(a,b) T(b)")
+	ms := Enumerate([]*query.Query{q})
+	c := Candidates(q, ms)
+	// From R, the only 3-step order is ⟨R,S,T⟩; ⟨R,T,S⟩ would need the
+	// cross product R×T.
+	for _, o := range c["R"] {
+		if o.String() == "⟨R,T,S⟩" {
+			t.Error("cross-product order generated")
+		}
+	}
+}
+
+func TestPartitionCandidatesPaperExamples(t *testing.T) {
+	q1, q2 := fig3Queries()
+	qs := []*query.Query{q1, q2}
+	ms := Enumerate(qs)
+	byLabel := map[string]*MIR{}
+	for _, m := range ms {
+		byLabel[m.Label()] = m
+	}
+
+	cases := map[string][]string{
+		"S":  {"S.b", "S.c"}, // joins R on b, T on c
+		"T":  {"T.c", "T.d"}, // joins S on c, U on d
+		"ST": {"S.b", "T.d"}, // Fig. 3: ST[b] and ST[d]
+		"RS": {"S.c"},        // only c joins outward (T)
+		"U":  {"U.d"},
+	}
+	for label, want := range cases {
+		m := byLabel[label]
+		if m == nil {
+			t.Fatalf("MIR %s missing", label)
+		}
+		got := PartitionCandidates(m, qs)
+		gotS := make([]string, len(got))
+		for i, a := range got {
+			gotS[i] = a.String()
+		}
+		if strings.Join(gotS, " ") != strings.Join(want, " ") {
+			t.Errorf("PartitionCandidates(%s) = %v, want %v", label, gotS, want)
+		}
+	}
+}
+
+func TestPartitionCandidatesSec5Example(t *testing.T) {
+	// Paper Sec. V: for q = R(a),S(a,b),T(b) and MIR (R,S), a is NOT a
+	// candidate (no join with T uses it) but b is.
+	q := query.MustParse("q: R(a) S(a,b) T(b)")
+	ms := Enumerate([]*query.Query{q})
+	for _, m := range ms {
+		if m.Label() == "RS" {
+			got := PartitionCandidates(m, []*query.Query{q})
+			if len(got) != 1 || got[0].String() != "S.b" {
+				t.Errorf("PartitionCandidates(RS) = %v, want [S.b]", got)
+			}
+		}
+	}
+}
+
+func TestMIRKeyAndSubquery(t *testing.T) {
+	q := query.MustParse("q: R(a) S(a)")
+	m := New([]string{"S", "R"}, q.Preds)
+	if m.Key() != "R+S|R.a=S.a" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	sub := m.Subquery()
+	if sub.Size() != 2 || len(sub.Preds) != 1 {
+		t.Errorf("Subquery = %v", sub)
+	}
+	// Key is order-insensitive.
+	m2 := New([]string{"R", "S"}, q.Preds)
+	if m.Key() != m2.Key() {
+		t.Error("Key depends on relation order")
+	}
+}
+
+func TestProbeOrderHelpers(t *testing.T) {
+	q := query.MustParse("q: R(a) S(a,b) T(b)")
+	ms := Enumerate([]*query.Query{q})
+	c := Candidates(q, ms)
+	var rst *ProbeOrder
+	for _, o := range c["R"] {
+		if o.String() == "⟨R,S,T⟩" {
+			rst = o
+		}
+	}
+	if rst == nil {
+		t.Fatal("⟨R,S,T⟩ not generated")
+	}
+	if rst.Start().Label() != "R" || rst.Len() != 3 {
+		t.Error("Start/Len wrong")
+	}
+	p2 := rst.PrefixRels(2)
+	if !p2["R"] || !p2["S"] || p2["T"] {
+		t.Errorf("PrefixRels(2) = %v", p2)
+	}
+	if !strings.Contains(rst.Key(), "->") {
+		t.Errorf("Key = %q", rst.Key())
+	}
+}
+
+func TestCandidatesSynthesizesMissingBase(t *testing.T) {
+	q := query.MustParse("q: R(a) S(a)")
+	// Pass only the S base; R's base is synthesized for the start.
+	c := Candidates(q, []*MIR{New([]string{"S"}, nil)})
+	if len(c["R"]) != 1 || c["R"][0].String() != "⟨R,S⟩" {
+		t.Errorf("candidates for R = %v", orderStrings(c["R"]))
+	}
+}

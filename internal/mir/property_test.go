@@ -1,0 +1,127 @@
+package mir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clash/internal/query"
+	"clash/internal/rng"
+	"clash/internal/workload"
+)
+
+// randomQuery draws a random connected query from the synthetic
+// environment used by the ILP experiments.
+func randomQuery(seed uint64, size int) *query.Query {
+	env := workload.NewEnv(12, 100)
+	qs := env.RandomQueries(1, size, seed)
+	if len(qs) == 0 {
+		return nil
+	}
+	return qs[0]
+}
+
+// TestProbeOrderInvariants checks, over random queries, that every
+// candidate probe order (1) starts at its starting relation, (2) covers
+// exactly the query's relation set with disjoint elements, and (3) never
+// forms a cross product at any step.
+func TestProbeOrderInvariants(t *testing.T) {
+	f := func(seedRaw uint16, sizeRaw uint8) bool {
+		size := 2 + int(sizeRaw)%4 // 2..5
+		q := randomQuery(uint64(seedRaw)+1, size)
+		if q == nil {
+			return true
+		}
+		ms := Enumerate([]*query.Query{q})
+		for start, orders := range Candidates(q, ms) {
+			for _, o := range orders {
+				if o.Start().Label() != start {
+					return false
+				}
+				// Disjoint cover of exactly the query's relations.
+				seen := map[string]bool{}
+				for _, e := range o.Elems {
+					for _, r := range e.Rels {
+						if seen[r] || !q.RelationSet()[r] {
+							return false
+						}
+						seen[r] = true
+					}
+				}
+				if len(seen) != q.Size() {
+					return false
+				}
+				// No cross products: every prefix extension is joined.
+				for j := 1; j < o.Len(); j++ {
+					prefix := o.PrefixRels(j)
+					if len(q.PredsBetween(prefix, o.Elems[j].RelSet())) == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMIRInvariants checks over random queries that every enumerated MIR
+// is a connected, strict subset of the query carrying exactly the
+// query's predicates within its relation set.
+func TestMIRInvariants(t *testing.T) {
+	f := func(seedRaw uint16, sizeRaw uint8) bool {
+		size := 2 + int(sizeRaw)%4
+		q := randomQuery(uint64(seedRaw)+100, size)
+		if q == nil {
+			return true
+		}
+		for _, m := range Enumerate([]*query.Query{q}) {
+			if m.Size() >= q.Size() {
+				return false // the full result must never be an MIR
+			}
+			if !q.Connected(m.RelSet()) {
+				return false
+			}
+			if New(m.Rels, q.Preds).Key() != m.Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionCandidatesAreOutwardJoins checks that every partition
+// candidate joins a relation outside the MIR.
+func TestPartitionCandidatesAreOutwardJoins(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 40; trial++ {
+		q := randomQuery(uint64(r.Intn(1<<16)), 2+r.Intn(4))
+		if q == nil {
+			continue
+		}
+		qs := []*query.Query{q}
+		for _, m := range Enumerate(qs) {
+			inside := m.RelSet()
+			for _, a := range PartitionCandidates(m, qs) {
+				if !inside[a.Rel] {
+					t.Fatalf("candidate %v not inside MIR %v", a, m)
+				}
+				outward := false
+				for _, p := range q.Preds {
+					if s, ok := p.Side(a.Rel); ok && s == a {
+						if o, ok := p.Other(a.Rel); ok && !inside[o.Rel] {
+							outward = true
+						}
+					}
+				}
+				if !outward {
+					t.Fatalf("candidate %v of %v joins nothing outside", a, m)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package query
+
+import "testing"
+
+func TestAttrClassesTransitive(t *testing.T) {
+	// R.a = S.a, S.a = T.x  =>  {R.a, S.a, T.x} one class.
+	preds := []Predicate{
+		{Attr{"R", "a"}, Attr{"S", "a"}},
+		{Attr{"S", "a"}, Attr{"T", "x"}},
+		{Attr{"S", "b"}, Attr{"T", "b"}},
+	}
+	cls := AttrClasses(preds)
+	if !SameClass(cls, Attr{"R", "a"}, Attr{"T", "x"}) {
+		t.Error("transitive equality not detected")
+	}
+	if !SameClass(cls, Attr{"S", "b"}, Attr{"T", "b"}) {
+		t.Error("direct equality not detected")
+	}
+	if SameClass(cls, Attr{"R", "a"}, Attr{"S", "b"}) {
+		t.Error("distinct classes merged")
+	}
+}
+
+func TestSameClassUnknownAttrs(t *testing.T) {
+	cls := AttrClasses(nil)
+	a := Attr{"R", "a"}
+	if !SameClass(cls, a, a) {
+		t.Error("identical unknown attrs should compare equal")
+	}
+	if SameClass(cls, a, Attr{"S", "a"}) {
+		t.Error("distinct unknown attrs should differ")
+	}
+}
+
+func TestAttrClassesDeterministicCanon(t *testing.T) {
+	p1 := []Predicate{{Attr{"R", "a"}, Attr{"S", "a"}}, {Attr{"S", "a"}, Attr{"T", "x"}}}
+	p2 := []Predicate{{Attr{"S", "a"}, Attr{"T", "x"}}, {Attr{"R", "a"}, Attr{"S", "a"}}}
+	c1, c2 := AttrClasses(p1), AttrClasses(p2)
+	for a, r := range c1 {
+		if c2[a] != r {
+			t.Errorf("canonical representative for %v differs by insertion order: %v vs %v", a, r, c2[a])
+		}
+	}
+}

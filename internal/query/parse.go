@@ -1,0 +1,197 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a query in the paper's notation:
+//
+//	q1: R(a) S(a,b) T(b)
+//
+// The leading "name:" is optional. Relations are separated by spaces or
+// commas. An equi-join predicate is implied between every pair of
+// relations that mention the same attribute name (natural-join style, as
+// in the paper's examples). Explicit predicates over differently named
+// attributes can be appended after a '|':
+//
+//	q2: R(x) S(y) | R.x=S.y
+//
+// Parse returns the query and the relations it declares (with the
+// attribute lists seen in the text), so callers can build a catalog.
+func Parse(text string) (*Query, []*Relation, error) {
+	name := ""
+	body := strings.TrimSpace(text)
+	if i := strings.Index(body, ":"); i >= 0 && !strings.Contains(body[:i], "(") {
+		name = strings.TrimSpace(body[:i])
+		body = strings.TrimSpace(body[i+1:])
+	}
+	explicit := ""
+	if i := strings.Index(body, "|"); i >= 0 {
+		explicit = strings.TrimSpace(body[i+1:])
+		body = strings.TrimSpace(body[:i])
+	}
+	rels, err := parseRelations(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %q: %w", text, err)
+	}
+	if len(rels) == 0 {
+		return nil, nil, fmt.Errorf("parse %q: no relations", text)
+	}
+
+	var preds []Predicate
+	// Implied predicates: same attribute name across relations.
+	byAttr := map[string][]string{}
+	for _, r := range rels {
+		for _, a := range r.Attrs {
+			byAttr[a] = append(byAttr[a], r.Name)
+		}
+	}
+	for attr, owners := range byAttr {
+		for i := 0; i < len(owners); i++ {
+			for j := i + 1; j < len(owners); j++ {
+				preds = append(preds, Predicate{
+					Left:  Attr{Rel: owners[i], Name: attr},
+					Right: Attr{Rel: owners[j], Name: attr},
+				})
+			}
+		}
+	}
+	// Explicit predicates.
+	if explicit != "" {
+		for _, part := range strings.Split(explicit, "&") {
+			p, err := parsePredicate(strings.TrimSpace(part))
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %q: %w", text, err)
+			}
+			preds = append(preds, p)
+		}
+	}
+
+	names := make([]string, len(rels))
+	for i, r := range rels {
+		names[i] = r.Name
+	}
+	q, err := NewQuery(name, names, preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, rels, nil
+}
+
+// MustParse is Parse for tests and static initialization.
+func MustParse(text string) *Query {
+	q, _, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseWorkload parses one query per non-empty line and merges the
+// declared relations into a catalog. Relations appearing in several
+// queries must agree on their attribute lists' union (attributes are
+// merged). Lines starting with '#' are comments.
+func ParseWorkload(text string) ([]*Query, *Catalog, error) {
+	var queries []*Query
+	merged := map[string]*Relation{}
+	var order []string
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, rels, err := Parse(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if q.Name == "" {
+			q.Name = fmt.Sprintf("q%d", len(queries)+1)
+		}
+		queries = append(queries, q)
+		for _, r := range rels {
+			if ex := merged[r.Name]; ex == nil {
+				cp := &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)}
+				merged[r.Name] = cp
+				order = append(order, r.Name)
+			} else {
+				for _, a := range r.Attrs {
+					if !ex.HasAttr(a) {
+						ex.Attrs = append(ex.Attrs, a)
+					}
+				}
+			}
+		}
+	}
+	var rels []*Relation
+	for _, n := range order {
+		rels = append(rels, merged[n])
+	}
+	cat, err := NewCatalog(rels...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, q := range queries {
+		if err := cat.Validate(q); err != nil {
+			return nil, nil, err
+		}
+	}
+	return queries, cat, nil
+}
+
+func parseRelations(body string) ([]*Relation, error) {
+	var rels []*Relation
+	rest := body
+	for rest != "" {
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			if strings.TrimSpace(rest) != "" {
+				return nil, fmt.Errorf("trailing junk %q", strings.TrimSpace(rest))
+			}
+			break
+		}
+		name := strings.Trim(strings.TrimSpace(rest[:open]), ", ")
+		if name == "" {
+			return nil, fmt.Errorf("relation with empty name before %q", rest[open:])
+		}
+		closeIdx := strings.Index(rest[open:], ")")
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("unclosed attribute list for %q", name)
+		}
+		attrText := rest[open+1 : open+closeIdx]
+		var attrs []string
+		for _, a := range strings.Split(attrText, ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				attrs = append(attrs, a)
+			}
+		}
+		rels = append(rels, &Relation{Name: name, Attrs: attrs})
+		rest = rest[open+closeIdx+1:]
+	}
+	return rels, nil
+}
+
+func parsePredicate(text string) (Predicate, error) {
+	sides := strings.Split(text, "=")
+	if len(sides) != 2 {
+		return Predicate{}, fmt.Errorf("predicate %q: want lhs=rhs", text)
+	}
+	l, err := parseAttr(strings.TrimSpace(sides[0]))
+	if err != nil {
+		return Predicate{}, err
+	}
+	r, err := parseAttr(strings.TrimSpace(sides[1]))
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: l, Right: r}, nil
+}
+
+func parseAttr(text string) (Attr, error) {
+	i := strings.Index(text, ".")
+	if i <= 0 || i == len(text)-1 {
+		return Attr{}, fmt.Errorf("attribute %q: want Rel.attr", text)
+	}
+	return Attr{Rel: text[:i], Name: text[i+1:]}, nil
+}

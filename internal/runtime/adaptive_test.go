@@ -1,0 +1,217 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/stats"
+	"clash/internal/tuple"
+)
+
+// adaptiveHarness wires an engine + controller with a stats collector.
+func adaptiveHarness(t *testing.T, workload string, epochLen time.Duration, window time.Duration, static bool) (*harness, *Controller, *stats.Collector) {
+	t.Helper()
+	qs, cat, err := query.ParseWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector(256, 128, 1)
+	eng := New(Config{
+		Catalog:       cat,
+		DefaultWindow: window,
+		EpochLength:   epochLen,
+		StepMode:      true,
+		Observer: func(rel string, tt *tuple.Tuple) {
+			col.Observe(rel, tt)
+		},
+	})
+	initial := stats.NewEstimates(0.1)
+	for _, rel := range cat.Names() {
+		initial.SetRate(rel, 100)
+	}
+	ctl, err := NewController(eng, ControllerConfig{
+		Optimizer: core.NewOptimizer(core.Options{StoreParallelism: 2}),
+		Collector: col,
+		Shared:    true,
+		Static:    static,
+	}, qs, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{eng: eng, cat: cat, queries: qs, sinks: map[string]*CollectSink{}, defW: window}
+	for _, q := range qs {
+		s := NewCollectSink()
+		h.sinks[q.Name] = s
+		eng.OnResult(q.Name, s.Add)
+	}
+	return h, ctl, col
+}
+
+func TestAdaptiveEpochsMatchOracle(t *testing.T) {
+	// Epoch length 50, window 40: tuples span 1-2 epochs; results must
+	// still match the oracle exactly across epoch boundaries.
+	h, ctl, _ := adaptiveHarness(t, "q1: R(a) S(a,b) T(b)", 50, 40, false)
+	ins := randomStream(h.cat, 300, 5, 19)
+	for _, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Drain()
+	h.checkAgainstOracle(t, ins)
+	if h.sinks["q1"].Count() == 0 {
+		t.Fatal("no results — vacuous")
+	}
+	if ctl.Reoptimizations() < 1 {
+		t.Errorf("no configuration installed: %d", ctl.Reoptimizations())
+	}
+	h.eng.Stop()
+}
+
+func TestAdaptiveReactsToCharacteristicShift(t *testing.T) {
+	h, ctl, _ := adaptiveHarness(t, "q1: R(a) S(a,b) T(b)", 100, 80, false)
+	// Phase 1: S–T joins are rare, R–S common; phase 2 flips.
+	var ins []Ingestion
+	ts := tuple.Time(0)
+	emit := func(rel string, vals ...tuple.Value) {
+		ts += 1
+		ins = append(ins, Ingestion{Rel: rel, TS: ts, Vals: vals})
+	}
+	phase := func(rsMatch, stMatch bool, n int) {
+		for i := 0; i < n; i++ {
+			a := tuple.IntValue(int64(i % 4))
+			aMiss := tuple.IntValue(int64(1000 + i))
+			b := tuple.IntValue(int64(i % 4))
+			bMiss := tuple.IntValue(int64(2000 + i))
+			if rsMatch {
+				emit("R", a)
+				emit("S", a, bMiss)
+			} else {
+				emit("R", aMiss)
+				emit("S", a, b)
+			}
+			if stMatch {
+				emit("T", b)
+			} else {
+				emit("T", bMiss)
+			}
+		}
+	}
+	phase(true, false, 60)
+	phase(false, true, 60)
+	for _, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Drain()
+	if ctl.Reoptimizations() < 2 {
+		t.Errorf("controller never re-optimized: %d", ctl.Reoptimizations())
+	}
+	// Estimates must have picked up the later phase's S–T selectivity.
+	est := ctl.Estimates()
+	st := query.Predicate{Left: query.Attr{Rel: "S", Name: "b"}, Right: query.Attr{Rel: "T", Name: "b"}}
+	rs := query.Predicate{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "S", Name: "a"}}
+	if est.Selectivity(st) <= est.Selectivity(rs) {
+		t.Errorf("blended estimates did not track the shift: sel(ST)=%g sel(RS)=%g",
+			est.Selectivity(st), est.Selectivity(rs))
+	}
+	h.eng.Stop()
+}
+
+func TestStaticControllerNeverRewires(t *testing.T) {
+	h, ctl, _ := adaptiveHarness(t, "q1: R(a) S(a)", 50, 40, true)
+	ins := randomStream(h.cat, 200, 5, 29)
+	for _, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Drain()
+	if got := ctl.Reoptimizations(); got != 1 {
+		t.Errorf("static controller reoptimized %d times, want 1 (initial install)", got)
+	}
+	// Static execution is still correct.
+	h.checkAgainstOracle(t, ins)
+	h.eng.Stop()
+}
+
+func TestQueryChurn(t *testing.T) {
+	h, ctl, _ := adaptiveHarness(t, "q1: R(a) S(a)", 50, 1000, false)
+	// q2 joins S with T; T is already known to the catalog? It is not —
+	// churn within the catalog's relations only.
+	q2 := query.MustParse("q2: R(a) S(a)")
+	q2.Name = "q2"
+	sink2 := NewCollectSink()
+	h.eng.OnResult("q2", sink2.Add)
+
+	ins := randomStream(h.cat, 120, 4, 37)
+	half := len(ins) / 2
+	for _, in := range ins[:half] {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctl.AddQuery(q2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AddQuery(q2); err == nil {
+		t.Error("duplicate AddQuery should fail")
+	}
+	for _, in := range ins[half:] {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Drain()
+	if sink2.Count() == 0 {
+		t.Error("newly added query produced no results")
+	}
+	// q1 ran the whole time and must still be exact.
+	h.checkAgainstOracle(t, ins)
+
+	if err := ctl.RemoveQuery("q2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.RemoveQuery("q2"); err == nil {
+		t.Error("removing an absent query should fail")
+	}
+	h.eng.Stop()
+}
+
+func TestControllerInstallsConfigsAhead(t *testing.T) {
+	h, ctl, _ := adaptiveHarness(t, "q1: R(a) S(a)", 100, 80, false)
+	ins := randomStream(h.cat, 250, 5, 41)
+	for _, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Drain()
+	cur := h.eng.Epoch(h.eng.Watermark())
+	// Decisions made at epoch i take effect at i+2 (Fig. 5).
+	if cfg := h.eng.ConfigFor(cur + 2); cfg == nil {
+		t.Error("no configuration installed ahead of the watermark")
+	}
+	h.eng.Stop()
+}

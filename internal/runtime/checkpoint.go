@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// Checkpointing serializes the engine's materialized store state — every
+// task's per-epoch containers — so a restarted process can resume
+// answering with its windowed history intact instead of waiting a full
+// window for completeness (the bootstrap problem of Sec. VI-B, Fig. 6).
+// The format is a self-contained binary snapshot: a schema table (joined
+// tuples share schemas, encoded once) followed by per-task entry lists.
+//
+// Checkpoint and Restore require a quiesced engine: call Drain first and
+// do not Ingest concurrently. Restore must run after Install on an
+// engine whose topology contains the checkpointed stores with the same
+// pinned parallelism.
+
+var ckptMagic = [8]byte{'C', 'L', 'S', 'H', 'C', 'K', 'P', '1'}
+
+// Checkpoint writes a snapshot of all materialized state to w.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	e.Drain()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	keys := make([]taskKey, 0, len(e.tasks))
+	for k := range e.tasks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].store != keys[j].store {
+			return keys[i].store < keys[j].store
+		}
+		return keys[i].part < keys[j].part
+	})
+
+	// Schema table: joined tuples share schema pointers; dedupe by
+	// signature so each distinct schema is encoded once.
+	schemaID := map[string]int{}
+	var schemas []*tuple.Schema
+	idOf := func(s *tuple.Schema) int {
+		sig := s.String()
+		if id, ok := schemaID[sig]; ok {
+			return id
+		}
+		id := len(schemas)
+		schemaID[sig] = id
+		schemas = append(schemas, s)
+		return id
+	}
+	// First pass assigns IDs in deterministic order.
+	for _, k := range keys {
+		t := e.tasks[k]
+		for _, ep := range sortedEpochs(t.containers) {
+			for _, en := range t.containers[ep].entries {
+				idOf(en.t.Schema)
+			}
+		}
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.AppendUvarint(buf, e.seq.Load())
+	buf = binary.AppendVarint(buf, e.watermk.Load())
+	buf = binary.AppendUvarint(buf, uint64(len(schemas)))
+	for _, s := range schemas {
+		buf = tuple.AppendSchema(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		t := e.tasks[k]
+		buf = binary.AppendUvarint(buf, uint64(len(k.store)))
+		buf = append(buf, k.store...)
+		buf = binary.AppendUvarint(buf, uint64(k.part))
+		eps := sortedEpochs(t.containers)
+		buf = binary.AppendUvarint(buf, uint64(len(eps)))
+		for _, ep := range eps {
+			c := t.containers[ep]
+			buf = binary.AppendVarint(buf, ep)
+			buf = binary.AppendUvarint(buf, uint64(len(c.entries)))
+			for _, en := range c.entries {
+				buf = binary.AppendUvarint(buf, uint64(idOf(en.t.Schema)))
+				buf = binary.AppendUvarint(buf, en.seq)
+				buf = tuple.AppendTuple(buf, en.t)
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func sortedEpochs(cs map[int64]*container) []int64 {
+	eps := make([]int64, 0, len(cs))
+	for ep := range cs {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	return eps
+}
+
+// Restore loads a snapshot produced by Checkpoint into this engine.
+// The topology must already be installed; tasks referenced by the
+// snapshot must exist (same stores and parallelism).
+func (e *Engine) Restore(r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("runtime: reading checkpoint: %w", err)
+	}
+	if len(buf) < len(ckptMagic) || string(buf[:8]) != string(ckptMagic[:]) {
+		return fmt.Errorf("runtime: not a CLASH checkpoint")
+	}
+	buf = buf[8:]
+
+	seq, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return tuple.ErrCorrupt
+	}
+	buf = buf[n:]
+	wm, n := binary.Varint(buf)
+	if n <= 0 {
+		return tuple.ErrCorrupt
+	}
+	buf = buf[n:]
+
+	nSchemas, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return tuple.ErrCorrupt
+	}
+	buf = buf[n:]
+	schemas := make([]*tuple.Schema, nSchemas)
+	for i := range schemas {
+		schemas[i], buf, err = tuple.DecodeSchema(buf)
+		if err != nil {
+			return err
+		}
+	}
+
+	nTasks, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return tuple.ErrCorrupt
+	}
+	buf = buf[n:]
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for ti := uint64(0); ti < nTasks; ti++ {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < l {
+			return tuple.ErrCorrupt
+		}
+		store := topology.StoreID(buf[n : n+int(l)])
+		buf = buf[n+int(l):]
+		part, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return tuple.ErrCorrupt
+		}
+		buf = buf[n:]
+		nEps, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return tuple.ErrCorrupt
+		}
+		buf = buf[n:]
+
+		t := e.tasks[taskKey{store: store, part: int(part)}]
+		for ei := uint64(0); ei < nEps; ei++ {
+			ep, n := binary.Varint(buf)
+			if n <= 0 {
+				return tuple.ErrCorrupt
+			}
+			buf = buf[n:]
+			nEntries, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return tuple.ErrCorrupt
+			}
+			buf = buf[n:]
+			for j := uint64(0); j < nEntries; j++ {
+				sid, n := binary.Uvarint(buf)
+				if n <= 0 || sid >= nSchemas {
+					return tuple.ErrCorrupt
+				}
+				buf = buf[n:]
+				eseq, n := binary.Uvarint(buf)
+				if n <= 0 {
+					return tuple.ErrCorrupt
+				}
+				buf = buf[n:]
+				var tp *tuple.Tuple
+				tp, buf, err = tuple.DecodeTuple(buf, schemas[sid])
+				if err != nil {
+					return err
+				}
+				if t == nil {
+					return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
+				}
+				c := t.containers[ep]
+				if c == nil {
+					c = newContainer()
+					t.containers[ep] = c
+				}
+				c.add(entry{t: tp, seq: eseq})
+				t.storedCount.Add(1)
+				e.metrics.stored.Add(1)
+				e.metrics.storeBytes.Add(int64(tp.MemSize()))
+			}
+		}
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", tuple.ErrCorrupt, len(buf))
+	}
+
+	// Resume sequencing after every checkpointed tuple, and restore the
+	// event-time watermark.
+	for {
+		old := e.seq.Load()
+		if old >= seq || e.seq.CompareAndSwap(old, seq) {
+			break
+		}
+	}
+	for {
+		old := e.watermk.Load()
+		if old >= wm || e.watermk.CompareAndSwap(old, wm) {
+			break
+		}
+	}
+	return nil
+}

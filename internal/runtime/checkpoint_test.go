@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clash/internal/core"
+	"clash/internal/tuple"
+)
+
+// TestCheckpointResumeMatchesOracle is the end-to-end recovery property:
+// results produced before the checkpoint plus results produced by a
+// fresh engine restored from it must equal the oracle of the full,
+// uninterrupted stream — the restored engine finds join partners in the
+// recovered windowed history (Fig. 6's completeness argument).
+func TestCheckpointResumeMatchesOracle(t *testing.T) {
+	workload := "q1: R(a) S(a,b) T(b)"
+	opts := core.Options{StoreParallelism: 3}
+	est := flatEstimates([]string{"R", "S", "T"}, 100)
+
+	h1 := newHarness(t, workload, opts, est, Config{Synchronous: true})
+	ins := randomStream(h1.cat, 240, 5, 23)
+	half := len(ins) / 2
+	h1.ingestAll(t, ins[:half])
+
+	var snap bytes.Buffer
+	if err := h1.eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	preStored := h1.eng.Metrics().Snapshot().Stored
+	h1.eng.Stop()
+
+	// Fresh engine, same plan and topology; restore, then resume.
+	h2 := newHarness(t, workload, opts, est, Config{Synchronous: true})
+	defer h2.eng.Stop()
+	if err := h2.eng.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.eng.Metrics().Snapshot().Stored; got != preStored {
+		t.Errorf("restored stored count = %d, want %d", got, preStored)
+	}
+	h2.ingestAll(t, ins[half:])
+
+	// Merge the two engines' results and compare against the oracle.
+	merged := map[string]int{}
+	for k, v := range h1.sinks["q1"].Results() {
+		merged[k] += v
+	}
+	for k, v := range h2.sinks["q1"].Results() {
+		merged[k] += v
+	}
+	want := ReferenceJoin(h1.queries[0], h1.cat, 0, ins)
+	if len(want) == 0 {
+		t.Fatal("oracle empty — vacuous")
+	}
+	for k, n := range want {
+		if merged[k] != n {
+			t.Errorf("result %q count = %d, oracle %d", k, merged[k], n)
+		}
+	}
+	for k := range merged {
+		if want[k] == 0 {
+			t.Errorf("spurious result %q", k)
+		}
+	}
+}
+
+func TestCheckpointEmptyEngine(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100), Config{Synchronous: true})
+	defer h.eng.Stop()
+	var snap bytes.Buffer
+	if err := h.eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100), Config{Synchronous: true})
+	defer h2.eng.Stop()
+	if err := h2.eng.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.eng.Metrics().Snapshot().Stored; got != 0 {
+		t.Errorf("stored = %d after empty restore", got)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 1},
+		flatEstimates([]string{"R", "S"}, 100), Config{Synchronous: true})
+	defer h.eng.Stop()
+	for _, in := range []string{"", "short", "NOTACKPT________", "CLSHCKP1"} {
+		if err := h.eng.Restore(strings.NewReader(in)); err == nil {
+			t.Errorf("restore accepted %q", in)
+		}
+	}
+}
+
+func TestRestoreRejectsUnknownTask(t *testing.T) {
+	// Checkpoint a two-relation topology, restore into a different one.
+	h1 := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100), Config{Synchronous: true})
+	defer h1.eng.Stop()
+	ins := randomStream(h1.cat, 60, 4, 3)
+	h1.ingestAll(t, ins)
+	var snap bytes.Buffer
+	if err := h1.eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, "q1: U(a) V(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"U", "V"}, 100), Config{Synchronous: true})
+	defer h2.eng.Stop()
+	if err := h2.eng.Restore(&snap); err == nil {
+		t.Error("restore into mismatched topology succeeded")
+	}
+}
+
+func TestCheckpointPreservesWindowSemantics(t *testing.T) {
+	// Old tuples recovered from the checkpoint must still be rejected by
+	// the window check when probed after restore.
+	h1 := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 1, DisablePartitioning: true},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true, DefaultWindow: 10})
+	if err := h1.eng.Ingest("R", 0, tuple.IntValue(1)); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := h1.eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	h1.eng.Stop()
+
+	h2 := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 1, DisablePartitioning: true},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true, DefaultWindow: 10})
+	defer h2.eng.Stop()
+	if err := h2.eng.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// S at ts=5 joins the recovered R (within window); S at ts=50 must not.
+	if err := h2.eng.Ingest("S", 5, tuple.IntValue(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.eng.Ingest("S", 50, tuple.IntValue(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.sinks["q1"].Count(); got != 1 {
+		t.Errorf("results after restore = %d, want 1 (window must still apply)", got)
+	}
+}

@@ -1,0 +1,701 @@
+// Package runtime executes CLASH topologies on a scale-out simulator
+// substrate: one goroutine per store task, unbounded mailboxes as network
+// links, hash or broadcast routing between tasks, and per-epoch windowed
+// stores with attribute indices (Sec. IV and VI of the paper; the Storm
+// substitution is documented in DESIGN.md).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clash/internal/query"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// Config configures an engine instance.
+type Config struct {
+	// Catalog supplies relation schemas and windows.
+	Catalog *query.Catalog
+	// DefaultWindow applies to relations without a configured window
+	// (0 = unbounded history, the Fig. 7 setting).
+	DefaultWindow time.Duration
+	// EpochLength enables epoch-based adaptive configuration (Sec. VI).
+	// 0 runs a single static epoch.
+	EpochLength time.Duration
+	// MemoryLimitBytes fails the engine when materialized state plus
+	// queued messages exceed it (0 = unlimited). The Fig. 8a static
+	// strategy dies this way.
+	MemoryLimitBytes int64
+	// StepMode drains the topology after every ingested tuple, giving
+	// deterministic symmetric-join semantics for correctness tests.
+	StepMode bool
+	// Synchronous executes the whole topology on the ingesting goroutine:
+	// tasks have no goroutines or mailboxes, and each ingested tuple's
+	// complete probe chain (including MIR feeding) runs to completion in
+	// FIFO order before Ingest returns. This gives exact, deterministic
+	// symmetric-join semantics — the mode used for result-exactness
+	// experiments (Fig. 7). The free-running asynchronous mode remains
+	// the right substrate for overload dynamics (Fig. 8), where probes
+	// racing ahead of feeding chains is precisely the buffering behaviour
+	// under study. Synchronous engines must be fed from one goroutine.
+	Synchronous bool
+	// OverheadLoops adds busy work per handled message, emulating
+	// per-tuple engine overhead differences (FI vs SI profiles).
+	OverheadLoops int
+	// TwoChoiceRouting enables partial-key-grouping style skew handling
+	// (Nasir et al., the paper's related work [30]) on partitioned
+	// stores: each partition value hashes to two candidate tasks, inserts
+	// go to the currently less-loaded one, and probes visit both. Under
+	// heavy key skew this halves-or-better the maximum task load at the
+	// price of doubling keyed probe fan-out (χ = 2 instead of 1); results
+	// stay exact because probes cover both candidate tasks.
+	TwoChoiceRouting bool
+	// Observer, when set, is called for every ingested tuple — the
+	// statistics-gathering tap of Fig. 2 (wire it to a stats.Collector).
+	Observer func(rel string, t *tuple.Tuple)
+}
+
+// ErrMemoryLimit is reported when the engine exceeds its memory budget.
+var ErrMemoryLimit = errors.New("runtime: memory limit exceeded")
+
+type taskKey struct {
+	store topology.StoreID
+	part  int
+}
+
+// message travels between tasks. A data message carries either one
+// tuple (t) or a batch: all result tuples of one probe headed for the
+// same task travel together, so the number of messaging events does not
+// grow with the result size — only the bytes do (Sec. III).
+type message struct {
+	kind       int8 // kindData or kindPrune
+	edge       topology.EdgeID
+	epoch      int64 // data: target epoch; prune: event-time cutoff
+	t          *tuple.Tuple
+	batch      []*tuple.Tuple
+	seq        uint64
+	ingestWall int64 // wall-clock nanos at ingestion, for latency
+}
+
+// tupleCount returns the number of tuples the message carries.
+func (m *message) tupleCount() int64 {
+	if m.batch != nil {
+		return int64(len(m.batch))
+	}
+	if m.t != nil {
+		return 1
+	}
+	return 0
+}
+
+// memSize approximates the message payload bytes.
+func (m *message) memSize() int64 {
+	if m.batch != nil {
+		var n int64
+		for _, t := range m.batch {
+			n += int64(t.MemSize())
+		}
+		return n
+	}
+	if m.t != nil {
+		return int64(m.t.MemSize())
+	}
+	return 0
+}
+
+// each applies fn to every carried tuple.
+func (m *message) each(fn func(*tuple.Tuple)) {
+	if m.t != nil {
+		fn(m.t)
+	}
+	for _, t := range m.batch {
+		fn(t)
+	}
+}
+
+// Engine executes topology configurations.
+type Engine struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu      sync.RWMutex
+	configs []*epochConfig // sorted by fromEpoch ascending
+	tasks   map[taskKey]*task
+	// pinnedPar and pinnedPart pin each store's parallelism and
+	// partitioning attribute at first sight: routing (hash(attr) % P)
+	// must stay consistent across configuration changes or probes would
+	// miss state placed under a different scheme. Re-partitioning a live
+	// store would require state migration (see DESIGN.md).
+	pinnedPar  map[topology.StoreID]int
+	pinnedPart map[topology.StoreID]query.Attr
+	schemas    map[string]*tuple.Schema // relation -> ingest schema (attrs + τ)
+
+	sinkMu sync.RWMutex
+	sinks  map[string]func(*tuple.Tuple)
+
+	// syncQueue is the FIFO work list of Synchronous mode; only the
+	// ingesting goroutine touches it.
+	syncQueue []syncItem
+
+	seq         atomic.Uint64
+	inflight    atomic.Int64
+	queuedBytes atomic.Int64 // approximate bytes buffered in mailboxes
+	watermk     atomic.Int64 // max event time observed
+	failure     atomic.Value // error
+	stopped     atomic.Bool
+	wg          sync.WaitGroup
+}
+
+type epochConfig struct {
+	fromEpoch int64
+	topo      *topology.Config
+}
+
+// syncItem is one queued unit of work in Synchronous mode.
+type syncItem struct {
+	key taskKey
+	msg message
+}
+
+// New creates an engine; Install a topology before ingesting.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		tasks:      map[taskKey]*task{},
+		pinnedPar:  map[topology.StoreID]int{},
+		pinnedPart: map[topology.StoreID]query.Attr{},
+		schemas:    map[string]*tuple.Schema{},
+		sinks:      map[string]func(*tuple.Tuple){},
+	}
+	if cfg.Catalog != nil {
+		for _, rel := range cfg.Catalog.Names() {
+			e.schemas[rel] = ingestSchema(cfg.Catalog.Relation(rel))
+		}
+	}
+	return e
+}
+
+// ingestSchema qualifies the relation's attributes and appends the τ
+// pseudo-attribute carrying the tuple's own event time, which makes
+// per-relation window checks possible on joined tuples.
+func ingestSchema(r *query.Relation) *tuple.Schema {
+	names := make([]string, 0, len(r.Attrs)+1)
+	for _, a := range r.Attrs {
+		names = append(names, r.Name+"."+a)
+	}
+	names = append(names, r.Name+".τ")
+	return tuple.NewSchema(names...)
+}
+
+// Metrics exposes the engine counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// OnResult registers a sink callback for a query's results. Callbacks
+// run on task goroutines and must be fast and thread-safe.
+func (e *Engine) OnResult(queryName string, fn func(*tuple.Tuple)) {
+	e.sinkMu.Lock()
+	e.sinks[queryName] = fn
+	e.sinkMu.Unlock()
+}
+
+// Install activates a topology from the given epoch on (epoch 0 and
+// EpochLength 0 give a static deployment). Tasks for new stores are
+// spawned; stores absent from any active config are retired once their
+// last epoch expires.
+func (e *Engine) Install(topo *topology.Config, fromEpoch int64) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// A newer install supersedes any pending config for the same or a
+	// later epoch: a query-churn config at e+1 must not be shadowed by a
+	// re-optimization at e+2 that was planned before the churn.
+	kept := e.configs[:0]
+	for _, c := range e.configs {
+		if c.fromEpoch < fromEpoch {
+			kept = append(kept, c)
+		}
+	}
+	e.configs = append(kept, &epochConfig{fromEpoch: fromEpoch, topo: topo})
+	sort.Slice(e.configs, func(i, j int) bool { return e.configs[i].fromEpoch < e.configs[j].fromEpoch })
+	// Garbage-collect superseded history: configs fully shadowed before
+	// the safety horizon (two epochs behind the watermark) can never be
+	// resolved again.
+	horizon := e.Epoch(e.Watermark()) - 2
+	cut := 0
+	for i := 0; i+1 < len(e.configs); i++ {
+		if e.configs[i+1].fromEpoch <= horizon {
+			cut = i + 1
+		}
+	}
+	e.configs = e.configs[cut:]
+	// Spawn tasks for stores that do not have them yet, pinning each
+	// store's parallelism at first sight.
+	for id, s := range topo.Stores {
+		par, pinned := e.pinnedPar[id]
+		if !pinned {
+			par = s.Parallelism
+			if par < 1 {
+				par = 1
+			}
+			e.pinnedPar[id] = par
+			e.pinnedPart[id] = s.Partition
+		}
+		for p := 0; p < par; p++ {
+			k := taskKey{store: id, part: p}
+			if e.tasks[k] == nil {
+				t := newTask(e, k, s)
+				e.tasks[k] = t
+				if !e.cfg.Synchronous {
+					e.wg.Add(1)
+					go t.run()
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// configFor returns the config active at the given epoch (largest
+// fromEpoch ≤ epoch), or nil. Binary search: this sits on the hot path
+// of every emitted tuple.
+func (e *Engine) configFor(epoch int64) *topology.Config {
+	lo, hi := 0, len(e.configs)-1
+	var best *topology.Config
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if e.configs[mid].fromEpoch <= epoch {
+			best = e.configs[mid].topo
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+// ConfigFor is the exported, locked variant for inspection and tests.
+func (e *Engine) ConfigFor(epoch int64) *topology.Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.configFor(epoch)
+}
+
+// Epoch returns the epoch containing the event time.
+func (e *Engine) Epoch(ts tuple.Time) int64 {
+	if e.cfg.EpochLength <= 0 {
+		return 0
+	}
+	return int64(ts) / int64(e.cfg.EpochLength)
+}
+
+// Failure returns the terminal error, if the engine failed.
+func (e *Engine) Failure() error {
+	if v := e.failure.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+func (e *Engine) fail(err error) {
+	e.failure.CompareAndSwap(nil, err)
+}
+
+// Watermark returns the maximum event time ingested.
+func (e *Engine) Watermark() tuple.Time { return tuple.Time(e.watermk.Load()) }
+
+// Ingest feeds one tuple of the relation into the topology, following
+// the adaptive input handling of Algorithm 4: the tuple is delivered to
+// each epoch-dependent receiver set it can serve as a join partner for.
+func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
+	if err := e.Failure(); err != nil {
+		return err
+	}
+	if e.stopped.Load() {
+		return errors.New("runtime: engine stopped")
+	}
+	e.mu.RLock()
+	schema := e.schemas[rel]
+	e.mu.RUnlock()
+	if schema == nil {
+		return fmt.Errorf("runtime: unknown relation %q", rel)
+	}
+	if len(vals) != schema.Len()-1 {
+		return fmt.Errorf("runtime: %d values for relation %s with %d attributes", len(vals), rel, schema.Len()-1)
+	}
+	full := make([]tuple.Value, 0, schema.Len())
+	full = append(full, vals...)
+	full = append(full, tuple.IntValue(int64(ts)))
+	t := tuple.New(schema, ts, full...)
+
+	seq := e.seq.Add(1)
+	for {
+		old := e.watermk.Load()
+		if int64(ts) <= old || e.watermk.CompareAndSwap(old, int64(ts)) {
+			break
+		}
+	}
+	e.metrics.ingested.Add(1)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(rel, t)
+	}
+	wall := time.Now().UnixNano()
+
+	// The tuple is processed under its own epoch's configuration: stored
+	// once into its arrival-epoch container, and probing along the
+	// epoch's probe trees. Probes scan the containers of all epochs
+	// within the window, so cross-epoch join partners are found without
+	// replicating state (Sec. VI-A).
+	ownEpoch := e.Epoch(ts)
+	e.mu.RLock()
+	if cfg := e.configFor(ownEpoch); cfg != nil {
+		if sp := cfg.Spouts[rel]; sp != nil {
+			for _, em := range sp.Out {
+				e.emitLocked(cfg, em, ownEpoch, t, seq, wall)
+			}
+		}
+	}
+	e.mu.RUnlock()
+
+	if e.cfg.Synchronous {
+		e.runSyncQueue()
+	} else if e.cfg.StepMode {
+		e.Drain()
+	}
+	return e.Failure()
+}
+
+func isStoreEdge(cfg *topology.Config, em topology.Emission) bool {
+	if em.To == "" {
+		return false
+	}
+	for _, r := range cfg.Rules[em.To][em.Edge] {
+		if r.Kind == topology.StoreRule {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) window(rel string) time.Duration {
+	if e.cfg.Catalog == nil {
+		return e.cfg.DefaultWindow
+	}
+	return e.cfg.Catalog.Window(rel, e.cfg.DefaultWindow)
+}
+
+// emitLocked routes a tuple along an emission. Callers hold e.mu (read).
+func (e *Engine) emitLocked(cfg *topology.Config, em topology.Emission, epoch int64, t *tuple.Tuple, seq uint64, wall int64) {
+	if em.Sink != "" {
+		e.deliverResult(em.Sink, t, wall)
+		return
+	}
+	store := cfg.Stores[em.To]
+	if store == nil {
+		return
+	}
+	par := e.pinnedPar[em.To]
+	if par < 1 {
+		par = 1
+	}
+	msg := message{edge: em.Edge, epoch: epoch, t: t, seq: seq, ingestWall: wall}
+	isStore := isStoreEdge(cfg, em)
+	if h, ok := e.routeHash(cfg, em, store, isStore, t); ok && par >= 1 {
+		if e.cfg.TwoChoiceRouting && par >= 2 {
+			p1, p2 := twoChoices(h, par)
+			if isStore {
+				// Materialize once, on the less-loaded candidate.
+				e.send(taskKey{store: em.To, part: e.lessLoaded(em.To, p1, p2)}, msg)
+			} else {
+				// The partner may be on either candidate: probe both.
+				e.send(taskKey{store: em.To, part: p1}, msg)
+				e.send(taskKey{store: em.To, part: p2}, msg)
+			}
+			return
+		}
+		e.send(taskKey{store: em.To, part: int(h % uint64(par))}, msg)
+		return
+	}
+	if isStore {
+		// Inserts into an unpartitioned store spread round-robin: the
+		// tuple is materialized exactly once; later probes broadcast.
+		e.send(taskKey{store: em.To, part: int(seq % uint64(par))}, msg)
+		return
+	}
+	// Broadcast probe: the tuple counts once per task (χ in Eq. 1); the
+	// batched message event counts once (Sec. III).
+	for p := 0; p < par; p++ {
+		e.send(taskKey{store: em.To, part: p}, msg)
+	}
+}
+
+// emitBatchLocked routes a probe's result tuples along one emission,
+// batching all tuples headed for the same task into a single message
+// (Sec. III: result tuples travel together; probe cost counts tuples,
+// messaging events count batches). Callers hold e.mu (read).
+func (e *Engine) emitBatchLocked(cfg *topology.Config, em topology.Emission, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64) {
+	if em.Sink != "" {
+		for _, t := range batch {
+			e.deliverResult(em.Sink, t, wall)
+		}
+		return
+	}
+	if len(batch) == 1 {
+		e.emitLocked(cfg, em, epoch, batch[0], seq, wall)
+		return
+	}
+	store := cfg.Stores[em.To]
+	if store == nil {
+		return
+	}
+	par := e.pinnedPar[em.To]
+	if par < 1 {
+		par = 1
+	}
+	twoChoice := e.cfg.TwoChoiceRouting && par >= 2
+	isStore := isStoreEdge(cfg, em)
+	var byPart map[int][]*tuple.Tuple
+	var rest []*tuple.Tuple
+	addTo := func(p int, t *tuple.Tuple) {
+		if byPart == nil {
+			byPart = make(map[int][]*tuple.Tuple, par)
+		}
+		byPart[p] = append(byPart[p], t)
+	}
+	for _, t := range batch {
+		if h, ok := e.routeHash(cfg, em, store, isStore, t); ok {
+			if twoChoice {
+				p1, p2 := twoChoices(h, par)
+				if isStore {
+					addTo(e.lessLoaded(em.To, p1, p2), t)
+				} else {
+					addTo(p1, t)
+					addTo(p2, t)
+				}
+			} else {
+				addTo(int(h%uint64(par)), t)
+			}
+			continue
+		}
+		rest = append(rest, t)
+	}
+	for p := 0; p < par; p++ {
+		if sub := byPart[p]; len(sub) > 0 {
+			e.send(taskKey{store: em.To, part: p},
+				message{edge: em.Edge, epoch: epoch, batch: sub, seq: seq, ingestWall: wall})
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	msg := message{edge: em.Edge, epoch: epoch, batch: rest, seq: seq, ingestWall: wall}
+	if isStoreEdge(cfg, em) {
+		// Inserts into an unpartitioned store land on one task.
+		e.send(taskKey{store: em.To, part: int(seq % uint64(par))}, msg)
+		return
+	}
+	// Broadcast probe: the batch counts once per task (χ in Eq. 1).
+	for p := 0; p < par; p++ {
+		e.send(taskKey{store: em.To, part: p}, msg)
+	}
+}
+
+// routeHash returns the hash value routing this transfer to one
+// partition of the target store, if the tuple can be routed soundly.
+//
+// Inserts always route by the store's pinned partitioning attribute,
+// which every stored tuple carries by name (a base store's tuples carry
+// the relation's attributes; an MIR store's feeding results carry all
+// constituent attributes, and partition candidates are drawn from
+// them). Probes route by the emission's compile-time RouteBy attribute:
+// the compiler guarantees its equality to the partitioning attribute
+// for every rule consuming the edge. A config that declares a different
+// partitioning than the pinned physical layout cannot key its probes
+// (state cannot be re-sharded live; see DESIGN.md) — they broadcast.
+func (e *Engine) routeHash(cfg *topology.Config, em topology.Emission, store *topology.Store, isStore bool, t *tuple.Tuple) (uint64, bool) {
+	pinned := e.pinnedPart[em.To]
+	if pinned == (query.Attr{}) {
+		return 0, false
+	}
+	name := ""
+	if isStore {
+		name = pinned.Qualified()
+	} else if em.RouteBy != "" && store.Partition == pinned {
+		name = em.RouteBy
+	}
+	if name == "" {
+		return 0, false
+	}
+	v, ok := t.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return v.Hash(), true
+}
+
+// twoChoices derives the two candidate partitions of a key hash; they
+// are always distinct when par >= 2.
+func twoChoices(h uint64, par int) (int, int) {
+	p1 := int(h % uint64(par))
+	p2 := int((h * 0x9E3779B97F4A7C15 >> 17) % uint64(par))
+	if p2 == p1 {
+		p2 = (p1 + 1) % par
+	}
+	return p1, p2
+}
+
+// lessLoaded picks the candidate task currently holding fewer tuples.
+func (e *Engine) lessLoaded(store topology.StoreID, p1, p2 int) int {
+	t1 := e.tasks[taskKey{store: store, part: p1}]
+	t2 := e.tasks[taskKey{store: store, part: p2}]
+	if t1 == nil || t2 == nil {
+		return p1
+	}
+	if t2.storedCount.Load() < t1.storedCount.Load() {
+		return p2
+	}
+	return p1
+}
+
+func (e *Engine) send(k taskKey, msg message) {
+	t := e.tasks[k]
+	if t == nil {
+		return
+	}
+	e.inflight.Add(1)
+	e.metrics.probeSent.Add(msg.tupleCount())
+	e.metrics.messages.Add(1)
+	if sz := msg.memSize(); sz > 0 {
+		queued := e.queuedBytes.Add(sz)
+		if lim := e.cfg.MemoryLimitBytes; lim > 0 && queued+e.metrics.storeBytes.Load() > lim {
+			e.fail(ErrMemoryLimit)
+		}
+	}
+	if e.cfg.Synchronous {
+		e.syncQueue = append(e.syncQueue, syncItem{key: k, msg: msg})
+		return
+	}
+	t.mailbox.put(msg)
+}
+
+// runSyncQueue processes queued work in FIFO order until the topology
+// settles. Only the ingesting goroutine calls this (Synchronous mode);
+// handling a message may enqueue follow-up work, which is processed in
+// the same pass.
+func (e *Engine) runSyncQueue() {
+	for len(e.syncQueue) > 0 {
+		it := e.syncQueue[0]
+		e.syncQueue = e.syncQueue[1:]
+		if len(e.syncQueue) == 0 {
+			e.syncQueue = nil // release the backing array between bursts
+		}
+		e.mu.RLock()
+		t := e.tasks[it.key]
+		e.mu.RUnlock()
+		if t != nil {
+			if it.msg.kind == kindPrune {
+				t.prune(tuple.Time(it.msg.epoch))
+			} else {
+				e.queuedBytes.Add(-it.msg.memSize())
+				t.handle(it.msg)
+			}
+		}
+		e.inflight.Add(-1)
+	}
+}
+
+func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
+	var lat time.Duration
+	if wall > 0 {
+		lat = time.Duration(time.Now().UnixNano() - wall)
+	}
+	e.metrics.recordResult(queryName, lat)
+	e.sinkMu.RLock()
+	fn := e.sinks[queryName]
+	e.sinkMu.RUnlock()
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// Drain blocks until every queued and in-process message has been
+// handled. Combined with timestamp-ordered ingestion this yields exact
+// symmetric-join semantics.
+func (e *Engine) Drain() {
+	if e.cfg.Synchronous {
+		e.runSyncQueue()
+		return
+	}
+	for e.inflight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Stop drains and terminates all tasks.
+func (e *Engine) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	e.Drain()
+	e.mu.Lock()
+	for _, t := range e.tasks {
+		t.mailbox.close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// StoreSizes returns per-store materialized tuple counts, for memory
+// reporting (Fig. 7c) and tests.
+func (e *Engine) StoreSizes() map[topology.StoreID]int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := map[topology.StoreID]int64{}
+	for k, t := range e.tasks {
+		out[k.store] += t.storedCount.Load()
+	}
+	return out
+}
+
+// TaskSizes returns per-task materialized tuple counts keyed by store,
+// indexed by partition — the load-imbalance signal for skew experiments.
+func (e *Engine) TaskSizes() map[topology.StoreID][]int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := map[topology.StoreID][]int64{}
+	for k, t := range e.tasks {
+		sizes := out[k.store]
+		for len(sizes) <= k.part {
+			sizes = append(sizes, 0)
+		}
+		sizes[k.part] = t.storedCount.Load()
+		out[k.store] = sizes
+	}
+	return out
+}
+
+// PruneBefore drops stored tuples whose event time precedes the cutoff
+// in every task (window expiry; called by the adaptive controller and
+// tests).
+func (e *Engine) PruneBefore(cut tuple.Time) {
+	e.mu.RLock()
+	tasks := make([]*task, 0, len(e.tasks))
+	for _, t := range e.tasks {
+		tasks = append(tasks, t)
+	}
+	e.mu.RUnlock()
+	for _, t := range tasks {
+		t.requestPrune(cut)
+	}
+	if e.cfg.Synchronous {
+		e.runSyncQueue()
+	}
+}

@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates runtime counters. All methods are safe for
+// concurrent use; Snapshot returns a consistent copy for reporting.
+type Metrics struct {
+	ingested   atomic.Int64 // raw input tuples
+	probeSent  atomic.Int64 // tuples sent between tasks (the paper's probe cost)
+	messages   atomic.Int64 // messaging events (broadcast counts once per task)
+	stored     atomic.Int64 // tuples currently materialized across stores
+	storeBytes atomic.Int64 // approximate bytes materialized
+	results    atomic.Int64 // join results emitted across all queries
+
+	mu        sync.Mutex
+	byQuery   map[string]int64
+	latSum    time.Duration
+	latCount  int64
+	latMax    time.Duration
+	histogram [16]int64 // exponential buckets, 1ms base
+
+	// Processing lag: ingest-to-handling delay of tuple messages, the
+	// paper's per-tuple latency signal (rises when workers buffer).
+	lagSum   atomic.Int64
+	lagCount atomic.Int64
+	lagTick  atomic.Int64 // sampling counter
+}
+
+// recordLag samples the ingest-to-handling delay of one message.
+func (m *Metrics) recordLag(nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	m.lagSum.Add(nanos)
+	m.lagCount.Add(1)
+}
+
+// sampleLag reports whether this message should record its lag (1 in 8).
+func (m *Metrics) sampleLag() bool { return m.lagTick.Add(1)&7 == 0 }
+
+func newMetrics() *Metrics { return &Metrics{byQuery: map[string]int64{}} }
+
+func (m *Metrics) recordResult(queryName string, latency time.Duration) {
+	m.results.Add(1)
+	m.mu.Lock()
+	m.byQuery[queryName]++
+	if latency > 0 {
+		m.latSum += latency
+		m.latCount++
+		if latency > m.latMax {
+			m.latMax = latency
+		}
+		b := 0
+		for d := latency / time.Millisecond; d > 0 && b < len(m.histogram)-1; d >>= 1 {
+			b++
+		}
+		m.histogram[b]++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the metrics.
+type Snapshot struct {
+	Ingested   int64
+	ProbeSent  int64
+	Messages   int64
+	Stored     int64
+	StoreBytes int64
+	Results    int64
+	ByQuery    map[string]int64
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+	LatCount   int64
+	// AvgLag is the sampled ingest-to-handling delay of tuple messages,
+	// the per-tuple latency the paper's Fig. 8 plots (it rises with
+	// buffering even when no results are produced).
+	AvgLag   time.Duration
+	LagCount int64
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	byQ := make(map[string]int64, len(m.byQuery))
+	for k, v := range m.byQuery {
+		byQ[k] = v
+	}
+	var avg time.Duration
+	if m.latCount > 0 {
+		avg = m.latSum / time.Duration(m.latCount)
+	}
+	latMax, latCount := m.latMax, m.latCount
+	m.mu.Unlock()
+	var avgLag time.Duration
+	lagN := m.lagCount.Load()
+	if lagN > 0 {
+		avgLag = time.Duration(m.lagSum.Load() / lagN)
+	}
+	return Snapshot{
+		AvgLag:     avgLag,
+		LagCount:   lagN,
+		Ingested:   m.ingested.Load(),
+		ProbeSent:  m.probeSent.Load(),
+		Messages:   m.messages.Load(),
+		Stored:     m.stored.Load(),
+		StoreBytes: m.storeBytes.Load(),
+		Results:    m.results.Load(),
+		ByQuery:    byQ,
+		AvgLatency: avg,
+		MaxLatency: latMax,
+		LatCount:   latCount,
+	}
+}
+
+// ResetLatency clears the latency and lag aggregates (used for
+// per-interval latency series in the adaptive experiments, Fig. 8).
+func (m *Metrics) ResetLatency() {
+	m.mu.Lock()
+	m.latSum, m.latCount, m.latMax = 0, 0, 0
+	for i := range m.histogram {
+		m.histogram[i] = 0
+	}
+	m.mu.Unlock()
+	m.lagSum.Store(0)
+	m.lagCount.Store(0)
+}
+
+// String renders a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("in=%d probes=%d msgs=%d stored=%d (%.1f MiB) results=%d avgLat=%v",
+		s.Ingested, s.ProbeSent, s.Messages, s.Stored,
+		float64(s.StoreBytes)/(1<<20), s.Results, s.AvgLatency)
+}

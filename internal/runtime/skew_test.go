@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"testing"
+
+	"clash/internal/core"
+	"clash/internal/tuple"
+)
+
+// skewedStream sends most tuples to one hot key (Zipf-like head) — the
+// scenario partial key grouping (the paper's related work [30]) targets.
+func skewedStream(rels []string, n int, hotShare int) []Ingestion {
+	var out []Ingestion
+	for i := 0; i < n; i++ {
+		key := int64(0)
+		if i%hotShare == hotShare-1 {
+			key = int64(i % 13)
+		}
+		out = append(out, Ingestion{
+			Rel:  rels[i%len(rels)],
+			TS:   tuple.Time(i + 1),
+			Vals: []tuple.Value{tuple.IntValue(key)},
+		})
+	}
+	return out
+}
+
+func maxLoad(sizes []int64) int64 {
+	var m int64
+	for _, s := range sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// TestTwoChoiceRoutingExact: with two-choice routing enabled, results
+// must still exactly match the oracle — inserts land on one of the two
+// hash candidates and probes visit both, so no pair is lost and none is
+// duplicated.
+func TestTwoChoiceRoutingExact(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 4},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true, TwoChoiceRouting: true})
+	defer h.eng.Stop()
+	ins := skewedStream([]string{"R", "S"}, 400, 4)
+	h.ingestAll(t, ins)
+	h.checkAgainstOracle(t, ins)
+	if h.sinks["q1"].Count() == 0 {
+		t.Fatal("no results — vacuous")
+	}
+}
+
+// TestTwoChoiceReducesImbalance: under heavy key skew the hot key's
+// tuples split across two tasks, so the maximum task load drops well
+// below single-choice hashing's.
+func TestTwoChoiceReducesImbalance(t *testing.T) {
+	run := func(twoChoice bool) int64 {
+		h := newHarness(t, "q1: R(a) S(a)",
+			core.Options{StoreParallelism: 4},
+			flatEstimates([]string{"R", "S"}, 100),
+			Config{Synchronous: true, TwoChoiceRouting: twoChoice})
+		defer h.eng.Stop()
+		h.ingestAll(t, skewedStream([]string{"R", "S"}, 600, 8))
+		var worst int64
+		for _, sizes := range h.eng.TaskSizes() {
+			if m := maxLoad(sizes); m > worst {
+				worst = m
+			}
+		}
+		return worst
+	}
+	single := run(false)
+	double := run(true)
+	if double >= single {
+		t.Errorf("two-choice max task load %d >= single-choice %d", double, single)
+	}
+	// The hot key splits in two: expect roughly half, allow slack for
+	// the non-hot tail.
+	if double > single*3/4 {
+		t.Errorf("two-choice max load %d not substantially below single-choice %d", double, single)
+	}
+}
+
+// TestTwoChoiceCostsMoreProbes documents the trade-off: keyed probes
+// fan out to two tasks instead of one.
+func TestTwoChoiceCostsMoreProbes(t *testing.T) {
+	run := func(twoChoice bool) int64 {
+		h := newHarness(t, "q1: R(a) S(a)",
+			core.Options{StoreParallelism: 4},
+			flatEstimates([]string{"R", "S"}, 100),
+			Config{Synchronous: true, TwoChoiceRouting: twoChoice})
+		defer h.eng.Stop()
+		h.ingestAll(t, skewedStream([]string{"R", "S"}, 200, 4))
+		return h.eng.Metrics().Snapshot().ProbeSent
+	}
+	single := run(false)
+	double := run(true)
+	if double <= single {
+		t.Errorf("two-choice probes %d <= single-choice %d; χ accounting lost", double, single)
+	}
+}
+
+// TestTaskSizesShape: every partition of every store is reported.
+func TestTaskSizesShape(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 3},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true})
+	defer h.eng.Stop()
+	h.ingestAll(t, skewedStream([]string{"R", "S"}, 60, 3))
+	sizes := h.eng.TaskSizes()
+	if len(sizes) == 0 {
+		t.Fatal("no stores reported")
+	}
+	for sid, parts := range sizes {
+		if len(parts) != 3 {
+			t.Errorf("store %s reports %d partitions, want 3", sid, len(parts))
+		}
+	}
+}
+
+func TestStoreSizesAndSnapshotString(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true})
+	defer h.eng.Stop()
+	h.ingestAll(t, skewedStream([]string{"R", "S"}, 40, 2))
+	sizes := h.eng.StoreSizes()
+	var total int64
+	for _, n := range sizes {
+		total += n
+	}
+	snap := h.eng.Metrics().Snapshot()
+	if total != snap.Stored {
+		t.Errorf("StoreSizes sum %d != Stored %d", total, snap.Stored)
+	}
+	if s := snap.String(); s == "" {
+		t.Error("empty snapshot string")
+	}
+}

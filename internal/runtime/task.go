@@ -1,0 +1,356 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clash/internal/query"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// mailbox is an unbounded FIFO link between tasks. Unboundedness mirrors
+// the paper's observation that overloaded workers buffer tuples (and
+// eventually die on memory overflow, Fig. 8a) rather than deadlock.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.buf = append(m.buf, msg)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) get() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.buf) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.buf) == 0 {
+		return message{}, false
+	}
+	msg := m.buf[0]
+	m.buf = m.buf[1:]
+	if len(m.buf) == 0 {
+		m.buf = nil // release the backing array between bursts
+	}
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+const (
+	kindData int8 = iota
+	kindPrune
+)
+
+// entry is one stored tuple with the sequence number that orders it
+// against probes (the "arrived earlier" condition of the probe-order
+// decomposition).
+type entry struct {
+	t   *tuple.Tuple
+	seq uint64
+}
+
+// container holds one epoch's stored tuples with lazily built hash
+// indices per probed attribute (Sec. V-B: "for each distinct attribute
+// access in a store, indices are created locally").
+type container struct {
+	entries []entry
+	indices map[string]map[tuple.Value][]int
+}
+
+func newContainer() *container {
+	return &container{indices: map[string]map[tuple.Value][]int{}}
+}
+
+func (c *container) add(e entry) {
+	idx := len(c.entries)
+	c.entries = append(c.entries, e)
+	for attr, ix := range c.indices {
+		if v, ok := e.t.Get(attr); ok {
+			ix[v] = append(ix[v], idx)
+		}
+	}
+}
+
+// index returns (building on first use) the hash index over the given
+// qualified attribute.
+func (c *container) index(attr string) map[tuple.Value][]int {
+	if ix, ok := c.indices[attr]; ok {
+		return ix
+	}
+	ix := make(map[tuple.Value][]int)
+	for i, e := range c.entries {
+		if v, ok := e.t.Get(attr); ok {
+			ix[v] = append(ix[v], i)
+		}
+	}
+	c.indices[attr] = ix
+	return ix
+}
+
+// task is one partition worker of a store: a goroutine consuming its
+// mailbox and applying the epoch's ruleset to each message (Alg. 3/4).
+type task struct {
+	e           *Engine
+	key         taskKey
+	store       *topology.Store
+	mailbox     *mailbox
+	containers  map[int64]*container
+	schemaCache map[[2]*tuple.Schema]*tuple.Schema
+	storedCount atomic.Int64
+	spin        uint64 // overhead-emulation sink
+}
+
+func newTask(e *Engine, k taskKey, s *topology.Store) *task {
+	return &task{
+		e:           e,
+		key:         k,
+		store:       s,
+		mailbox:     newMailbox(),
+		containers:  map[int64]*container{},
+		schemaCache: map[[2]*tuple.Schema]*tuple.Schema{},
+	}
+}
+
+func (t *task) requestPrune(cut tuple.Time) {
+	t.e.inflight.Add(1)
+	msg := message{kind: kindPrune, epoch: int64(cut)}
+	if t.e.cfg.Synchronous {
+		t.e.syncQueue = append(t.e.syncQueue, syncItem{key: t.key, msg: msg})
+		return
+	}
+	t.mailbox.put(msg)
+}
+
+func (t *task) run() {
+	defer t.e.wg.Done()
+	for {
+		msg, ok := t.mailbox.get()
+		if !ok {
+			return
+		}
+		if msg.kind == kindPrune {
+			t.prune(tuple.Time(msg.epoch))
+		} else {
+			t.e.queuedBytes.Add(-msg.memSize())
+			t.handle(msg)
+		}
+		t.e.inflight.Add(-1)
+	}
+}
+
+// handle applies the ruleset valid for the message's epoch (Alg. 4).
+func (t *task) handle(msg message) {
+	if n := t.e.cfg.OverheadLoops; n > 0 {
+		for i := 0; i < n; i++ {
+			t.spin += uint64(i) ^ t.spin>>3
+		}
+	}
+	if msg.ingestWall > 0 && t.e.metrics.sampleLag() {
+		t.e.metrics.recordLag(nowNanos() - msg.ingestWall)
+	}
+	t.e.mu.RLock()
+	cfg := t.e.configFor(msg.epoch)
+	var rules []topology.Rule
+	if cfg != nil {
+		rules = cfg.Rules[t.key.store][msg.edge]
+	}
+	t.e.mu.RUnlock()
+
+	for i := range rules {
+		switch rules[i].Kind {
+		case topology.StoreRule:
+			msg.each(func(tp *tuple.Tuple) { t.insert(tp, msg.seq) })
+		case topology.ProbeRule:
+			rule := &rules[i]
+			msg.each(func(tp *tuple.Tuple) { t.probe(tp, msg, rule) })
+		}
+	}
+}
+
+func (t *task) insert(tp *tuple.Tuple, seq uint64) {
+	// Containers are keyed by the tuple's arrival epoch: each tuple is
+	// materialized exactly once, and probes scan all containers within
+	// their window.
+	ep := t.e.Epoch(tp.TS)
+	c := t.containers[ep]
+	if c == nil {
+		c = newContainer()
+		t.containers[ep] = c
+	}
+	c.add(entry{t: tp, seq: seq})
+	t.storedCount.Add(1)
+	t.e.metrics.stored.Add(1)
+	bytes := t.e.metrics.storeBytes.Add(int64(tp.MemSize()))
+	if lim := t.e.cfg.MemoryLimitBytes; lim > 0 && bytes > lim {
+		t.e.fail(ErrMemoryLimit)
+	}
+}
+
+// probe joins the arriving tuple against all stored containers within
+// reach using the rule's predicates, then forwards the join results
+// along the rule's emissions as one batch per target (Sec. III). Each
+// stored tuple lives in exactly one container, so no result is produced
+// twice.
+func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
+	if len(rule.Preds) == 0 {
+		return // the optimizer never emits cross-product probes
+	}
+	if len(t.containers) == 0 {
+		return
+	}
+
+	// Resolve which side of each predicate is stored here.
+	type probePred struct {
+		storedAttr string
+		probeAttr  string
+	}
+	pps := make([]probePred, 0, len(rule.Preds))
+	inStore := map[string]bool{}
+	for _, r := range t.store.Rels {
+		inStore[r] = true
+	}
+	for _, p := range rule.Preds {
+		var stored, probe query.Attr
+		if inStore[p.Left.Rel] {
+			stored, probe = p.Left, p.Right
+		} else {
+			stored, probe = p.Right, p.Left
+		}
+		pps = append(pps, probePred{storedAttr: stored.Qualified(), probeAttr: probe.Qualified()})
+	}
+
+	// First predicate through the index; the rest filter.
+	v0, ok := tp.Get(pps[0].probeAttr)
+	if !ok {
+		return
+	}
+	var results []*tuple.Tuple
+	for _, c := range t.containers {
+		for _, ci := range c.index(pps[0].storedAttr)[v0] {
+			en := c.entries[ci]
+			if en.seq >= msg.seq {
+				continue // only earlier-arrived tuples are join partners
+			}
+			match := true
+			for _, pp := range pps[1:] {
+				pv, ok1 := tp.Get(pp.probeAttr)
+				sv, ok2 := en.t.Get(pp.storedAttr)
+				if !ok1 || !ok2 || pv != sv {
+					match = false
+					break
+				}
+			}
+			if !match || !t.withinWindows(tp, en.t) {
+				continue
+			}
+			results = append(results, t.join(tp, en.t))
+		}
+	}
+	if len(results) == 0 {
+		return
+	}
+	t.forward(rule.Out, msg, results)
+}
+
+// withinWindows checks, for every base relation materialized in the
+// stored tuple, that the probe is within that relation's window. The τ
+// pseudo-attributes carry per-member event times through joins.
+func (t *task) withinWindows(probe, stored *tuple.Tuple) bool {
+	for _, rel := range t.store.Rels {
+		w := t.e.window(rel)
+		if w <= 0 {
+			continue // unbounded history
+		}
+		tau, ok := stored.Get(rel + ".τ")
+		if !ok {
+			continue
+		}
+		if int64(probe.TS)-tau.Int() > int64(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *task) join(probe, stored *tuple.Tuple) *tuple.Tuple {
+	key := [2]*tuple.Schema{probe.Schema, stored.Schema}
+	joined := t.schemaCache[key]
+	if joined == nil {
+		joined = probe.Schema.Concat(stored.Schema)
+		t.schemaCache[key] = joined
+	}
+	return probe.Join(stored, joined)
+}
+
+// forward routes one probe's join results along the rule's emissions:
+// sinks record each result; probe and store edges receive the results
+// batched per target task, under the originating tuple's epoch
+// configuration, which stays consistent along the whole chain.
+func (t *task) forward(out []topology.Emission, msg message, results []*tuple.Tuple) {
+	e := t.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cfg := e.configFor(msg.epoch)
+	if cfg == nil {
+		return
+	}
+	for _, em := range out {
+		// deliverResult only touches sinkMu, safe under e.mu.RLock.
+		e.emitBatchLocked(cfg, em, msg.epoch, results, msg.seq, msg.ingestWall)
+	}
+}
+
+// prune drops entries whose event time precedes the cutoff; emptied
+// containers are removed entirely.
+func (t *task) prune(cut tuple.Time) {
+	for ep, c := range t.containers {
+		kept := c.entries[:0]
+		removedBytes := int64(0)
+		removed := 0
+		for _, en := range c.entries {
+			if en.t.TS < cut {
+				removed++
+				removedBytes += int64(en.t.MemSize())
+				continue
+			}
+			kept = append(kept, en)
+		}
+		if removed == 0 {
+			continue
+		}
+		t.storedCount.Add(int64(-removed))
+		t.e.metrics.stored.Add(int64(-removed))
+		t.e.metrics.storeBytes.Add(-removedBytes)
+		if len(kept) == 0 {
+			delete(t.containers, ep)
+			continue
+		}
+		c.entries = kept
+		c.indices = map[string]map[tuple.Value][]int{} // lazy rebuild
+	}
+}

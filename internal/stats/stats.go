@@ -1,0 +1,404 @@
+// Package stats gathers and estimates the data characteristics that drive
+// CLASH's cost-based optimization: per-relation arrival rates, per-attribute
+// distinct counts, and pairwise equi-join selectivities.
+//
+// Statistics are epoch-local (Sec. VI-A of the paper): a Collector
+// accumulates raw observations during an epoch; Seal converts them into an
+// Estimates snapshot that the optimizer consumes in the next epoch.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clash/internal/query"
+	"clash/internal/rng"
+	"clash/internal/tuple"
+)
+
+// Estimates is an immutable snapshot of data characteristics: everything
+// the cost model (Eq. 1) needs. Rates are tuples per second; selectivities
+// are keyed by normalized predicate strings.
+type Estimates struct {
+	Rates      map[string]float64 // relation -> tuples/sec
+	Sels       map[string]float64 // predicate signature -> selectivity
+	DefaultSel float64            // fallback when a predicate was never observed
+	Windows    map[string]time.Duration
+}
+
+// NewEstimates returns an empty snapshot with the given fallback
+// selectivity (the paper's ILP experiments use rate^-1).
+func NewEstimates(defaultSel float64) *Estimates {
+	return &Estimates{
+		Rates:      map[string]float64{},
+		Sels:       map[string]float64{},
+		DefaultSel: defaultSel,
+		Windows:    map[string]time.Duration{},
+	}
+}
+
+// Rate returns the arrival rate of the relation, or 1 if unknown (a
+// neutral default that keeps cost terms finite).
+func (e *Estimates) Rate(rel string) float64 {
+	if r, ok := e.Rates[rel]; ok && r > 0 {
+		return r
+	}
+	return 1
+}
+
+// SetRate records the arrival rate of a relation.
+func (e *Estimates) SetRate(rel string, perSec float64) { e.Rates[rel] = perSec }
+
+// Selectivity returns the estimated selectivity of the predicate.
+func (e *Estimates) Selectivity(p query.Predicate) float64 {
+	if s, ok := e.Sels[p.String()]; ok && s > 0 {
+		return s
+	}
+	if e.DefaultSel > 0 {
+		return e.DefaultSel
+	}
+	return 0.01
+}
+
+// SetSelectivity records a predicate selectivity.
+func (e *Estimates) SetSelectivity(p query.Predicate, sel float64) {
+	e.Sels[p.String()] = sel
+}
+
+// Window returns the relation's window, or def when unknown.
+func (e *Estimates) Window(rel string, def time.Duration) time.Duration {
+	if w, ok := e.Windows[rel]; ok && w > 0 {
+		return w
+	}
+	return def
+}
+
+// Clone returns a deep copy, used when blending epochs.
+func (e *Estimates) Clone() *Estimates {
+	c := NewEstimates(e.DefaultSel)
+	for k, v := range e.Rates {
+		c.Rates[k] = v
+	}
+	for k, v := range e.Sels {
+		c.Sels[k] = v
+	}
+	for k, v := range e.Windows {
+		c.Windows[k] = v
+	}
+	return c
+}
+
+// Blend exponentially ages old estimates into new ones:
+// out = alpha*new + (1-alpha)*old, per key. Keys only present on one side
+// are taken as-is. Blending smooths epoch-to-epoch noise while letting the
+// optimizer react within a couple of epochs (Fig. 5).
+func Blend(old, new *Estimates, alpha float64) *Estimates {
+	if old == nil {
+		return new.Clone()
+	}
+	if new == nil {
+		return old.Clone()
+	}
+	out := old.Clone()
+	out.DefaultSel = new.DefaultSel
+	for k, v := range new.Rates {
+		if o, ok := out.Rates[k]; ok {
+			out.Rates[k] = alpha*v + (1-alpha)*o
+		} else {
+			out.Rates[k] = v
+		}
+	}
+	for k, v := range new.Sels {
+		if o, ok := out.Sels[k]; ok {
+			out.Sels[k] = alpha*v + (1-alpha)*o
+		} else {
+			out.Sels[k] = v
+		}
+	}
+	for k, v := range new.Windows {
+		out.Windows[k] = v
+	}
+	return out
+}
+
+// String renders the snapshot deterministically for logs and golden tests.
+func (e *Estimates) String() string {
+	var rels []string
+	for r := range e.Rates {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	var b []byte
+	for _, r := range rels {
+		b = fmt.Appendf(b, "rate(%s)=%.3g ", r, e.Rates[r])
+	}
+	var ps []string
+	for p := range e.Sels {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		b = fmt.Appendf(b, "sel(%s)=%.3g ", p, e.Sels[p])
+	}
+	return string(b)
+}
+
+// KMV is a k-minimum-values sketch for distinct-count estimation. It keeps
+// the k smallest 64-bit hashes observed; the distinct count is estimated
+// as (k-1) / kth-smallest-normalized-hash.
+type KMV struct {
+	k         int
+	hashes    []uint64 // sorted ascending, at most k
+	seen      map[uint64]bool
+	saturated bool // true once any distinct value fell outside the k minima
+}
+
+// NewKMV returns a sketch keeping k minimum values (k >= 2).
+func NewKMV(k int) *KMV {
+	if k < 2 {
+		k = 2
+	}
+	return &KMV{k: k, seen: make(map[uint64]bool, k)}
+}
+
+// Add observes a value.
+func (s *KMV) Add(v tuple.Value) { s.AddHash(v.Hash()) }
+
+// AddHash observes a pre-hashed value.
+func (s *KMV) AddHash(h uint64) {
+	if s.seen[h] {
+		return
+	}
+	if len(s.hashes) < s.k {
+		s.seen[h] = true
+		s.hashes = append(s.hashes, h)
+		sort.Slice(s.hashes, func(i, j int) bool { return s.hashes[i] < s.hashes[j] })
+		return
+	}
+	s.saturated = true
+	if h >= s.hashes[s.k-1] {
+		return
+	}
+	delete(s.seen, s.hashes[s.k-1])
+	s.seen[h] = true
+	i := sort.Search(s.k, func(i int) bool { return s.hashes[i] >= h })
+	copy(s.hashes[i+1:], s.hashes[i:s.k-1])
+	s.hashes[i] = h
+}
+
+// Estimate returns the estimated number of distinct values observed.
+func (s *KMV) Estimate() float64 {
+	if !s.saturated {
+		return float64(len(s.hashes))
+	}
+	kth := float64(s.hashes[s.k-1]) / float64(^uint64(0))
+	if kth <= 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / kth
+}
+
+// Reservoir keeps a uniform sample of up to k tuples (Vitter's algorithm R).
+type Reservoir struct {
+	k     int
+	n     int
+	items []*tuple.Tuple
+	rng   *rng.RNG
+}
+
+// NewReservoir returns a reservoir of capacity k seeded deterministically.
+func NewReservoir(k int, seed uint64) *Reservoir {
+	return &Reservoir{k: k, rng: rng.New(seed)}
+}
+
+// Add observes a tuple.
+func (r *Reservoir) Add(t *tuple.Tuple) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, t)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.k {
+		r.items[j] = t
+	}
+}
+
+// Items returns the current sample. Callers must not mutate it.
+func (r *Reservoir) Items() []*tuple.Tuple { return r.items }
+
+// Seen returns the total number of observed tuples.
+func (r *Reservoir) Seen() int { return r.n }
+
+// relStats accumulates one relation's raw observations within an epoch.
+type relStats struct {
+	count       int64
+	first, last tuple.Time
+	sample      *Reservoir
+	distinct    map[string]*KMV // unqualified attribute -> sketch
+}
+
+// Collector accumulates per-epoch observations. It is safe for concurrent
+// use by the source tasks of the runtime.
+type Collector struct {
+	mu         sync.Mutex
+	sampleK    int
+	sketchK    int
+	seed       uint64
+	rels       map[string]*relStats
+	defaultSel float64
+}
+
+// NewCollector returns a collector sampling up to sampleK tuples per
+// relation per epoch and sketching distincts with sketchK minimum values.
+func NewCollector(sampleK, sketchK int, seed uint64) *Collector {
+	return &Collector{sampleK: sampleK, sketchK: sketchK, seed: seed,
+		rels: map[string]*relStats{}, defaultSel: 0.01}
+}
+
+// SetDefaultSelectivity overrides the fallback selectivity for predicates
+// never observed in samples.
+func (c *Collector) SetDefaultSelectivity(s float64) { c.defaultSel = s }
+
+// Observe records the arrival of one tuple of the given relation.
+func (c *Collector) Observe(rel string, t *tuple.Tuple) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.rels[rel]
+	if rs == nil {
+		rs = &relStats{
+			sample:   NewReservoir(c.sampleK, c.seed^hashString(rel)),
+			distinct: map[string]*KMV{},
+			first:    t.TS,
+		}
+		c.rels[rel] = rs
+	}
+	rs.count++
+	if t.TS < rs.first {
+		rs.first = t.TS
+	}
+	if t.TS > rs.last {
+		rs.last = t.TS
+	}
+	rs.sample.Add(t)
+	for i, name := range t.Schema.Names() {
+		// Sketch under the unqualified attribute name: samples are raw
+		// relation tuples whose schemas carry qualified names.
+		short := name
+		if j := lastDot(name); j >= 0 {
+			short = name[j+1:]
+		}
+		sk := rs.distinct[short]
+		if sk == nil {
+			sk = NewKMV(c.sketchK)
+			rs.distinct[short] = sk
+		}
+		sk.AddHash(t.Values[i].Hash())
+	}
+}
+
+// Count returns the number of observations for the relation this epoch.
+func (c *Collector) Count(rel string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs := c.rels[rel]; rs != nil {
+		return rs.count
+	}
+	return 0
+}
+
+// Seal converts the collected observations into an Estimates snapshot.
+// epochLen is the wall duration of the epoch (rate = count/epochLen).
+// preds lists the predicates whose selectivity should be estimated from
+// the samples. Seal resets the collector for the next epoch.
+func (c *Collector) Seal(epochLen time.Duration, preds []query.Predicate) *Estimates {
+	c.mu.Lock()
+	rels := c.rels
+	c.rels = map[string]*relStats{}
+	c.mu.Unlock()
+
+	e := NewEstimates(c.defaultSel)
+	secs := epochLen.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	for name, rs := range rels {
+		e.Rates[name] = float64(rs.count) / secs
+	}
+	for _, p := range preds {
+		a, b := rels[p.Left.Rel], rels[p.Right.Rel]
+		if a == nil || b == nil {
+			continue
+		}
+		if sel, ok := estimateSelectivity(p, a, b); ok {
+			e.Sels[p.String()] = sel
+		}
+	}
+	return e
+}
+
+// estimateSelectivity estimates sel(p) = |A ⋈p B| / (|A|·|B|) by joining
+// the two reservoir samples; when the samples produce no matches it falls
+// back to the distinct-count bound 1/max(d_A, d_B) (exact for key–foreign
+// key joins under the containment assumption).
+func estimateSelectivity(p query.Predicate, a, b *relStats) (float64, bool) {
+	la, _ := p.Side(p.Left.Rel)
+	lb, _ := p.Side(p.Right.Rel)
+	sa, sb := a.sample.Items(), b.sample.Items()
+	if len(sa) > 0 && len(sb) > 0 {
+		idx := map[tuple.Value]int{}
+		for _, t := range sa {
+			if v, ok := t.Get(la.Qualified()); ok {
+				idx[v]++
+			}
+		}
+		matches := 0
+		for _, t := range sb {
+			if v, ok := t.Get(lb.Qualified()); ok {
+				matches += idx[v]
+			}
+		}
+		if matches > 0 {
+			return float64(matches) / (float64(len(sa)) * float64(len(sb))), true
+		}
+	}
+	da := distinctOf(a, la.Name)
+	db := distinctOf(b, lb.Name)
+	if da > 0 || db > 0 {
+		d := da
+		if db > d {
+			d = db
+		}
+		if d < 1 {
+			d = 1
+		}
+		return 1 / d, true
+	}
+	return 0, false
+}
+
+func distinctOf(rs *relStats, attr string) float64 {
+	if sk := rs.distinct[attr]; sk != nil {
+		return sk.Estimate()
+	}
+	return 0
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

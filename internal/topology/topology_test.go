@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"clash/internal/query"
+)
+
+func sampleConfig() *Config {
+	c := NewConfig(3)
+	c.AddStore(&Store{ID: "R|", MIRKey: "R|", Label: "R", Rels: []string{"R"}, Parallelism: 2})
+	c.AddStore(&Store{
+		ID: "S|", MIRKey: "S|", Label: "S", Rels: []string{"S"},
+		Partition: query.Attr{Rel: "S", Name: "a"}, Parallelism: 4,
+	})
+	c.Spout("R").Out = append(c.Spout("R").Out,
+		Emission{Edge: "store:R", To: "R|"},
+		Emission{Edge: "e1", To: "S|"})
+	c.AddRule(Rule{Kind: StoreRule, Store: "R|", In: "store:R"})
+	c.AddRule(Rule{Kind: ProbeRule, Store: "S|", In: "e1",
+		Preds: []query.Predicate{{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "S", Name: "a"}}},
+		Out:   []Emission{{Sink: "q1"}}})
+	c.MarkServes("R|", "q1")
+	c.MarkServes("S|", "q1")
+	return c
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := sampleConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalTasks() != 6 {
+		t.Errorf("TotalTasks = %d, want 6", c.TotalTasks())
+	}
+	ids := c.StoreIDs()
+	if len(ids) != 2 || ids[0] != "R|" {
+		t.Errorf("StoreIDs = %v", ids)
+	}
+	if c.RefCount("R|") != 1 {
+		t.Errorf("RefCount = %d", c.RefCount("R|"))
+	}
+	c.MarkServes("R|", "q1") // idempotent
+	if c.RefCount("R|") != 1 {
+		t.Error("MarkServes not idempotent")
+	}
+	c.MarkServes("R|", "q2")
+	if c.RefCount("R|") != 2 {
+		t.Error("second query not counted")
+	}
+}
+
+func TestAddStoreMerges(t *testing.T) {
+	c := NewConfig(0)
+	a := c.AddStore(&Store{ID: "X", Parallelism: 1})
+	b := c.AddStore(&Store{ID: "X", Parallelism: 9})
+	if a != b {
+		t.Error("equal IDs should return the existing store")
+	}
+	if c.Stores["X"].Parallelism != 1 {
+		t.Error("first registration should win")
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	s := &Store{Label: "ST", Partition: query.Attr{Rel: "S", Name: "b"}, Parallelism: 4}
+	if got := s.String(); got != "ST[S.b] x4" {
+		t.Errorf("String = %q", got)
+	}
+	plain := &Store{Label: "R", Parallelism: 1}
+	if got := plain.String(); got != "R x1" {
+		t.Errorf("String = %q", got)
+	}
+	if !(&Store{Rels: []string{"R"}}).Base() || (&Store{Rels: []string{"R", "S"}}).Base() {
+		t.Error("Base misreports")
+	}
+}
+
+func TestValidateCatchesDanglingEmission(t *testing.T) {
+	c := sampleConfig()
+	c.Spout("R").Out = append(c.Spout("R").Out, Emission{Edge: "e9", To: "nope"})
+	if err := c.Validate(); err == nil {
+		t.Error("dangling emission not caught")
+	}
+}
+
+func TestValidateCatchesEmptyEmission(t *testing.T) {
+	c := sampleConfig()
+	c.AddRule(Rule{Kind: ProbeRule, Store: "S|", In: "e2",
+		Preds: []query.Predicate{{Left: query.Attr{Rel: "R", Name: "a"}, Right: query.Attr{Rel: "S", Name: "a"}}},
+		Out:   []Emission{{}}})
+	if err := c.Validate(); err == nil {
+		t.Error("emission with neither target nor sink not caught")
+	}
+}
+
+func TestValidateCatchesMisfiledRule(t *testing.T) {
+	c := sampleConfig()
+	c.Rules["S|"]["e9"] = []Rule{{Kind: StoreRule, Store: "S|", In: "e1"}}
+	if err := c.Validate(); err == nil {
+		t.Error("misfiled rule not caught")
+	}
+}
+
+func TestValidateCatchesOrphanRuleset(t *testing.T) {
+	c := sampleConfig()
+	c.Rules["ghost"] = map[EdgeID][]Rule{"e": {{Kind: StoreRule, Store: "ghost", In: "e"}}}
+	if err := c.Validate(); err == nil {
+		t.Error("ruleset for unknown store not caught")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := sampleConfig().String()
+	for _, want := range []string{"config(epoch=3", "store R x2", "store S[S.a] x4", "sink:q1", "spout R"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	// Deterministic.
+	if s != sampleConfig().String() {
+		t.Error("String not deterministic")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sampleConfig()
+	b := NewConfig(4)
+	b.AddStore(&Store{ID: "S|", Parallelism: 4})
+	b.AddStore(&Store{ID: "T|", Parallelism: 4})
+	added, removed := Diff(a, b)
+	if len(added) != 1 || added[0] != "T|" {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "R|" {
+		t.Errorf("removed = %v", removed)
+	}
+	added, removed = Diff(nil, nil)
+	if added != nil || removed != nil {
+		t.Error("Diff(nil, nil) should be empty")
+	}
+}
+
+func TestRuleKindString(t *testing.T) {
+	if StoreRule.String() != "store" || ProbeRule.String() != "probe" {
+		t.Error("RuleKind strings wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+
+	"clash/internal/query"
+	"clash/internal/rng"
+)
+
+// mustQuery assembles a query over TPC-H tables from join-graph edges.
+func mustQuery(name string, rels []string, preds []query.Predicate) *query.Query {
+	q, err := query.NewQuery(name, rels, preds)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// edgesWithin returns the join-graph predicates fully inside the set.
+func edgesWithin(rels []string) []query.Predicate {
+	set := map[string]bool{}
+	for _, r := range rels {
+		set[r] = true
+	}
+	var out []query.Predicate
+	for _, p := range JoinGraph() {
+		if set[p.Left.Rel] && set[p.Right.Rel] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Fig7Queries returns the five query graphs of the paper's Fig. 7a:
+// q1 R–N–S–PS, q2 N–S–PS–P, q3 S–PS–P–L, q4 S–PS–L–O, q5 P–PS–L–O.
+func Fig7Queries() []*query.Query {
+	mk := func(name string, rels ...string) *query.Query {
+		return mustQuery(name, rels, edgesWithin(rels))
+	}
+	return []*query.Query{
+		mk("q1", Region, Nation, Supplier, PartSupp),
+		mk("q2", Nation, Supplier, PartSupp, Part),
+		mk("q3", Supplier, PartSupp, Part, LineItem),
+		mk("q4", Supplier, PartSupp, LineItem, Orders),
+		mk("q5", Part, PartSupp, LineItem, Orders),
+	}
+}
+
+// Fig7TenQueries returns the ten-query workload: the five Fig. 7a
+// queries plus five more with partly overlapping joins (Sec. VII-A).
+func Fig7TenQueries() []*query.Query {
+	mk := func(name string, rels ...string) *query.Query {
+		return mustQuery(name, rels, edgesWithin(rels))
+	}
+	qs := Fig7Queries()
+	return append(qs,
+		mk("q6", Customer, Nation, Supplier),
+		mk("q7", Customer, Orders, LineItem),
+		mk("q8", Nation, Supplier, PartSupp),
+		mk("q9", Orders, LineItem, PartSupp),
+		mk("q10", Region, Nation, Customer),
+	)
+}
+
+// RandomQueries draws n distinct queries of the given size using the
+// paper's method (Sec. VII-A): pick a random relation, then randomly add
+// joinable relations until the size is reached; exact duplicates (by
+// join signature) are discarded and redrawn.
+func RandomQueries(n, size int, seed uint64) []*query.Query {
+	r := rng.New(seed)
+	adj := map[string][]query.Predicate{}
+	for _, p := range JoinGraph() {
+		adj[p.Left.Rel] = append(adj[p.Left.Rel], p)
+		adj[p.Right.Rel] = append(adj[p.Right.Rel], p)
+	}
+	tables := Tables()
+
+	var out []*query.Query
+	seen := map[string]bool{}
+	for attempts := 0; len(out) < n && attempts < n*200; attempts++ {
+		rels := []string{tables[r.Intn(len(tables))]}
+		inSet := map[string]bool{rels[0]: true}
+		ok := true
+		for len(rels) < size {
+			// Candidate extensions: relations joinable with the set.
+			var cands []string
+			cset := map[string]bool{}
+			for rel := range inSet {
+				for _, p := range adj[rel] {
+					o, _ := p.Other(rel)
+					if !inSet[o.Rel] && !cset[o.Rel] {
+						cset[o.Rel] = true
+						cands = append(cands, o.Rel)
+					}
+				}
+			}
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			sort.Strings(cands)
+			next := cands[r.Intn(len(cands))]
+			inSet[next] = true
+			rels = append(rels, next)
+		}
+		if !ok {
+			continue
+		}
+		q := mustQuery(fmt.Sprintf("q%d", len(out)+1), rels, edgesWithin(rels))
+		if seen[q.Signature()] {
+			continue
+		}
+		seen[q.Signature()] = true
+		out = append(out, q)
+	}
+	return out
+}

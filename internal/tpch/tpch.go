@@ -1,0 +1,246 @@
+// Package tpch is a deterministic, scale-parameterized generator for the
+// eight TPC-H relations, preserving what the paper's Fig. 7 experiments
+// depend on: the primary/foreign-key structure, the type-compatible
+// column pairs used to derive extra join predicates (high-selectivity
+// pairs like linestatus/orderstatus and low-selectivity pairs like
+// custkey/nationkey), relative cardinalities, and streamable row orders.
+// It replaces dbgen (DESIGN.md, substitution table).
+package tpch
+
+import (
+	"fmt"
+
+	"clash/internal/broker"
+	"clash/internal/query"
+	"clash/internal/rng"
+	"clash/internal/tuple"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	LineItem = "lineitem"
+)
+
+// Tables lists all table names in dependency order.
+func Tables() []string {
+	return []string{Region, Nation, Supplier, Customer, Part, PartSupp, Orders, LineItem}
+}
+
+// attrs per table (subset of TPC-H columns sufficient for the join
+// workloads; all key columns are present).
+var tableAttrs = map[string][]string{
+	Region:   {"r_regionkey", "r_name"},
+	Nation:   {"n_nationkey", "n_name", "n_regionkey"},
+	Supplier: {"s_suppkey", "s_name", "s_nationkey", "s_acctbal"},
+	Customer: {"c_custkey", "c_name", "c_nationkey", "c_mktsegment"},
+	Part:     {"p_partkey", "p_brand", "p_size"},
+	PartSupp: {"ps_partkey", "ps_suppkey", "ps_availqty"},
+	Orders:   {"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice"},
+	LineItem: {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_linestatus"},
+}
+
+// Relations returns catalog entries for all tables.
+func Relations() []*query.Relation {
+	var out []*query.Relation
+	for _, t := range Tables() {
+		out = append(out, &query.Relation{Name: t, Attrs: tableAttrs[t]})
+	}
+	return out
+}
+
+// Catalog returns a ready catalog over all tables.
+func Catalog() *query.Catalog {
+	return query.MustCatalog(Relations()...)
+}
+
+// Cardinality returns the row count of a table at the given scale
+// factor, following the TPC-H proportions (lineitem is approximate: the
+// generator draws 1–7 lines per order, averaging 4).
+func Cardinality(table string, sf float64) int64 {
+	switch table {
+	case Region:
+		return 5
+	case Nation:
+		return 25
+	case Supplier:
+		return maxInt64(1, int64(10_000*sf))
+	case Customer:
+		return maxInt64(1, int64(150_000*sf))
+	case Part:
+		return maxInt64(1, int64(200_000*sf))
+	case PartSupp:
+		return 4 * Cardinality(Part, sf)
+	case Orders:
+		return maxInt64(1, int64(1_500_000*sf))
+	case LineItem:
+		return 4 * Cardinality(Orders, sf)
+	default:
+		return 0
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// JoinGraph returns every join predicate the workload generator may use:
+// the PK–FK edges plus the type-compatible pairs called out in the paper
+// (Sec. VII-A).
+func JoinGraph() []query.Predicate {
+	p := func(lr, la, rr, ra string) query.Predicate {
+		return query.Predicate{Left: query.Attr{Rel: lr, Name: la}, Right: query.Attr{Rel: rr, Name: ra}}.Normalize()
+	}
+	return []query.Predicate{
+		// PK–FK edges.
+		p(Nation, "n_regionkey", Region, "r_regionkey"),
+		p(Supplier, "s_nationkey", Nation, "n_nationkey"),
+		p(Customer, "c_nationkey", Nation, "n_nationkey"),
+		p(PartSupp, "ps_partkey", Part, "p_partkey"),
+		p(PartSupp, "ps_suppkey", Supplier, "s_suppkey"),
+		p(Orders, "o_custkey", Customer, "c_custkey"),
+		p(LineItem, "l_orderkey", Orders, "o_orderkey"),
+		p(LineItem, "l_partkey", Part, "p_partkey"),
+		p(LineItem, "l_suppkey", Supplier, "s_suppkey"),
+		p(LineItem, "l_partkey", PartSupp, "ps_partkey"),
+		p(LineItem, "l_suppkey", PartSupp, "ps_suppkey"),
+		// Type-compatible extras (paper Sec. VII-A): a high-selectivity
+		// pair over the {F,O,P} status domain and a low-selectivity pair
+		// where only the smallest keys match.
+		p(LineItem, "l_linestatus", Orders, "o_orderstatus"),
+		p(Customer, "c_custkey", Nation, "n_nationkey"),
+	}
+}
+
+var statusDomain = []string{"F", "O", "P"}
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Generate streams the table's rows in key order into fn; returning
+// false stops generation. Rows are deterministic in (table, sf, seed).
+func Generate(table string, sf float64, seed uint64, fn func(vals []tuple.Value) bool) error {
+	r := rng.New(seed ^ hashName(table))
+	iv := tuple.IntValue
+	sv := tuple.StringValue
+	fv := tuple.FloatValue
+	n := Cardinality(table, sf)
+	switch table {
+	case Region:
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), sv(regionNames[i%5])}) {
+				return nil
+			}
+		}
+	case Nation:
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), sv(fmt.Sprintf("NATION_%02d", i)), iv(i % 5)}) {
+				return nil
+			}
+		}
+	case Supplier:
+		nations := Cardinality(Nation, sf)
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), sv(fmt.Sprintf("Supplier#%09d", i)), iv(r.Int64n(nations)), fv(float64(r.Intn(1_000_000)) / 100)}) {
+				return nil
+			}
+		}
+	case Customer:
+		nations := Cardinality(Nation, sf)
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), sv(fmt.Sprintf("Customer#%09d", i)), iv(r.Int64n(nations)), sv(segments[r.Intn(len(segments))])}) {
+				return nil
+			}
+		}
+	case Part:
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), sv(fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))), iv(int64(1 + r.Intn(50)))}) {
+				return nil
+			}
+		}
+	case PartSupp:
+		parts := Cardinality(Part, sf)
+		supps := Cardinality(Supplier, sf)
+		for p := int64(0); p < parts; p++ {
+			for k := int64(0); k < 4; k++ {
+				// The TPC-H supplier spreading formula keeps suppliers
+				// distinct per part.
+				s := (p + k*(supps/4+1)) % supps
+				if !fn([]tuple.Value{iv(p), iv(s), iv(int64(1 + r.Intn(9999)))}) {
+					return nil
+				}
+			}
+		}
+	case Orders:
+		custs := Cardinality(Customer, sf)
+		for i := int64(0); i < n; i++ {
+			if !fn([]tuple.Value{iv(i), iv(r.Int64n(custs)), sv(statusDomain[r.Intn(3)]), fv(float64(r.Intn(50_000_000)) / 100)}) {
+				return nil
+			}
+		}
+	case LineItem:
+		orders := Cardinality(Orders, sf)
+		parts := Cardinality(Part, sf)
+		supps := Cardinality(Supplier, sf)
+		for o := int64(0); o < orders; o++ {
+			lines := 1 + r.Intn(7)
+			for l := 0; l < lines; l++ {
+				if !fn([]tuple.Value{iv(o), iv(r.Int64n(parts)), iv(r.Int64n(supps)), iv(int64(l + 1)), iv(int64(1 + r.Intn(50))), sv(statusDomain[r.Intn(3)])}) {
+					return nil
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("tpch: unknown table %q", table)
+	}
+	return nil
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// FillBroker generates the listed tables (all when nil) into broker
+// topics named after them, interleaving event times so that every table
+// spans the same logical interval: row i of a table with n rows gets
+// timestamp (i+1) * span/n. span is the logical stream length in
+// nanoseconds.
+func FillBroker(b *broker.Broker, sf float64, seed uint64, span tuple.Duration, tables []string) error {
+	if tables == nil {
+		tables = Tables()
+	}
+	for _, t := range tables {
+		n := Cardinality(t, sf)
+		if t == LineItem {
+			n = Cardinality(LineItem, sf) // approximate; pacing only
+		}
+		step := float64(span) / float64(n)
+		i := int64(0)
+		err := Generate(t, sf, seed, func(vals []tuple.Value) bool {
+			ts := tuple.Time(float64(i+1) * step)
+			if ts > tuple.Time(span) {
+				ts = tuple.Time(span)
+			}
+			b.Append(t, broker.Record{Relation: t, TS: ts, Vals: vals})
+			i++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

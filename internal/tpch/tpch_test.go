@@ -1,0 +1,238 @@
+package tpch
+
+import (
+	"testing"
+
+	"clash/internal/broker"
+	"clash/internal/query"
+	"clash/internal/tuple"
+)
+
+func TestCardinalities(t *testing.T) {
+	if Cardinality(Region, 1) != 5 || Cardinality(Nation, 1) != 25 {
+		t.Error("fixed tables wrong")
+	}
+	if Cardinality(Supplier, 1) != 10_000 {
+		t.Errorf("supplier = %d", Cardinality(Supplier, 1))
+	}
+	if Cardinality(PartSupp, 1) != 4*Cardinality(Part, 1) {
+		t.Error("partsupp proportion wrong")
+	}
+	// Tiny scale factors never hit zero.
+	for _, tb := range Tables() {
+		if Cardinality(tb, 0.00001) < 1 {
+			t.Errorf("%s cardinality 0 at tiny sf", tb)
+		}
+	}
+	if Cardinality("bogus", 1) != 0 {
+		t.Error("unknown table should be 0")
+	}
+}
+
+func TestGenerateDeterministicAndComplete(t *testing.T) {
+	for _, tb := range []string{Region, Nation, Supplier, Customer, Part, PartSupp, Orders} {
+		var a, b [][]tuple.Value
+		if err := Generate(tb, 0.01, 7, func(v []tuple.Value) bool {
+			a = append(a, append([]tuple.Value(nil), v...))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Generate(tb, 0.01, 7, func(v []tuple.Value) bool {
+			b = append(b, append([]tuple.Value(nil), v...))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(a)) != Cardinality(tb, 0.01) {
+			t.Errorf("%s: %d rows, want %d", tb, len(a), Cardinality(tb, 0.01))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: row %d differs between runs", tb, i)
+				}
+			}
+		}
+		// Arity matches the declared schema.
+		if len(a) > 0 && len(a[0]) != len(tableAttrs[tb]) {
+			t.Errorf("%s: arity %d, schema %d", tb, len(a[0]), len(tableAttrs[tb]))
+		}
+	}
+	if err := Generate("bogus", 1, 1, func([]tuple.Value) bool { return true }); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestGenerateStops(t *testing.T) {
+	count := 0
+	if err := Generate(Orders, 0.01, 1, func([]tuple.Value) bool {
+		count++
+		return count < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("early stop delivered %d", count)
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	// Every supplier's nation key must reference an existing nation.
+	nations := Cardinality(Nation, 0.01)
+	if err := Generate(Supplier, 0.01, 3, func(v []tuple.Value) bool {
+		nk := v[2].Int()
+		if nk < 0 || nk >= nations {
+			t.Fatalf("dangling s_nationkey %d", nk)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every lineitem references an existing order.
+	orders := Cardinality(Orders, 0.01)
+	if err := Generate(LineItem, 0.01, 3, func(v []tuple.Value) bool {
+		ok := v[0].Int()
+		if ok < 0 || ok >= orders {
+			t.Fatalf("dangling l_orderkey %d", ok)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusDomainIsSmall(t *testing.T) {
+	// The linestatus/orderstatus domain {F,O,P} gives the paper's
+	// high-selectivity join.
+	seen := map[string]bool{}
+	if err := Generate(Orders, 0.001, 5, func(v []tuple.Value) bool {
+		seen[v[2].Str()] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) > 3 {
+		t.Errorf("orderstatus domain = %v", seen)
+	}
+}
+
+func TestJoinGraphValid(t *testing.T) {
+	cat := Catalog()
+	for _, p := range JoinGraph() {
+		for _, a := range []query.Attr{p.Left, p.Right} {
+			rel := cat.Relation(a.Rel)
+			if rel == nil {
+				t.Fatalf("predicate %v references unknown table", p)
+			}
+			if !rel.HasAttr(a.Name) {
+				t.Fatalf("predicate %v references unknown column", p)
+			}
+		}
+	}
+}
+
+func TestFig7Queries(t *testing.T) {
+	cat := Catalog()
+	qs := Fig7Queries()
+	if len(qs) != 5 {
+		t.Fatalf("five queries expected, got %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := cat.Validate(q); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if q.Size() != 4 {
+			t.Errorf("%s: size %d, want 4 (Fig. 7a)", q.Name, q.Size())
+		}
+		if !q.Connected(q.RelationSet()) {
+			t.Errorf("%s is disconnected", q.Name)
+		}
+	}
+	ten := Fig7TenQueries()
+	if len(ten) != 10 {
+		t.Fatalf("ten queries expected, got %d", len(ten))
+	}
+	names := map[string]bool{}
+	for _, q := range ten {
+		if err := cat.Validate(q); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if names[q.Name] {
+			t.Errorf("duplicate name %s", q.Name)
+		}
+		names[q.Name] = true
+	}
+}
+
+func TestRandomQueries(t *testing.T) {
+	cat := Catalog()
+	qs := RandomQueries(12, 3, 42)
+	if len(qs) != 12 {
+		t.Fatalf("got %d queries, want 12", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if q.Size() != 3 {
+			t.Errorf("%s: size %d", q.Name, q.Size())
+		}
+		if err := cat.Validate(q); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if !q.Connected(q.RelationSet()) {
+			t.Errorf("%s disconnected", q.Name)
+		}
+		if seen[q.Signature()] {
+			t.Errorf("duplicate query signature %s", q.Signature())
+		}
+		seen[q.Signature()] = true
+	}
+	// Determinism.
+	qs2 := RandomQueries(12, 3, 42)
+	for i := range qs {
+		if qs[i].Signature() != qs2[i].Signature() {
+			t.Fatal("RandomQueries not deterministic")
+		}
+	}
+	// Different seeds differ in draw order.
+	qs3 := RandomQueries(12, 3, 43)
+	same := 0
+	for i := range qs {
+		if qs[i].Signature() == qs3[i].Signature() {
+			same++
+		}
+	}
+	if same == 12 {
+		t.Error("different seeds produced identical workloads")
+	}
+	// The TPC-H join graph admits exactly 14 connected 3-relation
+	// queries; asking for more saturates at 14.
+	if got := len(RandomQueries(50, 3, 7)); got != 14 {
+		t.Errorf("saturated draw = %d queries, want 14", got)
+	}
+}
+
+func TestFillBroker(t *testing.T) {
+	b := broker.New()
+	span := tuple.Duration(1_000_000)
+	if err := FillBroker(b, 0.002, 9, span, []string{Nation, Supplier}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len(Nation) != Cardinality(Nation, 0.002) {
+		t.Errorf("nation rows = %d", b.Len(Nation))
+	}
+	// Timestamps increase and stay within span.
+	recs, _ := b.Read(Supplier, 0, int(b.Len(Supplier)))
+	last := tuple.Time(0)
+	for _, r := range recs {
+		if r.TS < last || r.TS > tuple.Time(span) {
+			t.Fatalf("timestamp %d out of order/range", r.TS)
+		}
+		last = r.TS
+	}
+	// Both tables end near the span (interleaved pacing).
+	nrecs, _ := b.Read(Nation, b.Len(Nation)-1, 1)
+	if nrecs[0].TS < tuple.Time(span)*9/10 {
+		t.Errorf("nation ends early at %d", nrecs[0].TS)
+	}
+}

@@ -1,0 +1,137 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for values, schemas, and tuples. The format is
+// length-prefixed and self-describing at the value level (one kind byte
+// per value); schemas are encoded once and referenced by the caller
+// (checkpoints keep a schema table, wire protocols typically fix the
+// schema per edge). All integers are unsigned varints; signed payloads
+// use zig-zag encoding via AppendVarint.
+
+// ErrCorrupt reports a malformed encoding.
+var ErrCorrupt = errors.New("tuple: corrupt encoding")
+
+// AppendValue appends the binary encoding of v to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case Null:
+	case Int:
+		buf = binary.AppendVarint(buf, v.num)
+	case Float:
+		buf = binary.AppendUvarint(buf, uint64(v.num))
+	case Bool:
+		if v.num != 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case String:
+		buf = binary.AppendUvarint(buf, uint64(len(v.str)))
+		buf = append(buf, v.str...)
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from b, returning it and the rest of b.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, ErrCorrupt
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case Null:
+		return Value{}, b, nil
+	case Int:
+		n, sz := binary.Varint(b)
+		if sz <= 0 {
+			return Value{}, nil, ErrCorrupt
+		}
+		return Value{kind: Int, num: n}, b[sz:], nil
+	case Float:
+		u, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return Value{}, nil, ErrCorrupt
+		}
+		return Value{kind: Float, num: int64(u)}, b[sz:], nil
+	case Bool:
+		if len(b) == 0 {
+			return Value{}, nil, ErrCorrupt
+		}
+		return Value{kind: Bool, num: int64(b[0] & 1)}, b[1:], nil
+	case String:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return Value{}, nil, ErrCorrupt
+		}
+		s := string(b[sz : sz+int(n)])
+		return Value{kind: String, str: s}, b[sz+int(n):], nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+}
+
+// AppendSchema appends the schema's attribute names to buf.
+func AppendSchema(buf []byte, s *Schema) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.Len()))
+	for _, n := range s.names {
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+	}
+	return buf
+}
+
+// DecodeSchema decodes a schema from b, returning it and the rest of b.
+func DecodeSchema(b []byte) (*Schema, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(math.MaxInt32) {
+		return nil, nil, ErrCorrupt
+	}
+	b = b[sz:]
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return nil, nil, ErrCorrupt
+		}
+		names = append(names, string(b[sz:sz+int(l)]))
+		b = b[sz+int(l):]
+	}
+	return NewSchema(names...), b, nil
+}
+
+// AppendTuple appends the tuple's timestamp and values to buf. The schema
+// is not encoded; decoding requires the matching schema.
+func AppendTuple(buf []byte, t *Tuple) []byte {
+	buf = binary.AppendVarint(buf, int64(t.TS))
+	for _, v := range t.Values {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeTuple decodes one tuple of the given schema from b, returning it
+// and the rest of b.
+func DecodeTuple(b []byte, s *Schema) (*Tuple, []byte, error) {
+	ts, sz := binary.Varint(b)
+	if sz <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	b = b[sz:]
+	vals := make([]Value, s.Len())
+	var err error
+	for i := range vals {
+		vals[i], b, err = DecodeValue(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return &Tuple{Schema: s, Values: vals, TS: Time(ts)}, b, nil
+}

@@ -1,0 +1,173 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	values := []Value{
+		NullValue(),
+		IntValue(0), IntValue(1), IntValue(-1),
+		IntValue(math.MaxInt64), IntValue(math.MinInt64),
+		FloatValue(0), FloatValue(1.5), FloatValue(-math.Pi),
+		FloatValue(math.Inf(1)), FloatValue(math.Inf(-1)),
+		BoolValue(true), BoolValue(false),
+		StringValue(""), StringValue("x"), StringValue("héllo wörld"),
+		StringValue(string(make([]byte, 1000))),
+	}
+	for _, v := range values {
+		buf := AppendValue(nil, v)
+		got, rest, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v left %d bytes", v, len(rest))
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueCodecNaN(t *testing.T) {
+	// NaN != NaN under ==, so compare bits.
+	v := FloatValue(math.NaN())
+	got, _, err := DecodeValue(AppendValue(nil, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Float()) {
+		t.Errorf("NaN round trip = %v", got.Float())
+	}
+}
+
+func TestValueCodecQuick(t *testing.T) {
+	f := func(kind uint8, num int64, str string) bool {
+		var v Value
+		switch kind % 5 {
+		case 0:
+			v = NullValue()
+		case 1:
+			v = IntValue(num)
+		case 2:
+			v = FloatValue(math.Float64frombits(uint64(num)))
+		case 3:
+			v = StringValue(str)
+		case 4:
+			v = BoolValue(num%2 == 0)
+		}
+		got, rest, err := DecodeValue(AppendValue(nil, v))
+		return err == nil && len(rest) == 0 && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{byte(Int)},                      // missing varint
+		{byte(String), 5, 'a', 'b'},      // truncated string
+		{byte(Bool)},                     // missing payload
+		{99},                             // unknown kind
+		{byte(String), 0xff, 0xff, 0xff}, // unterminated varint
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("case %d: corrupt input decoded", i)
+		}
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	s := NewSchema("R.a", "R.b", "R.τ")
+	got, rest, err := DecodeSchema(AppendSchema(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d bytes left", len(rest))
+	}
+	if got.String() != s.String() {
+		t.Errorf("round trip %v -> %v", s, got)
+	}
+}
+
+func TestSchemaDecodeCorrupt(t *testing.T) {
+	if _, _, err := DecodeSchema([]byte{2, 3, 'a'}); err == nil {
+		t.Error("truncated schema decoded")
+	}
+	if _, _, err := DecodeSchema([]byte{}); err == nil {
+		t.Error("empty schema input decoded")
+	}
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	s := NewSchema("R.a", "R.b", "R.c")
+	in := New(s, 42, IntValue(7), StringValue("x"), FloatValue(2.5))
+	buf := AppendTuple(nil, in)
+	got, rest, err := DecodeTuple(buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d bytes left", len(rest))
+	}
+	if got.TS != in.TS {
+		t.Errorf("ts = %d, want %d", got.TS, in.TS)
+	}
+	for i := range in.Values {
+		if got.Values[i] != in.Values[i] {
+			t.Errorf("value %d = %v, want %v", i, got.Values[i], in.Values[i])
+		}
+	}
+}
+
+func TestTupleCodecStream(t *testing.T) {
+	// Several tuples back to back in one buffer.
+	s := NewSchema("R.a")
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf = AppendTuple(buf, New(s, Time(i), IntValue(int64(i*i))))
+	}
+	for i := 0; i < 10; i++ {
+		var tp *Tuple
+		var err error
+		tp, buf, err = DecodeTuple(buf, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.TS != Time(i) || tp.Values[0].Int() != int64(i*i) {
+			t.Errorf("tuple %d = %v", i, tp)
+		}
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d bytes left", len(buf))
+	}
+}
+
+func TestTupleDecodeCorrupt(t *testing.T) {
+	s := NewSchema("R.a", "R.b")
+	if _, _, err := DecodeTuple([]byte{2, byte(Int), 4}, s); err == nil {
+		t.Error("truncated tuple decoded")
+	}
+	if _, _, err := DecodeTuple(nil, s); err == nil {
+		t.Error("empty tuple input decoded")
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	s := NewSchema("R.a", "R.b")
+	tp := New(s, 7, IntValue(1), StringValue("q"))
+	a := AppendTuple(nil, tp)
+	b := AppendTuple(nil, tp)
+	if !bytes.Equal(a, b) {
+		t.Error("encoding not deterministic")
+	}
+}

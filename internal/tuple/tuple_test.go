@@ -1,0 +1,236 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{IntValue(42), Int, "42"},
+		{IntValue(-7), Int, "-7"},
+		{FloatValue(1.5), Float, "1.5"},
+		{StringValue("hello"), String, "hello"},
+		{BoolValue(true), Bool, "true"},
+		{BoolValue(false), Bool, "false"},
+		{NullValue(), Null, "NULL"},
+		{Value{}, Null, "NULL"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("kind %v: String() = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := IntValue(99).Int(); got != 99 {
+		t.Errorf("Int() = %d, want 99", got)
+	}
+	if got := FloatValue(2.25).Float(); got != 2.25 {
+		t.Errorf("Float() = %g, want 2.25", got)
+	}
+	if got := StringValue("x").Str(); got != "x" {
+		t.Errorf("Str() = %q, want x", got)
+	}
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Error("Bool() round trip failed")
+	}
+	if !NullValue().IsNull() || IntValue(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueEqualityAndMapKey(t *testing.T) {
+	m := map[Value]int{}
+	m[IntValue(1)] = 1
+	m[StringValue("1")] = 2
+	m[BoolValue(true)] = 3
+	m[FloatValue(1)] = 4
+	if len(m) != 4 {
+		t.Fatalf("distinct kinds collided: map has %d entries, want 4", len(m))
+	}
+	if m[IntValue(1)] != 1 {
+		t.Error("IntValue(1) lookup failed")
+	}
+}
+
+func TestValueHashConsistency(t *testing.T) {
+	// Property: equal values hash equally; hashing is deterministic.
+	f := func(x int64, s string) bool {
+		a, b := IntValue(x), IntValue(x)
+		if a.Hash() != b.Hash() {
+			return false
+		}
+		c, d := StringValue(s), StringValue(s)
+		return c.Hash() == d.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueHashSpreads(t *testing.T) {
+	// Sanity: consecutive ints should not land in one bucket of 16.
+	buckets := map[uint64]int{}
+	for i := int64(0); i < 1024; i++ {
+		buckets[IntValue(i).Hash()%16]++
+	}
+	for b, n := range buckets {
+		if n > 1024/16*4 {
+			t.Errorf("bucket %d has %d of 1024 values; hash is too clumpy", b, n)
+		}
+	}
+	if len(buckets) < 8 {
+		t.Errorf("only %d of 16 buckets populated", len(buckets))
+	}
+}
+
+func TestValueLessTotalOrder(t *testing.T) {
+	vals := []Value{NullValue(), IntValue(1), IntValue(2), FloatValue(0.5), StringValue("a"), StringValue("b"), BoolValue(false), BoolValue(true)}
+	for i, a := range vals {
+		if a.Less(a) {
+			t.Errorf("value %d: Less is not irreflexive", i)
+		}
+		for _, b := range vals {
+			if a != b && a.Less(b) == b.Less(a) {
+				t.Errorf("Less not antisymmetric for %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("R.a", "R.b")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Index("R.a") != 0 || s.Index("R.b") != 1 {
+		t.Error("Index positions wrong")
+	}
+	if s.Index("R.c") != -1 {
+		t.Error("Index of missing attribute should be -1")
+	}
+	if !s.Has("R.a") || s.Has("S.a") {
+		t.Error("Has misreports")
+	}
+	if got := s.String(); got != "(R.a, R.b)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSchema with duplicate names should panic")
+		}
+	}()
+	NewSchema("R.a", "R.a")
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := NewSchema("R.a")
+	b := NewSchema("S.b", "S.c")
+	c := a.Concat(b)
+	want := []string{"R.a", "S.b", "S.c"}
+	got := c.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Concat names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat names = %v, want %v", got, want)
+		}
+	}
+	// Originals unchanged.
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Error("Concat mutated its inputs")
+	}
+}
+
+func TestTupleGetJoin(t *testing.T) {
+	rs := NewSchema("R.a", "R.b")
+	ss := NewSchema("S.b", "S.c")
+	r := New(rs, 10, IntValue(1), StringValue("x"))
+	s := New(ss, 20, StringValue("x"), IntValue(3))
+
+	if v, ok := r.Get("R.a"); !ok || v.Int() != 1 {
+		t.Error("Get R.a failed")
+	}
+	if _, ok := r.Get("S.c"); ok {
+		t.Error("Get of absent attribute should report false")
+	}
+	j := r.Join(s, nil)
+	if j.TS != 20 {
+		t.Errorf("joined TS = %d, want max input 20", j.TS)
+	}
+	if j.Schema.Len() != 4 {
+		t.Errorf("joined schema len = %d, want 4", j.Schema.Len())
+	}
+	if v := j.MustGet("S.c"); v.Int() != 3 {
+		t.Error("joined tuple lost S.c")
+	}
+	// Join with precomputed schema takes it verbatim.
+	pre := rs.Concat(ss)
+	j2 := r.Join(s, pre)
+	if j2.Schema != pre {
+		t.Error("Join ignored provided schema")
+	}
+}
+
+func TestTupleArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with wrong arity should panic")
+		}
+	}()
+	New(NewSchema("R.a"), 0, IntValue(1), IntValue(2))
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of absent attribute should panic")
+		}
+	}()
+	New(NewSchema("R.a"), 0, IntValue(1)).MustGet("R.z")
+}
+
+func TestMemSizeMonotone(t *testing.T) {
+	s1 := NewSchema("R.a")
+	s2 := NewSchema("R.a", "R.b")
+	small := New(s1, 0, IntValue(1))
+	big := New(s2, 0, IntValue(1), StringValue("some longer payload"))
+	if small.MemSize() >= big.MemSize() {
+		t.Errorf("MemSize not monotone: %d vs %d", small.MemSize(), big.MemSize())
+	}
+	if IntValue(0).MemSize() <= 0 || StringValue("abc").MemSize() <= IntValue(0).MemSize() {
+		t.Error("value MemSize unreasonable")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	t1 := t0.Add(500)
+	if t1 != 1500 {
+		t.Errorf("Add = %d, want 1500", t1)
+	}
+	if d := t1.Sub(t0); d != 500 {
+		t.Errorf("Sub = %d, want 500", d)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := NewSchema("R.a")
+	got := New(s, 5, IntValue(7)).String()
+	if got != "[ts=5 R.a=7]" {
+		t.Errorf("String = %q", got)
+	}
+}

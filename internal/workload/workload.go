@@ -1,0 +1,260 @@
+// Package workload provides the synthetic workloads of the paper's
+// evaluation: the N-relation random-query environment of the ILP
+// experiments (Sec. VII-C, Fig. 9) and the four-way linear join stream
+// with mid-run characteristic shifts of the adaptation experiments
+// (Sec. VII-B, Fig. 8).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"clash/internal/broker"
+	"clash/internal/query"
+	"clash/internal/rng"
+	"clash/internal/stats"
+	"clash/internal/tuple"
+)
+
+// Env is the simulated environment of Sec. VII-C: n input relations with
+// three attributes each, uniform arrival rates, and a canonical join
+// predicate for every relation pair with selectivity rate⁻¹. Queries
+// over the same relation pair share the same predicate, which is what
+// creates sharing potential between random queries.
+type Env struct {
+	n    int
+	rate float64
+	rels []*query.Relation
+}
+
+// NewEnv builds an environment with n relations at the given uniform
+// arrival rate (tuples per time unit).
+func NewEnv(n int, rate float64) *Env {
+	e := &Env{n: n, rate: rate}
+	for i := 0; i < n; i++ {
+		e.rels = append(e.rels, &query.Relation{
+			Name:  fmt.Sprintf("E%02d", i),
+			Attrs: []string{"a1", "a2", "a3"},
+		})
+	}
+	return e
+}
+
+// Catalog returns the environment's relations.
+func (e *Env) Catalog() *query.Catalog { return query.MustCatalog(e.rels...) }
+
+// Pred returns the canonical join predicate between relations i and j.
+// The attribute pair is a deterministic function of (i, j), so every
+// query joining the same pair shares it.
+func (e *Env) Pred(i, j int) query.Predicate {
+	if i > j {
+		i, j = j, i
+	}
+	h := uint64(i)*1_000_003 + uint64(j)
+	ai := e.rels[i].Attrs[h%3]
+	aj := e.rels[j].Attrs[(h/3)%3]
+	return query.Predicate{
+		Left:  query.Attr{Rel: e.rels[i].Name, Name: ai},
+		Right: query.Attr{Rel: e.rels[j].Name, Name: aj},
+	}.Normalize()
+}
+
+// Estimates returns the environment's data characteristics: uniform
+// rates, and selectivity rate⁻¹ for every canonical predicate (the
+// Sec. VII-C setting).
+func (e *Env) Estimates() *stats.Estimates {
+	est := stats.NewEstimates(1 / e.rate)
+	for _, r := range e.rels {
+		est.SetRate(r.Name, e.rate)
+	}
+	return est
+}
+
+// RandomQueries draws nQ distinct random queries of the given size:
+// a random relation, then random joinable extensions, exact duplicates
+// discarded (Sec. VII-C). Every relation pair is joinable in this
+// environment, so queries are random trees over random relation sets.
+func (e *Env) RandomQueries(nQ, size int, seed uint64) []*query.Query {
+	r := rng.New(seed)
+	var out []*query.Query
+	seen := map[string]bool{}
+	for attempts := 0; len(out) < nQ && attempts < nQ*200; attempts++ {
+		perm := r.Perm(e.n)
+		if size > e.n {
+			break
+		}
+		idx := perm[:size]
+		var rels []string
+		var preds []query.Predicate
+		for k, ri := range idx {
+			rels = append(rels, e.rels[ri].Name)
+			if k > 0 {
+				// Join the new relation to a random earlier one: a
+				// random spanning tree over the chosen set.
+				prev := idx[r.Intn(k)]
+				preds = append(preds, e.Pred(prev, ri))
+			}
+		}
+		q, err := query.NewQuery(fmt.Sprintf("q%d", len(out)+1), rels, preds)
+		if err != nil {
+			continue
+		}
+		if seen[q.Signature()] {
+			continue
+		}
+		seen[q.Signature()] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// FourWayQuery returns the adaptation experiment's query
+// R(a),S(a,b),T(b,c),U(c) and its catalog with the given window.
+func FourWayQuery(window time.Duration) (*query.Query, *query.Catalog) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a,b) T(b,c) U(c)")
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range cat.Names() {
+		cat.Relation(name).Window = window
+	}
+	return qs[0], cat
+}
+
+// Phase describes one segment of the four-way linear stream: per-second
+// rates per relation and the key-domain size per join attribute class
+// ("a", "b", "c"). The expected join fanout of an edge over a window W
+// is rate · W / domain, so small domains mean many matches (the paper's
+// "every tuple of S finds 100 join partners in R") and huge domains mean
+// none.
+type Phase struct {
+	Duration time.Duration
+	Rates    map[string]float64
+	Domains  map[string]int64
+}
+
+// GenLinear renders the phases into a timestamp-ordered record stream
+// for relations R(a), S(a,b), T(b,c), U(c), starting at logical time 0.
+func GenLinear(phases []Phase, seed uint64) []broker.Record {
+	r := rng.New(seed)
+	var out []broker.Record
+	start := time.Duration(0)
+	draw := func(domains map[string]int64, class string) tuple.Value {
+		d := domains[class]
+		if d <= 0 {
+			d = 1
+		}
+		return tuple.IntValue(r.Int64n(d))
+	}
+	for _, ph := range phases {
+		// Per-relation emission cursors advance independently; merge by
+		// next due time.
+		type cursor struct {
+			rel  string
+			step time.Duration
+			next time.Duration
+		}
+		var cs []cursor
+		for _, rel := range []string{"R", "S", "T", "U"} {
+			rate := ph.Rates[rel]
+			if rate <= 0 {
+				continue
+			}
+			step := time.Duration(float64(time.Second) / rate)
+			cs = append(cs, cursor{rel: rel, step: step, next: start + step})
+		}
+		end := start + ph.Duration
+		for {
+			best := -1
+			for i := range cs {
+				if cs[i].next > end {
+					continue
+				}
+				if best < 0 || cs[i].next < cs[best].next ||
+					(cs[i].next == cs[best].next && cs[i].rel < cs[best].rel) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			c := &cs[best]
+			ts := tuple.Time(c.next)
+			var vals []tuple.Value
+			switch c.rel {
+			case "R":
+				vals = []tuple.Value{draw(ph.Domains, "a")}
+			case "S":
+				vals = []tuple.Value{draw(ph.Domains, "a"), draw(ph.Domains, "b")}
+			case "T":
+				vals = []tuple.Value{draw(ph.Domains, "b"), draw(ph.Domains, "c")}
+			case "U":
+				vals = []tuple.Value{draw(ph.Domains, "c")}
+			}
+			out = append(out, broker.Record{Relation: c.rel, TS: ts, Vals: vals})
+			c.next += c.step
+		}
+		start = end
+	}
+	return out
+}
+
+// Fig8aPhases reproduces the Sec. VII-B selectivity-spike scenario at a
+// laptop scale factor: all inputs stream uniformly; after the first
+// phase, S-tuples suddenly find `fanout` partners in R but none in T
+// (and vice versa for T), which explodes the R⋈S intermediate result of
+// any plan probing R before T.
+func Fig8aPhases(rate float64, window, before, after time.Duration, fanout int64) []Phase {
+	w := window.Seconds()
+	// domain = rate·W / desiredFanout; fanout 1 ≈ "each tuple in one
+	// join result".
+	dom := func(f int64) int64 {
+		d := int64(rate * w / float64(f))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return []Phase{
+		{
+			Duration: before,
+			Rates:    map[string]float64{"R": rate, "S": rate, "T": rate, "U": rate},
+			Domains:  map[string]int64{"a": dom(1), "b": dom(1), "c": dom(1)},
+		},
+		{
+			Duration: after,
+			Rates:    map[string]float64{"R": rate, "S": rate, "T": rate, "U": rate},
+			// a-domain shrinks: S×R fanout becomes `fanout`; b-domain
+			// explodes: S–T matches vanish.
+			Domains: map[string]int64{"a": dom(fanout), "b": 1 << 40, "c": dom(1)},
+		},
+	}
+}
+
+// Fig8bPhases reproduces the Sec. VII-B materialization scenario: R
+// streams orders of magnitude faster than S, T, U; after the shift the
+// S⋈T⋈U intermediate result becomes very small, so introducing an STU
+// store pays off for the fast R stream.
+func Fig8bPhases(fastRate, slowRate float64, window, before, after time.Duration) []Phase {
+	w := window.Seconds()
+	dom := func(rate float64, f float64) int64 {
+		d := int64(rate * w / f)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return []Phase{
+		{
+			Duration: before,
+			Rates:    map[string]float64{"R": fastRate, "S": slowRate, "T": slowRate, "U": slowRate},
+			Domains:  map[string]int64{"a": dom(slowRate, 1), "b": dom(slowRate, 1), "c": dom(slowRate, 1)},
+		},
+		{
+			Duration: after,
+			Rates:    map[string]float64{"R": fastRate, "S": slowRate, "T": slowRate, "U": slowRate},
+			// b/c domains grow: S⋈T and T⋈U shrink drastically.
+			Domains: map[string]int64{"a": dom(slowRate, 1), "b": dom(slowRate, 0.05), "c": dom(slowRate, 0.05)},
+		},
+	}
+}

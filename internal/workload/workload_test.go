@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/query"
+)
+
+func TestEnvCanonicalPredicates(t *testing.T) {
+	e := NewEnv(10, 100)
+	if e.Catalog().Len() != 10 {
+		t.Fatalf("catalog size = %d", e.Catalog().Len())
+	}
+	// Canonical predicate is symmetric and stable.
+	p1 := e.Pred(2, 7)
+	p2 := e.Pred(7, 2)
+	if p1 != p2 {
+		t.Errorf("Pred not symmetric: %v vs %v", p1, p2)
+	}
+	if p1 != e.Pred(2, 7) {
+		t.Error("Pred not stable")
+	}
+	// Validates against the catalog.
+	q, err := query.NewQuery("q", []string{"E02", "E07"}, []query.Predicate{p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Catalog().Validate(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvEstimates(t *testing.T) {
+	e := NewEnv(10, 100)
+	est := e.Estimates()
+	if est.Rate("E03") != 100 {
+		t.Errorf("rate = %g", est.Rate("E03"))
+	}
+	if got := est.Selectivity(e.Pred(0, 1)); got != 0.01 {
+		t.Errorf("sel = %g, want rate^-1 = 0.01", got)
+	}
+}
+
+func TestEnvRandomQueries(t *testing.T) {
+	e := NewEnv(10, 100)
+	qs := e.RandomQueries(50, 3, 1)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	cat := e.Catalog()
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if q.Size() != 3 || len(q.Preds) < 2 {
+			t.Errorf("%s: bad shape (%d rels, %d preds)", q.Name, q.Size(), len(q.Preds))
+		}
+		if err := cat.Validate(q); err != nil {
+			t.Fatal(err)
+		}
+		if !q.Connected(q.RelationSet()) {
+			t.Errorf("%s disconnected", q.Name)
+		}
+		if seen[q.Signature()] {
+			t.Errorf("duplicate %s", q.Signature())
+		}
+		seen[q.Signature()] = true
+	}
+	// Shared predicates across queries: the same relation pair always
+	// joins on the same attributes.
+	pairPred := map[string]string{}
+	for _, q := range qs {
+		for _, p := range q.Preds {
+			key := p.Left.Rel + "|" + p.Right.Rel
+			if prev, ok := pairPred[key]; ok && prev != p.String() {
+				t.Fatalf("pair %s joined two ways: %s vs %s", key, prev, p)
+			}
+			pairPred[key] = p.String()
+		}
+	}
+}
+
+func TestEnvLargerQueries(t *testing.T) {
+	e := NewEnv(100, 100)
+	for _, size := range []int{3, 4, 5} {
+		qs := e.RandomQueries(10, size, 7)
+		if len(qs) != 10 {
+			t.Fatalf("size %d: got %d queries", size, len(qs))
+		}
+		for _, q := range qs {
+			if q.Size() != size {
+				t.Errorf("size %d: query has %d relations", size, q.Size())
+			}
+		}
+	}
+}
+
+func TestFourWayQuery(t *testing.T) {
+	q, cat := FourWayQuery(5 * time.Second)
+	if q.Size() != 4 || len(q.Preds) != 3 {
+		t.Fatalf("four-way query malformed: %v", q)
+	}
+	if cat.Window("R", 0) != 5*time.Second {
+		t.Error("window not applied")
+	}
+}
+
+func TestGenLinearRatesAndOrder(t *testing.T) {
+	phases := []Phase{{
+		Duration: time.Second,
+		Rates:    map[string]float64{"R": 100, "S": 50, "T": 50, "U": 25},
+		Domains:  map[string]int64{"a": 10, "b": 10, "c": 10},
+	}}
+	recs := GenLinear(phases, 3)
+	counts := map[string]int{}
+	last := int64(-1)
+	for _, r := range recs {
+		counts[r.Relation]++
+		if int64(r.TS) < last {
+			t.Fatal("records out of order")
+		}
+		last = int64(r.TS)
+	}
+	if counts["R"] != 100 || counts["S"] != 50 || counts["U"] != 25 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Arity per relation.
+	for _, r := range recs {
+		want := 1
+		if r.Relation == "S" || r.Relation == "T" {
+			want = 2
+		}
+		if len(r.Vals) != want {
+			t.Fatalf("%s arity %d", r.Relation, len(r.Vals))
+		}
+	}
+}
+
+func TestGenLinearPhaseShift(t *testing.T) {
+	phases := Fig8aPhases(100, time.Second, time.Second, time.Second, 50)
+	recs := GenLinear(phases, 5)
+	// Before the shift, S.b values are drawn from a small domain; after,
+	// from a huge one (S–T matches vanish).
+	var smallB, hugeB int
+	for _, r := range recs {
+		if r.Relation != "S" {
+			continue
+		}
+		b := r.Vals[1].Int()
+		if r.TS <= 1_000_000_000 {
+			if b < 1000 {
+				smallB++
+			}
+		} else if b >= 1000 {
+			hugeB++
+		}
+	}
+	if smallB == 0 || hugeB == 0 {
+		t.Errorf("phase shift not visible: small=%d huge=%d", smallB, hugeB)
+	}
+}
+
+func TestFig8bPhasesShape(t *testing.T) {
+	phases := Fig8bPhases(1000, 10, time.Second, time.Second, time.Second)
+	if len(phases) != 2 {
+		t.Fatal("want two phases")
+	}
+	if phases[0].Rates["R"] != 1000 || phases[0].Rates["S"] != 10 {
+		t.Error("rate asymmetry missing")
+	}
+	if phases[1].Domains["b"] <= phases[0].Domains["b"] {
+		t.Error("second phase should enlarge the b-domain (fewer S–T matches)")
+	}
+}
