@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -31,6 +33,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
 		seed    = flag.Uint64("seed", 42, "workload seed")
+		jsonOut = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
 	)
 	flag.Parse()
 
@@ -40,7 +43,13 @@ func main() {
 	}
 
 	if want("7b") || want("7c") || want("7d") || *fig == "7" {
-		runFig7(*sf, *quick, *seed)
+		series := runFig7(*sf, *quick, *seed)
+		if *jsonOut != "" {
+			if err := writeFig7JSON(*jsonOut, *sf, *seed, series); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *jsonOut)
+		}
 	}
 	if want("8a") {
 		runFig8('a', *quick, *seed)
@@ -90,7 +99,28 @@ func runAblations(quick bool, solveTO time.Duration, seed uint64) {
 	fmt.Println()
 }
 
-func runFig7(sf float64, quick bool, seed uint64) {
+// fig7Series is one Fig. 7 run at a fixed query count, as serialized
+// into the -json output.
+type fig7Series struct {
+	Queries int          `json:"queries"`
+	Results []fig7Result `json:"results"`
+}
+
+// fig7Result is one strategy bar of Figs. 7b–7d in machine-readable
+// form; BENCH_fig7.json tracks these across PRs.
+type fig7Result struct {
+	Strategy      string  `json:"strategy"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	MemoryBytes   int64   `json:"memory_bytes"`
+	AvgLatencyNS  int64   `json:"avg_latency_ns"`
+	ProbeTuples   int64   `json:"probe_tuples"`
+	Results       int64   `json:"results"`
+	Stores        int     `json:"stores"`
+	WallTimeNS    int64   `json:"wall_time_ns"`
+}
+
+func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
+	var series []fig7Series
 	for _, nq := range []int{5, 10} {
 		if quick && nq == 10 {
 			continue
@@ -102,7 +132,36 @@ func runFig7(sf float64, quick bool, seed uint64) {
 		}
 		fmt.Print(bench.FormatFig7(res))
 		fmt.Println()
+		s := fig7Series{Queries: nq}
+		for _, r := range res {
+			s.Results = append(s.Results, fig7Result{
+				Strategy:      string(r.Strategy),
+				ThroughputTPS: r.ThroughputTPS,
+				MemoryBytes:   r.MemoryBytes,
+				AvgLatencyNS:  r.AvgLatency.Nanoseconds(),
+				ProbeTuples:   r.ProbeTuples,
+				Results:       r.Results,
+				Stores:        r.Stores,
+				WallTimeNS:    r.WallTime.Nanoseconds(),
+			})
+		}
+		series = append(series, s)
 	}
+	return series
+}
+
+func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series) error {
+	doc := struct {
+		Figure string       `json:"figure"`
+		SF     float64      `json:"sf"`
+		Seed   uint64       `json:"seed"`
+		Series []fig7Series `json:"series"`
+	}{Figure: "7", SF: sf, Seed: seed, Series: series}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runFig8(variant byte, quick bool, seed uint64) {

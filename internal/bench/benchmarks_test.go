@@ -1,0 +1,100 @@
+package bench
+
+// Canonical figure benchmarks: one per table/figure of the paper's
+// evaluation (Sec. VII), at laptop scale. The cmd/clash-bench binary
+// produces the full series; these time one representative configuration
+// each and are kept small enough for `go test -bench=.`. Benchmarks
+// needing the public clash API (optimizer entry points, Engine) live in
+// the repository-root bench_test.go, which this package cannot import.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFig7Throughput times the five-strategy TPC-H comparison
+// (Figs. 7b–7d: throughput, memory, latency come from the same run).
+func BenchmarkFig7Throughput(b *testing.B) {
+	for _, nq := range []int{5, 10} {
+		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Fig7(Fig7Config{SF: 0.0005, NumQueries: nq})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, r := range res {
+						b.Logf("%s: %.0f t/s, %.2f MiB, lat %v", r.Strategy,
+							r.ThroughputTPS, float64(r.MemoryBytes)/(1<<20), r.AvgLatency)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Adaptive times the adaptation experiment (Fig. 8a) in
+// compressed logical time.
+func BenchmarkFig8Adaptive(b *testing.B) {
+	cfg := Fig8Config{
+		Rate:   1000,
+		Window: 400 * time.Millisecond,
+		Epoch:  100 * time.Millisecond,
+		Before: time.Second,
+		After:  time.Second,
+		Bucket: 200 * time.Millisecond,
+	}
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"adaptive", true}, {"static", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig8('a', mode.adaptive, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Materialize times the Fig. 8b variant (introducing an
+// intermediate-result store for a fast input stream).
+func BenchmarkFig8Materialize(b *testing.B) {
+	cfg := Fig8Config{
+		FastRate: 2000, SlowRate: 40,
+		Window: 400 * time.Millisecond,
+		Epoch:  100 * time.Millisecond,
+		Before: time.Second,
+		After:  time.Second,
+		Bucket: 200 * time.Millisecond,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig8('b', true, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Cost10 times the probe-cost comparison over 10 input
+// relations (Figs. 9a/9b) at one sweep point.
+func BenchmarkFig9Cost10(b *testing.B) {
+	cfg := Fig9Config{Relations: 10, SolveLimit: 2 * time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig9Cost(cfg, []int{20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Cost100 times the probe-cost comparison over 100 input
+// relations (Figs. 9c/9d) at one sweep point.
+func BenchmarkFig9Cost100(b *testing.B) {
+	cfg := Fig9Config{Relations: 100, SolveLimit: 5 * time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig9Cost(cfg, []int{50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

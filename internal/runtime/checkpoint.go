@@ -199,12 +199,7 @@ func (e *Engine) Restore(r io.Reader) error {
 				if t == nil {
 					return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
 				}
-				c := t.containers[ep]
-				if c == nil {
-					c = newContainer()
-					t.containers[ep] = c
-				}
-				c.add(entry{t: tp, seq: eseq})
+				t.containerFor(ep).add(entry{t: tp, seq: eseq})
 				t.storedCount.Add(1)
 				e.metrics.stored.Add(1)
 				e.metrics.storeBytes.Add(int64(tp.MemSize()))

@@ -59,6 +59,12 @@ type Config struct {
 	// Observer, when set, is called for every ingested tuple — the
 	// statistics-gathering tap of Fig. 2 (wire it to a stats.Collector).
 	Observer func(rel string, t *tuple.Tuple)
+
+	// legacyProbe switches tasks to the uncompiled, string-resolved
+	// probe path that predates the compiled-plan layer. It exists as a
+	// differential-testing oracle (the equivalence tests assert both
+	// paths produce identical results) and is deliberately unexported.
+	legacyProbe bool
 }
 
 // ErrMemoryLimit is reported when the engine exceeds its memory budget.
@@ -94,6 +100,7 @@ func (m *message) tupleCount() int64 {
 	return 0
 }
 
+
 // memSize approximates the message payload bytes.
 func (m *message) memSize() int64 {
 	if m.batch != nil {
@@ -109,15 +116,6 @@ func (m *message) memSize() int64 {
 	return 0
 }
 
-// each applies fn to every carried tuple.
-func (m *message) each(fn func(*tuple.Tuple)) {
-	if m.t != nil {
-		fn(m.t)
-	}
-	for _, t := range m.batch {
-		fn(t)
-	}
-}
 
 // Engine executes topology configurations.
 type Engine struct {
@@ -140,8 +138,13 @@ type Engine struct {
 	sinks  map[string]func(*tuple.Tuple)
 
 	// syncQueue is the FIFO work list of Synchronous mode; only the
-	// ingesting goroutine touches it.
+	// ingesting goroutine touches it. syncHead is the consume cursor,
+	// shared across nested drains: a sink callback calling Ingest/Drain
+	// re-enters runSyncQueue, which keeps consuming from the same
+	// cursor, so each item is handled exactly once and a nested Drain
+	// still drains fully.
 	syncQueue []syncItem
+	syncHead  int
 
 	seq         atomic.Uint64
 	inflight    atomic.Int64
@@ -155,6 +158,7 @@ type Engine struct {
 type epochConfig struct {
 	fromEpoch int64
 	topo      *topology.Config
+	comp      *compiledTopo // compiled once at Install (plan.go)
 }
 
 // syncItem is one queued unit of work in Synchronous mode.
@@ -215,30 +219,9 @@ func (e *Engine) Install(topo *topology.Config, fromEpoch int64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	// A newer install supersedes any pending config for the same or a
-	// later epoch: a query-churn config at e+1 must not be shadowed by a
-	// re-optimization at e+2 that was planned before the churn.
-	kept := e.configs[:0]
-	for _, c := range e.configs {
-		if c.fromEpoch < fromEpoch {
-			kept = append(kept, c)
-		}
-	}
-	e.configs = append(kept, &epochConfig{fromEpoch: fromEpoch, topo: topo})
-	sort.Slice(e.configs, func(i, j int) bool { return e.configs[i].fromEpoch < e.configs[j].fromEpoch })
-	// Garbage-collect superseded history: configs fully shadowed before
-	// the safety horizon (two epochs behind the watermark) can never be
-	// resolved again.
-	horizon := e.Epoch(e.Watermark()) - 2
-	cut := 0
-	for i := 0; i+1 < len(e.configs); i++ {
-		if e.configs[i+1].fromEpoch <= horizon {
-			cut = i + 1
-		}
-	}
-	e.configs = e.configs[cut:]
 	// Spawn tasks for stores that do not have them yet, pinning each
-	// store's parallelism at first sight.
+	// store's parallelism at first sight. Pinning must precede plan
+	// compilation: compiled emissions bake the pinned layout in.
 	for id, s := range topo.Stores {
 		par, pinned := e.pinnedPar[id]
 		if !pinned {
@@ -261,19 +244,41 @@ func (e *Engine) Install(topo *topology.Config, fromEpoch int64) error {
 			}
 		}
 	}
+	// A newer install supersedes any pending config for the same or a
+	// later epoch: a query-churn config at e+1 must not be shadowed by a
+	// re-optimization at e+2 that was planned before the churn.
+	kept := e.configs[:0]
+	for _, c := range e.configs {
+		if c.fromEpoch < fromEpoch {
+			kept = append(kept, c)
+		}
+	}
+	e.configs = append(kept, &epochConfig{fromEpoch: fromEpoch, topo: topo, comp: e.compileTopo(topo)})
+	sort.Slice(e.configs, func(i, j int) bool { return e.configs[i].fromEpoch < e.configs[j].fromEpoch })
+	// Garbage-collect superseded history: configs fully shadowed before
+	// the safety horizon (two epochs behind the watermark) can never be
+	// resolved again.
+	horizon := e.Epoch(e.Watermark()) - 2
+	cut := 0
+	for i := 0; i+1 < len(e.configs); i++ {
+		if e.configs[i+1].fromEpoch <= horizon {
+			cut = i + 1
+		}
+	}
+	e.configs = e.configs[cut:]
 	return nil
 }
 
-// configFor returns the config active at the given epoch (largest
+// configFor returns the epoch config active at the given epoch (largest
 // fromEpoch ≤ epoch), or nil. Binary search: this sits on the hot path
 // of every emitted tuple.
-func (e *Engine) configFor(epoch int64) *topology.Config {
+func (e *Engine) configFor(epoch int64) *epochConfig {
 	lo, hi := 0, len(e.configs)-1
-	var best *topology.Config
+	var best *epochConfig
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		if e.configs[mid].fromEpoch <= epoch {
-			best = e.configs[mid].topo
+			best = e.configs[mid]
 			lo = mid + 1
 		} else {
 			hi = mid - 1
@@ -286,7 +291,10 @@ func (e *Engine) configFor(epoch int64) *topology.Config {
 func (e *Engine) ConfigFor(epoch int64) *topology.Config {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.configFor(epoch)
+	if ec := e.configFor(epoch); ec != nil {
+		return ec.topo
+	}
+	return nil
 }
 
 // Epoch returns the epoch containing the event time.
@@ -356,11 +364,10 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	// replicating state (Sec. VI-A).
 	ownEpoch := e.Epoch(ts)
 	e.mu.RLock()
-	if cfg := e.configFor(ownEpoch); cfg != nil {
-		if sp := cfg.Spouts[rel]; sp != nil {
-			for _, em := range sp.Out {
-				e.emitLocked(cfg, em, ownEpoch, t, seq, wall)
-			}
+	if ec := e.configFor(ownEpoch); ec != nil {
+		steps := ec.comp.spouts[rel]
+		for i := range steps {
+			e.emitLocked(&steps[i], ownEpoch, t, seq, wall)
 		}
 	}
 	e.mu.RUnlock()
@@ -373,18 +380,6 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	return e.Failure()
 }
 
-func isStoreEdge(cfg *topology.Config, em topology.Emission) bool {
-	if em.To == "" {
-		return false
-	}
-	for _, r := range cfg.Rules[em.To][em.Edge] {
-		if r.Kind == topology.StoreRule {
-			return true
-		}
-	}
-	return false
-}
-
 func (e *Engine) window(rel string) time.Duration {
 	if e.cfg.Catalog == nil {
 		return e.cfg.DefaultWindow
@@ -392,153 +387,197 @@ func (e *Engine) window(rel string) time.Duration {
 	return e.cfg.Catalog.Window(rel, e.cfg.DefaultWindow)
 }
 
-// emitLocked routes a tuple along an emission. Callers hold e.mu (read).
-func (e *Engine) emitLocked(cfg *topology.Config, em topology.Emission, epoch int64, t *tuple.Tuple, seq uint64, wall int64) {
-	if em.Sink != "" {
-		e.deliverResult(em.Sink, t, wall)
+// emitLocked routes a tuple along a compiled emission. Callers hold
+// e.mu (read). Routing metadata — store/probe classification, pinned
+// parallelism, routing attribute — comes precomputed on the step
+// (plan.go); only the tuple's own routing value is resolved here.
+//
+// Inserts always route by the store's pinned partitioning attribute,
+// which every stored tuple carries by name. Probes route by the
+// emission's compile-time RouteBy attribute when its equality to the
+// pinned partitioning is guaranteed (see DESIGN.md; a config declaring
+// a different partitioning than the pinned physical layout cannot key
+// its probes — they broadcast).
+func (e *Engine) emitLocked(step *emitStep, epoch int64, t *tuple.Tuple, seq uint64, wall int64) {
+	if step.sink != "" {
+		e.deliverResult(step.sink, t, wall)
 		return
 	}
-	store := cfg.Stores[em.To]
-	if store == nil {
-		return
-	}
-	par := e.pinnedPar[em.To]
-	if par < 1 {
-		par = 1
-	}
-	msg := message{edge: em.Edge, epoch: epoch, t: t, seq: seq, ingestWall: wall}
-	isStore := isStoreEdge(cfg, em)
-	if h, ok := e.routeHash(cfg, em, store, isStore, t); ok && par >= 1 {
-		if e.cfg.TwoChoiceRouting && par >= 2 {
-			p1, p2 := twoChoices(h, par)
-			if isStore {
-				// Materialize once, on the less-loaded candidate.
-				e.send(taskKey{store: em.To, part: e.lessLoaded(em.To, p1, p2)}, msg)
-			} else {
-				// The partner may be on either candidate: probe both.
-				e.send(taskKey{store: em.To, part: p1}, msg)
-				e.send(taskKey{store: em.To, part: p2}, msg)
+	par := step.par
+	msg := message{edge: step.edge, epoch: epoch, t: t, seq: seq, ingestWall: wall}
+	if name := step.routeName(); name != "" {
+		if v, ok := t.Get(name); ok {
+			h := v.Hash()
+			if e.cfg.TwoChoiceRouting && par >= 2 {
+				p1, p2 := twoChoices(h, par)
+				if step.isStore {
+					// Materialize once, on the less-loaded candidate.
+					e.send(taskKey{store: step.to, part: e.lessLoaded(step.to, p1, p2)}, msg)
+				} else {
+					// The partner may be on either candidate: probe both.
+					e.send(taskKey{store: step.to, part: p1}, msg)
+					e.send(taskKey{store: step.to, part: p2}, msg)
+				}
+				return
 			}
+			e.send(taskKey{store: step.to, part: int(h % uint64(par))}, msg)
 			return
 		}
-		e.send(taskKey{store: em.To, part: int(h % uint64(par))}, msg)
-		return
 	}
-	if isStore {
+	if step.isStore {
 		// Inserts into an unpartitioned store spread round-robin: the
 		// tuple is materialized exactly once; later probes broadcast.
-		e.send(taskKey{store: em.To, part: int(seq % uint64(par))}, msg)
+		e.send(taskKey{store: step.to, part: int(seq % uint64(par))}, msg)
 		return
 	}
 	// Broadcast probe: the tuple counts once per task (χ in Eq. 1); the
 	// batched message event counts once (Sec. III).
 	for p := 0; p < par; p++ {
-		e.send(taskKey{store: em.To, part: p}, msg)
+		e.send(taskKey{store: step.to, part: p}, msg)
 	}
 }
 
-// emitBatchLocked routes a probe's result tuples along one emission,
-// batching all tuples headed for the same task into a single message
-// (Sec. III: result tuples travel together; probe cost counts tuples,
-// messaging events count batches). Callers hold e.mu (read).
-func (e *Engine) emitBatchLocked(cfg *topology.Config, em topology.Emission, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64) {
-	if em.Sink != "" {
+// emitBatchLocked routes a probe's result tuples along one compiled
+// emission, batching all tuples headed for the same task into a single
+// message (Sec. III: result tuples travel together; probe cost counts
+// tuples, messaging events count batches). Callers hold e.mu (read).
+//
+// batch may be (and on the hot path is) the calling task's reused
+// scratch buffer: the routed tuples are copied into one fresh,
+// exactly-sized allocation that the outgoing messages slice up, so the
+// caller is free to truncate and refill its buffer immediately.
+func (e *Engine) emitBatchLocked(step *emitStep, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64, rs *routeScratch) {
+	if step.sink != "" {
 		for _, t := range batch {
-			e.deliverResult(em.Sink, t, wall)
+			e.deliverResult(step.sink, t, wall)
 		}
 		return
 	}
 	if len(batch) == 1 {
-		e.emitLocked(cfg, em, epoch, batch[0], seq, wall)
+		e.emitLocked(step, epoch, batch[0], seq, wall)
 		return
 	}
-	store := cfg.Stores[em.To]
-	if store == nil {
+	par := step.par
+	if e.cfg.TwoChoiceRouting && par >= 2 {
+		e.emitBatchTwoChoiceLocked(step, epoch, batch, seq, wall)
 		return
 	}
-	par := e.pinnedPar[em.To]
-	if par < 1 {
-		par = 1
+	name := step.routeName()
+	if name == "" {
+		// The whole batch is unroutable: one copy, sent as one message
+		// (inserts) or shared read-only across all partitions (probes).
+		rest := make([]*tuple.Tuple, len(batch))
+		copy(rest, batch)
+		e.sendRest(step, epoch, rest, seq, wall)
+		return
 	}
-	twoChoice := e.cfg.TwoChoiceRouting && par >= 2
-	isStore := isStoreEdge(cfg, em)
-	var byPart map[int][]*tuple.Tuple
-	var rest []*tuple.Tuple
-	addTo := func(p int, t *tuple.Tuple) {
-		if byPart == nil {
-			byPart = make(map[int][]*tuple.Tuple, par)
+
+	// Two-pass partitioning into one flat allocation: pass 1 hashes each
+	// tuple to its partition and counts, pass 2 fills contiguous
+	// per-partition segments (unroutable tuples go to the tail).
+	rs.ensure(par, len(batch))
+	nRest := 0
+	for i, t := range batch {
+		if v, ok := t.Get(name); ok {
+			p := int32(v.Hash() % uint64(par))
+			rs.parts[i] = p
+			rs.counts[p]++
+		} else {
+			rs.parts[i] = -1
+			nRest++
 		}
-		byPart[p] = append(byPart[p], t)
 	}
-	for _, t := range batch {
-		if h, ok := e.routeHash(cfg, em, store, isStore, t); ok {
-			if twoChoice {
-				p1, p2 := twoChoices(h, par)
-				if isStore {
-					addTo(e.lessLoaded(em.To, p1, p2), t)
-				} else {
-					addTo(p1, t)
-					addTo(p2, t)
-				}
-			} else {
-				addTo(int(h%uint64(par)), t)
-			}
+	flat := make([]*tuple.Tuple, len(batch))
+	off := int32(0)
+	for p := range rs.starts {
+		rs.starts[p] = off
+		off += rs.counts[p]
+	}
+	restCur := off
+	for i, t := range batch {
+		if p := rs.parts[i]; p >= 0 {
+			flat[rs.starts[p]] = t
+			rs.starts[p]++
+		} else {
+			flat[restCur] = t
+			restCur++
+		}
+	}
+	off = 0
+	for p := 0; p < par; p++ {
+		n := rs.counts[p]
+		if n == 0 {
 			continue
 		}
-		rest = append(rest, t)
-	}
-	for p := 0; p < par; p++ {
-		if sub := byPart[p]; len(sub) > 0 {
-			e.send(taskKey{store: em.To, part: p},
-				message{edge: em.Edge, epoch: epoch, batch: sub, seq: seq, ingestWall: wall})
+		sub := flat[off : off+n : off+n]
+		off += n
+		if n == 1 {
+			e.send(taskKey{store: step.to, part: p},
+				message{edge: step.edge, epoch: epoch, t: sub[0], seq: seq, ingestWall: wall})
+			continue
 		}
+		e.send(taskKey{store: step.to, part: p},
+			message{edge: step.edge, epoch: epoch, batch: sub, seq: seq, ingestWall: wall})
 	}
-	if len(rest) == 0 {
-		return
-	}
-	msg := message{edge: em.Edge, epoch: epoch, batch: rest, seq: seq, ingestWall: wall}
-	if isStoreEdge(cfg, em) {
-		// Inserts into an unpartitioned store land on one task.
-		e.send(taskKey{store: em.To, part: int(seq % uint64(par))}, msg)
-		return
-	}
-	// Broadcast probe: the batch counts once per task (χ in Eq. 1).
-	for p := 0; p < par; p++ {
-		e.send(taskKey{store: em.To, part: p}, msg)
+	if nRest > 0 {
+		e.sendRest(step, epoch, flat[off:], seq, wall)
 	}
 }
 
-// routeHash returns the hash value routing this transfer to one
-// partition of the target store, if the tuple can be routed soundly.
-//
-// Inserts always route by the store's pinned partitioning attribute,
-// which every stored tuple carries by name (a base store's tuples carry
-// the relation's attributes; an MIR store's feeding results carry all
-// constituent attributes, and partition candidates are drawn from
-// them). Probes route by the emission's compile-time RouteBy attribute:
-// the compiler guarantees its equality to the partitioning attribute
-// for every rule consuming the edge. A config that declares a different
-// partitioning than the pinned physical layout cannot key its probes
-// (state cannot be re-sharded live; see DESIGN.md) — they broadcast.
-func (e *Engine) routeHash(cfg *topology.Config, em topology.Emission, store *topology.Store, isStore bool, t *tuple.Tuple) (uint64, bool) {
-	pinned := e.pinnedPart[em.To]
-	if pinned == (query.Attr{}) {
-		return 0, false
+// sendRest forwards tuples that could not be keyed: inserts land on one
+// round-robin task, probes broadcast (the batch counts once per task —
+// χ in Eq. 1).
+func (e *Engine) sendRest(step *emitStep, epoch int64, rest []*tuple.Tuple, seq uint64, wall int64) {
+	msg := message{edge: step.edge, epoch: epoch, batch: rest, seq: seq, ingestWall: wall}
+	if len(rest) == 1 {
+		msg.t, msg.batch = rest[0], nil
 	}
-	name := ""
-	if isStore {
-		name = pinned.Qualified()
-	} else if em.RouteBy != "" && store.Partition == pinned {
-		name = em.RouteBy
+	if step.isStore {
+		e.send(taskKey{store: step.to, part: int(seq % uint64(step.par))}, msg)
+		return
 	}
-	if name == "" {
-		return 0, false
+	for p := 0; p < step.par; p++ {
+		e.send(taskKey{store: step.to, part: p}, msg)
 	}
-	v, ok := t.Get(name)
-	if !ok {
-		return 0, false
+}
+
+// emitBatchTwoChoiceLocked is the two-choice-routing variant of batch
+// emission. Probes fan out to both hash candidates, so the flat
+// single-allocation layout does not apply; this path keeps the simpler
+// map-based grouping (two-choice deployments trade per-message overhead
+// for skew resilience anyway).
+func (e *Engine) emitBatchTwoChoiceLocked(step *emitStep, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64) {
+	par := step.par
+	name := step.routeName()
+	byPart := make(map[int][]*tuple.Tuple, par)
+	var rest []*tuple.Tuple
+	for _, t := range batch {
+		v, ok := tuple.Value{}, false
+		if name != "" {
+			v, ok = t.Get(name)
+		}
+		if !ok {
+			rest = append(rest, t)
+			continue
+		}
+		p1, p2 := twoChoices(v.Hash(), par)
+		if step.isStore {
+			p := e.lessLoaded(step.to, p1, p2)
+			byPart[p] = append(byPart[p], t)
+		} else {
+			byPart[p1] = append(byPart[p1], t)
+			byPart[p2] = append(byPart[p2], t)
+		}
 	}
-	return v.Hash(), true
+	for p := 0; p < par; p++ {
+		if sub := byPart[p]; len(sub) > 0 {
+			e.send(taskKey{store: step.to, part: p},
+				message{edge: step.edge, epoch: epoch, batch: sub, seq: seq, ingestWall: wall})
+		}
+	}
+	if len(rest) > 0 {
+		e.sendRest(step, epoch, rest, seq, wall)
+	}
 }
 
 // twoChoices derives the two candidate partitions of a key hash; they
@@ -588,15 +627,19 @@ func (e *Engine) send(k taskKey, msg message) {
 
 // runSyncQueue processes queued work in FIFO order until the topology
 // settles. Only the ingesting goroutine calls this (Synchronous mode);
-// handling a message may enqueue follow-up work, which is processed in
-// the same pass.
+// handling a message may enqueue follow-up work, which is appended
+// behind the shared cursor and processed in the same pass. Re-entrant
+// calls (a handler's sink callback invoking Ingest or Drain) advance
+// the same cursor, so every item is handled exactly once and a nested
+// call returns only when the queue is momentarily empty. The backing
+// array is kept between bursts — the ingest hot path must not re-grow
+// it on every tuple — with consumed slots zeroed so carried tuples are
+// collectable.
 func (e *Engine) runSyncQueue() {
-	for len(e.syncQueue) > 0 {
-		it := e.syncQueue[0]
-		e.syncQueue = e.syncQueue[1:]
-		if len(e.syncQueue) == 0 {
-			e.syncQueue = nil // release the backing array between bursts
-		}
+	for e.syncHead < len(e.syncQueue) {
+		it := e.syncQueue[e.syncHead]
+		e.syncQueue[e.syncHead] = syncItem{}
+		e.syncHead++
 		e.mu.RLock()
 		t := e.tasks[it.key]
 		e.mu.RUnlock()
@@ -605,10 +648,16 @@ func (e *Engine) runSyncQueue() {
 				t.prune(tuple.Time(it.msg.epoch))
 			} else {
 				e.queuedBytes.Add(-it.msg.memSize())
-				t.handle(it.msg)
+				t.handle(&it.msg)
 			}
 		}
 		e.inflight.Add(-1)
+	}
+	e.syncHead = 0
+	if cap(e.syncQueue) > 4096 {
+		e.syncQueue = nil // release a one-off spike's high-water memory
+	} else {
+		e.syncQueue = e.syncQueue[:0]
 	}
 }
 

@@ -1,0 +1,137 @@
+package runtime
+
+// Hot-path micro-benchmarks for the probe and routing paths. These are
+// the numbers the compiled-plan layer (plan.go) is measured against:
+// run with -bench 'ProbeHotPath|IngestRouting' -benchmem and compare
+// allocs/op and ns/op across changes (benchstat-friendly names).
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/tuple"
+)
+
+// newBenchEngine compiles the workload and installs it on a synchronous
+// engine, so every Ingest runs its complete probe chain inline — the
+// per-tuple handling cost is exactly what the benchmark times.
+func newBenchEngine(b *testing.B, workload string, opts core.Options, window time.Duration) (*Engine, *query.Catalog) {
+	b.Helper()
+	qs, cat, err := query.ParseWorkload(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := flatEstimates(cat.Names(), 1000)
+	plan, err := core.NewOptimizer(opts).Optimize(qs, est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: opts.StoreParallelism})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Synchronous: true, DefaultWindow: window})
+	if err := eng.Install(topo, 0); err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range qs {
+		eng.OnResult(q.Name, func(*tuple.Tuple) {})
+	}
+	return eng, cat
+}
+
+// BenchmarkProbeHotPath times one full three-way probe chain per op:
+// an R tuple probes the S store (indexed lookup, ~4 matches), and each
+// R⋈S result probes the T store (~4 matches each), so every op joins,
+// batches, and delivers ~16 results through the sink.
+func BenchmarkProbeHotPath(b *testing.B) {
+	eng, _ := newBenchEngine(b, "q1: R(a) S(a,b) T(b)",
+		core.Options{StoreParallelism: 1, DisablePartitioning: true}, 0)
+	defer eng.Stop()
+
+	const keys = 64
+	ts := tuple.Time(1)
+	for i := 0; i < 4*keys; i++ {
+		k := int64(i % keys)
+		if err := eng.Ingest("S", ts, tuple.IntValue(k), tuple.IntValue(k)); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Ingest("T", ts+1, tuple.IntValue(k)); err != nil {
+			b.Fatal(err)
+		}
+		ts += 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Ingest("R", ts, tuple.IntValue(int64(i%keys))); err != nil {
+			b.Fatal(err)
+		}
+		ts++
+	}
+}
+
+// BenchmarkIngestRouting times the spout→store routing path on a
+// partitioned deployment: each op hashes the tuple to one of four
+// partitions, stores it, and runs a keyed probe that rarely matches —
+// the message-routing overhead dominates, not join work.
+func BenchmarkIngestRouting(b *testing.B) {
+	eng, _ := newBenchEngine(b, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 4}, 0)
+	defer eng.Stop()
+
+	ts := tuple.Time(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := "R"
+		if i&1 == 1 {
+			rel = "S"
+		}
+		// Large key space: probes hit the index but almost never match.
+		if err := eng.Ingest(rel, ts, tuple.IntValue(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		ts++
+	}
+}
+
+// BenchmarkPruneRetainedIndices times window expiry on a store whose
+// probe index is hot: after each prune the next probe must still find
+// its partners without a full index rebuild.
+func BenchmarkPruneRetainedIndices(b *testing.B) {
+	eng, _ := newBenchEngine(b, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 1, DisablePartitioning: true}, 4096)
+	defer eng.Stop()
+
+	const window = 4096
+	ts := tuple.Time(1)
+	const keys = 128
+	for i := 0; i < 2048; i++ {
+		rel := "R"
+		if i&1 == 1 {
+			rel = "S"
+		}
+		if err := eng.Ingest(rel, ts, tuple.IntValue(int64(i%keys))); err != nil {
+			b.Fatal(err)
+		}
+		ts++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := "R"
+		if i&1 == 1 {
+			rel = "S"
+		}
+		if err := eng.Ingest(rel, ts, tuple.IntValue(int64(i%keys))); err != nil {
+			b.Fatal(err)
+		}
+		ts++
+		if i%512 == 511 {
+			eng.PruneBefore(eng.Watermark() - window)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package runtime
+
+// Compiled probe plans: the per-tuple interpretation work of the hot
+// path — resolving predicate attribute names against schemas, scanning
+// rule lists to classify emissions, and re-deriving routing metadata —
+// is hoisted to Install time (DESIGN.md §7). Each installed topology is
+// compiled once into a compiledTopo: spout emissions and rules become
+// emitStep / rulePlan values holding everything the runtime needs as
+// plain fields, and the remaining schema-dependent work (column
+// positions of predicate and τ attributes) is resolved lazily at
+// first sight of each schema and cached per task, so steady-state
+// probes touch no string-keyed maps at all.
+//
+// Sharing discipline: compiledTopo, emitStep, and rulePlan are built
+// under the engine lock during Install and immutable afterwards — all
+// tasks read them freely. planState (the schema-position caches) is
+// mutable and therefore owned by a single task; tasks never share
+// planState values.
+
+import (
+	"clash/internal/query"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// emitStep is one compiled emission: the target plus everything the
+// emit path previously recomputed per tuple — whether a StoreRule
+// consumes the edge, the pinned parallelism, and the resolved routing
+// attribute names.
+type emitStep struct {
+	edge topology.EdgeID
+	to   topology.StoreID
+	sink string // query name for terminal emissions
+
+	// isStore: a StoreRule at `to` consumes this edge, so the transfer
+	// materializes state (routes by the pinned partition attribute and
+	// must land exactly once).
+	isStore bool
+	// par is the target store's pinned parallelism (≥1).
+	par int
+	// insertRoute is the pinned partitioning attribute's qualified name
+	// ("" = unpartitioned store: inserts round-robin).
+	insertRoute string
+	// probeRoute is the sound probe-routing attribute ("" = the sender
+	// cannot key its probes: broadcast). Non-empty only when the
+	// compile-time RouteBy matches the pinned physical partitioning.
+	probeRoute string
+}
+
+// routeName returns the attribute whose hash routes this transfer, or
+// "" when the transfer cannot be keyed.
+func (s *emitStep) routeName() string {
+	if s.isStore {
+		return s.insertRoute
+	}
+	return s.probeRoute
+}
+
+// predPlan is one compiled probe predicate: which qualified attribute
+// is stored here and which arrives on the probing tuple.
+type predPlan struct {
+	storedAttr string
+	probeAttr  string
+}
+
+// rulePlan is one compiled rule. The first predicate drives the local
+// index; the rest filter positionally. probeAttrs and storedAttrs are
+// the predicate attribute names in pred order, ready for
+// Schema.Positions when a new schema is first seen.
+type rulePlan struct {
+	kind        topology.RuleKind
+	preds       []predPlan
+	probeAttrs  []string
+	storedAttrs []string
+	out         []emitStep
+	// rule keeps the uncompiled form for the legacy string-resolved
+	// probe path (differential testing, see task.probeLegacy).
+	rule *topology.Rule
+}
+
+// compiledTopo is the compiled form of one installed topology.
+type compiledTopo struct {
+	topo   *topology.Config
+	spouts map[string][]emitStep
+	rules  map[topology.StoreID]map[topology.EdgeID][]*rulePlan
+}
+
+// compileTopo resolves a validated topology against the
+// engine's pinned physical layout. Caller holds e.mu (write): the
+// pinning loop of Install must already have run.
+func (e *Engine) compileTopo(topo *topology.Config) *compiledTopo {
+	comp := &compiledTopo{
+		topo:   topo,
+		spouts: make(map[string][]emitStep, len(topo.Spouts)),
+		rules:  make(map[topology.StoreID]map[topology.EdgeID][]*rulePlan, len(topo.Rules)),
+	}
+	for rel, sp := range topo.Spouts {
+		comp.spouts[rel] = e.compileEmissions(topo, sp.Out)
+	}
+	for sid, byEdge := range topo.Rules {
+		m := make(map[topology.EdgeID][]*rulePlan, len(byEdge))
+		for edge, rules := range byEdge {
+			plans := make([]*rulePlan, len(rules))
+			for i := range rules {
+				plans[i] = e.compileRule(topo, &rules[i])
+			}
+			m[edge] = plans
+		}
+		comp.rules[sid] = m
+	}
+	return comp
+}
+
+func (e *Engine) compileEmissions(topo *topology.Config, out []topology.Emission) []emitStep {
+	steps := make([]emitStep, 0, len(out))
+	for _, em := range out {
+		step := emitStep{edge: em.Edge, to: em.To, sink: em.Sink}
+		if em.To != "" {
+			store := topo.Stores[em.To]
+			if store == nil {
+				continue // Validate rejects this; defensive
+			}
+			step.isStore = topo.IsStoreEdge(em.To, em.Edge)
+			par := e.pinnedPar[em.To]
+			if par < 1 {
+				par = 1
+			}
+			step.par = par
+			pinned := e.pinnedPart[em.To]
+			if pinned != (query.Attr{}) {
+				step.insertRoute = pinned.Qualified()
+				if em.RouteBy != "" && store.Partition == pinned {
+					step.probeRoute = em.RouteBy
+				}
+			}
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+func (e *Engine) compileRule(topo *topology.Config, r *topology.Rule) *rulePlan {
+	rp := &rulePlan{kind: r.Kind, rule: r, out: e.compileEmissions(topo, r.Out)}
+	if r.Kind != topology.ProbeRule {
+		return rp
+	}
+	store := topo.Stores[r.Store]
+	inStore := make(map[string]bool, len(store.Rels))
+	for _, rel := range store.Rels {
+		inStore[rel] = true
+	}
+	rp.preds = make([]predPlan, 0, len(r.Preds))
+	for _, p := range r.Preds {
+		stored, probe := p.Left, p.Right
+		if !inStore[p.Left.Rel] {
+			stored, probe = p.Right, p.Left
+		}
+		rp.preds = append(rp.preds, predPlan{
+			storedAttr: stored.Qualified(),
+			probeAttr:  probe.Qualified(),
+		})
+		rp.probeAttrs = append(rp.probeAttrs, probe.Qualified())
+		rp.storedAttrs = append(rp.storedAttrs, stored.Qualified())
+	}
+	return rp
+}
+
+// storedShape caches, for one stored-tuple schema, the column positions
+// a rulePlan needs: predicate attributes (parallel to rp.preds, -1 if
+// absent) and τ columns (parallel to the task's window list, -1 if
+// absent).
+type storedShape struct {
+	predPos []int
+	tauPos  []int
+}
+
+// planState is a task-owned cache attached to one rulePlan: schema →
+// column positions, with a monomorphic inline slot in front of a map
+// fallback (probe and stored schemas are almost always stable per
+// edge, so steady state is two pointer compares per tuple).
+type planState struct {
+	lastProbe *tuple.Schema
+	lastPPos  []int // nil: a probe attribute is absent from the schema
+	probeMore map[*tuple.Schema][]int
+
+	lastStored *tuple.Schema
+	lastShape  *storedShape
+	storedMore map[*tuple.Schema]*storedShape
+}
+
+// probePos resolves the probe-side predicate columns for the schema,
+// returning nil when any probe attribute is missing (no tuple of this
+// schema can match — the legacy path produced zero results there too).
+func (st *planState) probePos(s *tuple.Schema, rp *rulePlan) []int {
+	if s == st.lastProbe {
+		return st.lastPPos
+	}
+	if pos, ok := st.probeMore[s]; ok {
+		st.lastProbe, st.lastPPos = s, pos
+		return pos
+	}
+	pos := s.Positions(rp.probeAttrs)
+	for _, p := range pos {
+		if p < 0 {
+			pos = nil
+			break
+		}
+	}
+	if st.probeMore == nil {
+		st.probeMore = make(map[*tuple.Schema][]int, 2)
+	}
+	st.probeMore[s] = pos
+	st.lastProbe, st.lastPPos = s, pos
+	return pos
+}
+
+// storedShapeFor resolves the stored-side predicate and τ columns for
+// the schema (positions may be -1 individually; MIR feeding orders can
+// differ in schema between entries of one container).
+func (st *planState) storedShapeFor(s *tuple.Schema, rp *rulePlan, tauNames []string) *storedShape {
+	if s == st.lastStored {
+		return st.lastShape
+	}
+	if sh, ok := st.storedMore[s]; ok {
+		st.lastStored, st.lastShape = s, sh
+		return sh
+	}
+	sh := &storedShape{
+		predPos: s.Positions(rp.storedAttrs),
+		tauPos:  s.Positions(tauNames),
+	}
+	if st.storedMore == nil {
+		st.storedMore = make(map[*tuple.Schema]*storedShape, 2)
+	}
+	st.storedMore[s] = sh
+	st.lastStored, st.lastShape = s, sh
+	return sh
+}
+
+// relWindow is one windowed base relation materialized in a store: the
+// τ pseudo-attribute carrying its member event times and the window
+// length. Unbounded relations are omitted from the list entirely.
+type relWindow struct {
+	tau string
+	w   int64
+}
+
+// routeScratch is a task-owned scratch area for batch routing: the
+// two-pass partitioning of emitBatchLocked uses it instead of
+// allocating a map per probe.
+type routeScratch struct {
+	parts  []int32 // per tuple: target partition, or -1 (unroutable)
+	counts []int32 // per partition: routable tuple count
+	starts []int32 // per partition: fill cursor into the flat result
+}
+
+func (rs *routeScratch) ensure(par, n int) {
+	if cap(rs.parts) < n {
+		rs.parts = make([]int32, n)
+	}
+	rs.parts = rs.parts[:n]
+	if cap(rs.counts) < par {
+		rs.counts = make([]int32, par)
+		rs.starts = make([]int32, par)
+	}
+	rs.counts = rs.counts[:par]
+	rs.starts = rs.starts[:par]
+	for i := range rs.counts {
+		rs.counts[i] = 0
+	}
+}

@@ -1,0 +1,332 @@
+package runtime
+
+// Tests for the compiled probe-plan layer: differential equivalence
+// against the legacy string-resolved probe path, and allocation
+// regression guards on the hot path.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"clash/internal/broker"
+	"clash/internal/core"
+	"clash/internal/ilp"
+	"clash/internal/query"
+	"clash/internal/topology"
+	"clash/internal/tpch"
+	"clash/internal/tuple"
+)
+
+// runWorkload executes the topology over the records on a synchronous
+// engine and returns, per query, the sorted rendered results.
+func runWorkload(t *testing.T, cfg Config, topo *topology.Config, queries []*query.Query, records []broker.Record) map[string][]string {
+	t.Helper()
+	eng := New(cfg)
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	out := map[string][]string{}
+	for _, q := range queries {
+		name := q.Name
+		eng.OnResult(name, func(tp *tuple.Tuple) {
+			out[name] = append(out[name], tp.String())
+		})
+	}
+	for _, r := range records {
+		if err := eng.Ingest(r.Relation, r.TS, r.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	for _, rs := range out {
+		sort.Strings(rs)
+	}
+	return out
+}
+
+// TestCompiledPlanEquivalenceTPCH asserts the compiled probe path
+// produces byte-identical join results to the legacy string-resolved
+// path on the TPC-H multi-query workload (the Fig. 7 setting): same
+// topology, same records, two engines differing only in probe
+// implementation.
+func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
+	queries := tpch.Fig7Queries()
+	cat := tpch.Catalog()
+	tables := map[string]bool{}
+	for _, q := range queries {
+		for _, r := range q.Relations {
+			tables[r] = true
+		}
+	}
+	var names []string
+	for r := range tables {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	b := broker.New()
+	if err := tpch.FillBroker(b, 0.0005, 42, tuple.Duration(time.Second), names); err != nil {
+		t.Fatal(err)
+	}
+	records := b.Interleave(names...)
+
+	est := flatEstimates(cat.Names(), 1000)
+	plan, err := core.NewOptimizer(core.Options{
+		StoreParallelism: 2,
+		Solver:           ilp.Options{TimeLimit: 3 * time.Second},
+	}).Optimize(queries, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compiled := runWorkload(t, Config{Catalog: cat, Synchronous: true}, topo, queries, records)
+	legacy := runWorkload(t, Config{Catalog: cat, Synchronous: true, legacyProbe: true}, topo, queries, records)
+
+	for _, q := range queries {
+		c, l := compiled[q.Name], legacy[q.Name]
+		if len(c) != len(l) {
+			t.Fatalf("%s: compiled %d results, legacy %d", q.Name, len(c), len(l))
+		}
+		for i := range c {
+			if c[i] != l[i] {
+				t.Fatalf("%s: result %d differs:\ncompiled: %s\nlegacy:   %s", q.Name, i, c[i], l[i])
+			}
+		}
+		if len(c) == 0 {
+			t.Errorf("%s: zero results — equivalence vacuous", q.Name)
+		}
+	}
+}
+
+// TestCompiledPlanEquivalenceWindowed covers the windowed, partitioned,
+// multi-query case (shared S–T step, per-relation τ window checks).
+func TestCompiledPlanEquivalenceWindowed(t *testing.T) {
+	workload := "q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)"
+	qs, cat, err := query.ParseWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := flatEstimates([]string{"R", "S", "T", "U"}, 100)
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 3}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := randomStream(cat, 400, 5, 13)
+	records := make([]broker.Record, len(ins))
+	for i, in := range ins {
+		records[i] = broker.Record{Relation: in.Rel, TS: in.TS, Vals: in.Vals}
+	}
+	cfg := Config{Catalog: cat, Synchronous: true, DefaultWindow: 40}
+	compiled := runWorkload(t, cfg, topo, qs, records)
+	cfg.legacyProbe = true
+	legacy := runWorkload(t, cfg, topo, qs, records)
+	for _, q := range qs {
+		if fmt.Sprint(compiled[q.Name]) != fmt.Sprint(legacy[q.Name]) {
+			t.Errorf("%s: compiled and legacy paths diverge (%d vs %d results)",
+				q.Name, len(compiled[q.Name]), len(legacy[q.Name]))
+		}
+		if len(compiled[q.Name]) == 0 {
+			t.Errorf("%s: zero results — equivalence vacuous", q.Name)
+		}
+	}
+}
+
+// probeFixture builds a synchronous two-way join engine, preloads the
+// probed store, and returns the task, compiled probe plan, and a probe
+// message aimed at it.
+func probeFixture(t testing.TB, matches int) (*task, *rulePlan, *planState, *tuple.Tuple, *message) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := flatEstimates([]string{"R", "S"}, 100)
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 1, DisablePartitioning: true}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Synchronous: true})
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.OnResult("q1", func(*tuple.Tuple) {})
+	t.Cleanup(eng.Stop)
+	// Preload the S store: `matches` partners under key 7.
+	for i := 0; i < matches; i++ {
+		if err := eng.Ingest("S", tuple.Time(i+1), tuple.IntValue(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Locate the S store's task and its probe plan (sink-only output).
+	ec := eng.configFor(0)
+	for sid, byEdge := range ec.comp.rules {
+		for edge, plans := range byEdge {
+			for _, rp := range plans {
+				if rp.kind != topology.ProbeRule || len(rp.out) != 1 || rp.out[0].sink == "" {
+					continue
+				}
+				tk := eng.tasks[taskKey{store: sid, part: 0}]
+				if tk == nil || tk.storedCount.Load() == 0 {
+					continue
+				}
+				probe := tuple.New(eng.schemas["R"], 1000, tuple.IntValue(7), tuple.IntValue(1000))
+				msg := &message{edge: edge, epoch: 0, t: probe, seq: 1 << 30}
+				return tk, rp, tk.stateFor(rp), probe, msg
+			}
+		}
+	}
+	t.Fatal("no sink-feeding probe plan found")
+	return nil, nil, nil, nil, nil
+}
+
+// TestProbeAllocs pins the allocation budget of task.probe: joining and
+// forwarding 8 results must cost amortized ≤1 alloc per probe (arena
+// chunks and batch copies amortize across calls; the legacy path cost
+// 2+ allocations per result).
+func TestProbeAllocs(t *testing.T) {
+	tk, rp, st, probe, msg := probeFixture(t, 8)
+	// Warm the schema-position and index caches.
+	tk.probe(probe, msg, rp, st)
+	avg := testing.AllocsPerRun(200, func() {
+		tk.probe(probe, msg, rp, st)
+	})
+	if avg > 1.0 {
+		t.Errorf("task.probe allocates %.2f objects/run, want ≤ 1 (8 results forwarded)", avg)
+	}
+}
+
+// TestIngestAllocs pins the allocation budget of Engine.Ingest on the
+// routing path: ≤4 objects per tuple (the tuple itself, its value
+// slice, and amortized container growth — the seed path cost 8).
+func TestIngestAllocs(t *testing.T) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := flatEstimates([]string{"R", "S"}, 100)
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 4}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Synchronous: true})
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.OnResult("q1", func(*tuple.Tuple) {})
+	defer eng.Stop()
+	ts := int64(1)
+	avg := testing.AllocsPerRun(500, func() {
+		if err := eng.Ingest("R", tuple.Time(ts), tuple.IntValue(ts)); err != nil {
+			t.Fatal(err)
+		}
+		ts++
+	})
+	if avg > 4.0 {
+		t.Errorf("Engine.Ingest allocates %.2f objects/run, want ≤ 4", avg)
+	}
+}
+
+// TestSyncReentrantIngest covers the feedback pattern: a sink callback
+// on a Synchronous engine ingesting a derived tuple (and calling Drain
+// itself). Nested drains share the outer cursor — every queued message
+// is processed exactly once and inflight returns to 0.
+func TestSyncReentrantIngest(t *testing.T) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)\nq2: F(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := flatEstimates([]string{"R", "S", "F"}, 100)
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 2}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Synchronous: true})
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	var q1, q2 int
+	feedTS := tuple.Time(1000)
+	eng.OnResult("q1", func(tp *tuple.Tuple) {
+		q1++
+		// Feed every q1 result back as an F tuple with the same key.
+		v := tp.MustGet("R.a")
+		feedTS++
+		if err := eng.Ingest("F", feedTS, v); err != nil {
+			t.Errorf("re-entrant ingest: %v", err)
+		}
+		// Nested Drain must complete the queued feedback work, not
+		// silently no-op (Drain's contract holds under re-entry).
+		eng.Drain()
+	})
+	eng.OnResult("q2", func(*tuple.Tuple) { q2++ })
+	for i := 0; i < 20; i++ {
+		k := tuple.IntValue(int64(i % 4))
+		if err := eng.Ingest("S", tuple.Time(2*i+1), k); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest("R", tuple.Time(2*i+2), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	if got := eng.inflight.Load(); got != 0 {
+		t.Errorf("inflight = %d after drain, want 0", got)
+	}
+	if q1 == 0 {
+		t.Fatal("no q1 results — test vacuous")
+	}
+	// Every q1 result fed one F tuple, and each F tuple arrives after
+	// all S partners with its key, so q2 must see F-count × partners.
+	if q2 == 0 {
+		t.Errorf("feedback results lost: q1=%d fed tuples produced q2=%d", q1, q2)
+	}
+	t.Logf("q1=%d q2=%d", q1, q2)
+}
+
+// TestPruneKeepsIndicesConsistent verifies incremental index
+// maintenance: after prunes interleaved with inserts, indexed probes
+// see exactly the surviving partners.
+func TestPruneKeepsIndicesConsistent(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{DefaultWindow: 25})
+	ins := randomStream(h.cat, 400, 6, 77)
+	for i, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			h.eng.PruneBefore(h.eng.Watermark() - 25)
+			h.eng.Drain()
+		}
+	}
+	h.eng.Drain()
+	h.checkAgainstOracle(t, ins)
+	if h.sinks["q1"].Count() == 0 {
+		t.Fatal("no results — vacuous")
+	}
+	h.eng.Stop()
+}

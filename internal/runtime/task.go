@@ -5,20 +5,23 @@ import (
 	"sync/atomic"
 	"time"
 
-	"clash/internal/query"
 	"clash/internal/topology"
 	"clash/internal/tuple"
 )
 
 func nowNanos() int64 { return time.Now().UnixNano() }
 
-// mailbox is an unbounded FIFO link between tasks. Unboundedness mirrors
-// the paper's observation that overloaded workers buffer tuples (and
-// eventually die on memory overflow, Fig. 8a) rather than deadlock.
+// mailbox is an unbounded FIFO link between tasks, implemented as a
+// ring buffer so steady-state put/drain never shifts elements or
+// reallocates. Unboundedness mirrors the paper's observation that
+// overloaded workers buffer tuples (and eventually die on memory
+// overflow, Fig. 8a) rather than deadlock.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []message
+	buf    []message // ring storage
+	head   int       // index of the oldest message
+	count  int       // number of buffered messages
 	closed bool
 }
 
@@ -31,27 +34,58 @@ func newMailbox() *mailbox {
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
 	if !m.closed {
-		m.buf = append(m.buf, msg)
+		if m.count == len(m.buf) {
+			m.grow()
+		}
+		m.buf[(m.head+m.count)%len(m.buf)] = msg
+		m.count++
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
 }
 
-func (m *mailbox) get() (message, bool) {
+// grow doubles the ring, unwrapping it so the oldest message lands at
+// index 0. Caller holds m.mu.
+func (m *mailbox) grow() {
+	n := len(m.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	next := make([]message, n)
+	for i := 0; i < m.count; i++ {
+		next[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf = next
+	m.head = 0
+}
+
+// drain blocks until messages are available (or the mailbox closes),
+// then moves every buffered message into dst under one lock
+// acquisition. It returns the filled buffer and false once the mailbox
+// is closed and empty. Ring slots are zeroed as they are drained so the
+// mailbox never pins tuple memory.
+func (m *mailbox) drain(dst []message) ([]message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.buf) == 0 && !m.closed {
+	for m.count == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.buf) == 0 {
-		return message{}, false
+	if m.count == 0 {
+		return dst, false
 	}
-	msg := m.buf[0]
-	m.buf = m.buf[1:]
-	if len(m.buf) == 0 {
-		m.buf = nil // release the backing array between bursts
+	for i := 0; i < m.count; i++ {
+		slot := (m.head + i) % len(m.buf)
+		dst = append(dst, m.buf[slot])
+		m.buf[slot] = message{}
 	}
-	return msg, true
+	m.head = 0
+	m.count = 0
+	// Release oversized rings between bursts so a one-off spike does not
+	// hold its high-water memory forever.
+	if len(m.buf) > 1024 {
+		m.buf = nil
+	}
+	return dst, true
 }
 
 func (m *mailbox) close() {
@@ -74,9 +108,10 @@ type entry struct {
 	seq uint64
 }
 
-// container holds one epoch's stored tuples with lazily built hash
-// indices per probed attribute (Sec. V-B: "for each distinct attribute
-// access in a store, indices are created locally").
+// container holds one epoch's stored tuples with hash indices per
+// probed attribute (Sec. V-B: "for each distinct attribute access in a
+// store, indices are created locally"). Indices build lazily on first
+// probe and are maintained incrementally by add and prune thereafter.
 type container struct {
 	entries []entry
 	indices map[string]map[tuple.Value][]int
@@ -112,28 +147,130 @@ func (c *container) index(attr string) map[tuple.Value][]int {
 	return ix
 }
 
+// prune drops entries whose event time precedes the cutoff, rewriting
+// the index posting lists through a position remap instead of
+// discarding the indices: the next probe after a window expiry pays no
+// rebuild. remap is caller-owned scratch, returned for reuse.
+func (c *container) prune(cut tuple.Time, remap []int32) (removed int, removedBytes int64, scratch []int32) {
+	if cap(remap) < len(c.entries) {
+		remap = make([]int32, len(c.entries))
+	}
+	remap = remap[:len(c.entries)]
+	kept := c.entries[:0]
+	for i := range c.entries {
+		en := c.entries[i]
+		if en.t.TS < cut {
+			remap[i] = -1
+			removed++
+			removedBytes += int64(en.t.MemSize())
+			continue
+		}
+		remap[i] = int32(len(kept))
+		kept = append(kept, en)
+	}
+	if removed == 0 {
+		return 0, 0, remap
+	}
+	// Zero the tail so dropped tuples are collectable.
+	for i := len(kept); i < len(c.entries); i++ {
+		c.entries[i] = entry{}
+	}
+	c.entries = kept
+	for _, ix := range c.indices {
+		for v, list := range ix {
+			nl := list[:0]
+			for _, old := range list {
+				if n := remap[old]; n >= 0 {
+					nl = append(nl, int(n))
+				}
+			}
+			if len(nl) == 0 {
+				delete(ix, v)
+			} else {
+				ix[v] = nl
+			}
+		}
+	}
+	return removed, removedBytes, remap
+}
+
 // task is one partition worker of a store: a goroutine consuming its
-// mailbox and applying the epoch's ruleset to each message (Alg. 3/4).
+// mailbox and applying the epoch's compiled ruleset to each message
+// (Alg. 3/4).
 type task struct {
 	e           *Engine
 	key         taskKey
 	store       *topology.Store
 	mailbox     *mailbox
 	containers  map[int64]*container
-	schemaCache map[[2]*tuple.Schema]*tuple.Schema
+	conts       []*container // iteration-order copy of containers' values
 	storedCount atomic.Int64
 	spin        uint64 // overhead-emulation sink
+
+	// wins lists the windowed base relations materialized here; probe
+	// plans resolve the τ columns per stored schema against it
+	// (tauNames holds the same list as qualified attribute names for
+	// Schema.Positions).
+	wins     []relWindow
+	tauNames []string
+
+	// Compiled-plan state (owned by this task's goroutine; in
+	// Synchronous mode, by the ingesting goroutine). Two generations of
+	// schema-position caches are kept — the current config's and the
+	// previous one's, since traffic interleaves across an epoch
+	// boundary — and older generations are dropped, so adaptive
+	// reconfiguration cannot accumulate caches for dead configs.
+	planComp   *compiledTopo                   // config the edge cache below belongs to
+	edgePlans  map[topology.EdgeID][]*rulePlan // from planComp, read-only shared
+	states     map[*rulePlan]*planState        // schema-position caches, task-owned
+	prevComp   *compiledTopo
+	prevStates map[*rulePlan]*planState
+	lastPlan   *rulePlan // monomorphic planState lookup
+	lastState  *planState
+
+	// Hot-path scratch, reused across messages. Probe-result buffers
+	// form a free-list stack rather than a single slice: in Synchronous
+	// mode a sink callback may re-enter this task's probe (feedback
+	// ingestion) while the outer probe's forward is still iterating its
+	// results, so each nesting level needs its own buffer.
+	resultsFree [][]*tuple.Tuple
+	rs          routeScratch // batch-routing scratch
+	pruneRemap  []int32      // container prune remap scratch
+	schemaCache map[[2]*tuple.Schema]*tuple.Schema
+	lastJoinKey [2]*tuple.Schema
+	lastJoined  *tuple.Schema
+	arena       tuple.Arena // block allocator for join results
 }
 
 func newTask(e *Engine, k taskKey, s *topology.Store) *task {
-	return &task{
+	t := &task{
 		e:           e,
 		key:         k,
 		store:       s,
 		mailbox:     newMailbox(),
 		containers:  map[int64]*container{},
+		states:      map[*rulePlan]*planState{},
 		schemaCache: map[[2]*tuple.Schema]*tuple.Schema{},
 	}
+	for _, rel := range s.Rels {
+		if w := e.window(rel); w > 0 {
+			t.wins = append(t.wins, relWindow{tau: rel + ".τ", w: int64(w)})
+			t.tauNames = append(t.tauNames, rel+".τ")
+		}
+	}
+	return t
+}
+
+// containerFor returns (creating if needed) the container of the epoch,
+// keeping the iteration slice in sync with the map.
+func (t *task) containerFor(ep int64) *container {
+	c := t.containers[ep]
+	if c == nil {
+		c = newContainer()
+		t.containers[ep] = c
+		t.conts = append(t.conts, c)
+	}
+	return c
 }
 
 func (t *task) requestPrune(cut tuple.Time) {
@@ -148,23 +285,33 @@ func (t *task) requestPrune(cut tuple.Time) {
 
 func (t *task) run() {
 	defer t.e.wg.Done()
+	var batch []message
 	for {
-		msg, ok := t.mailbox.get()
+		var ok bool
+		batch, ok = t.mailbox.drain(batch[:0])
 		if !ok {
 			return
 		}
-		if msg.kind == kindPrune {
-			t.prune(tuple.Time(msg.epoch))
-		} else {
-			t.e.queuedBytes.Add(-msg.memSize())
-			t.handle(msg)
+		for i := range batch {
+			msg := &batch[i]
+			if msg.kind == kindPrune {
+				t.prune(tuple.Time(msg.epoch))
+			} else {
+				t.e.queuedBytes.Add(-msg.memSize())
+				t.handle(msg)
+			}
+			t.e.inflight.Add(-1)
+			batch[i] = message{} // release carried tuples promptly
 		}
-		t.e.inflight.Add(-1)
+		if cap(batch) > 1024 {
+			batch = nil // release a one-off spike's high-water memory
+		}
 	}
 }
 
-// handle applies the ruleset valid for the message's epoch (Alg. 4).
-func (t *task) handle(msg message) {
+// handle applies the compiled ruleset valid for the message's epoch
+// (Alg. 4).
+func (t *task) handle(msg *message) {
 	if n := t.e.cfg.OverheadLoops; n > 0 {
 		for i := 0; i < n; i++ {
 			t.spin += uint64(i) ^ t.spin>>3
@@ -174,22 +321,73 @@ func (t *task) handle(msg message) {
 		t.e.metrics.recordLag(nowNanos() - msg.ingestWall)
 	}
 	t.e.mu.RLock()
-	cfg := t.e.configFor(msg.epoch)
-	var rules []topology.Rule
-	if cfg != nil {
-		rules = cfg.Rules[t.key.store][msg.edge]
-	}
+	ec := t.e.configFor(msg.epoch)
 	t.e.mu.RUnlock()
-
-	for i := range rules {
-		switch rules[i].Kind {
+	if ec == nil {
+		return
+	}
+	if t.planComp != ec.comp {
+		t.setComp(ec.comp)
+	}
+	for _, rp := range t.edgePlans[msg.edge] {
+		switch rp.kind {
 		case topology.StoreRule:
-			msg.each(func(tp *tuple.Tuple) { t.insert(tp, msg.seq) })
+			if msg.t != nil {
+				t.insert(msg.t, msg.seq)
+			}
+			for _, tp := range msg.batch {
+				t.insert(tp, msg.seq)
+			}
 		case topology.ProbeRule:
-			rule := &rules[i]
-			msg.each(func(tp *tuple.Tuple) { t.probe(tp, msg, rule) })
+			if t.e.cfg.legacyProbe {
+				if msg.t != nil {
+					t.probeLegacy(msg.t, msg, rp)
+				}
+				for _, tp := range msg.batch {
+					t.probeLegacy(tp, msg, rp)
+				}
+				continue
+			}
+			st := t.stateFor(rp)
+			if msg.t != nil {
+				t.probe(msg.t, msg, rp, st)
+			}
+			for _, tp := range msg.batch {
+				t.probe(tp, msg, rp, st)
+			}
 		}
 	}
+}
+
+// setComp switches the task to another installed config's compiled
+// plans. The outgoing generation's caches are kept (epoch-boundary
+// traffic flips between two configs); anything older is dropped.
+func (t *task) setComp(comp *compiledTopo) {
+	if comp == t.prevComp {
+		t.planComp, t.prevComp = comp, t.planComp
+		t.states, t.prevStates = t.prevStates, t.states
+	} else {
+		t.prevComp, t.prevStates = t.planComp, t.states
+		t.planComp = comp
+		t.states = map[*rulePlan]*planState{}
+	}
+	t.edgePlans = comp.rules[t.key.store]
+	t.lastPlan, t.lastState = nil, nil
+}
+
+// stateFor returns the task-owned planState of the rule plan, with a
+// monomorphic inline slot (most tasks execute one probe rule).
+func (t *task) stateFor(rp *rulePlan) *planState {
+	if rp == t.lastPlan {
+		return t.lastState
+	}
+	st := t.states[rp]
+	if st == nil {
+		st = &planState{}
+		t.states[rp] = st
+	}
+	t.lastPlan, t.lastState = rp, st
+	return st
 }
 
 func (t *task) insert(tp *tuple.Tuple, seq uint64) {
@@ -197,12 +395,7 @@ func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 	// materialized exactly once, and probes scan all containers within
 	// their window.
 	ep := t.e.Epoch(tp.TS)
-	c := t.containers[ep]
-	if c == nil {
-		c = newContainer()
-		t.containers[ep] = c
-	}
-	c.add(entry{t: tp, seq: seq})
+	t.containerFor(ep).add(entry{t: tp, seq: seq})
 	t.storedCount.Add(1)
 	t.e.metrics.stored.Add(1)
 	bytes := t.e.metrics.storeBytes.Add(int64(tp.MemSize()))
@@ -212,19 +405,98 @@ func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 }
 
 // probe joins the arriving tuple against all stored containers within
-// reach using the rule's predicates, then forwards the join results
-// along the rule's emissions as one batch per target (Sec. III). Each
-// stored tuple lives in exactly one container, so no result is produced
-// twice.
-func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
-	if len(rule.Preds) == 0 {
+// reach using the rule's compiled predicates, then forwards the join
+// results along the rule's emissions as one batch per target
+// (Sec. III). Each stored tuple lives in exactly one container, so no
+// result is produced twice.
+//
+// The first predicate goes through the container's hash index; the rest
+// filter by precomputed column positions — no attribute names are
+// resolved per tuple.
+func (t *task) probe(tp *tuple.Tuple, msg *message, rp *rulePlan, st *planState) {
+	if len(rp.preds) == 0 {
 		return // the optimizer never emits cross-product probes
 	}
-	if len(t.containers) == 0 {
+	if len(t.conts) == 0 {
 		return
 	}
+	ppos := st.probePos(tp.Schema, rp)
+	if ppos == nil {
+		return // a probe attribute is absent: nothing can match
+	}
+	v0 := tp.At(ppos[0])
+	results := t.getResultsBuf()
+	for _, c := range t.conts {
+		for _, ci := range c.index(rp.preds[0].storedAttr)[v0] {
+			en := &c.entries[ci]
+			if en.seq >= msg.seq {
+				continue // only earlier-arrived tuples are join partners
+			}
+			sh := st.storedShapeFor(en.t.Schema, rp, t.tauNames)
+			match := true
+			for k := 1; k < len(ppos); k++ {
+				sp := sh.predPos[k]
+				if sp < 0 || en.t.At(sp) != tp.At(ppos[k]) {
+					match = false
+					break
+				}
+			}
+			if !match || !t.windowOK(tp, en.t, sh) {
+				continue
+			}
+			results = append(results, t.join(tp, en.t))
+		}
+	}
+	if len(results) != 0 {
+		t.forward(rp.out, msg, results)
+	}
+	t.putResultsBuf(results)
+}
 
-	// Resolve which side of each predicate is stored here.
+// getResultsBuf pops a probe-result buffer off the free list (empty,
+// capacity retained). Re-entrant probes pop distinct buffers.
+func (t *task) getResultsBuf() []*tuple.Tuple {
+	if n := len(t.resultsFree); n > 0 {
+		buf := t.resultsFree[n-1]
+		t.resultsFree = t.resultsFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// putResultsBuf returns a buffer to the free list. The forwarded
+// tuples were copied into the outgoing messages, so the elements are
+// zeroed first — stale pointers must not pin arena blocks.
+func (t *task) putResultsBuf(buf []*tuple.Tuple) {
+	clear(buf)
+	t.resultsFree = append(t.resultsFree, buf[:0])
+}
+
+// windowOK checks, for every windowed base relation materialized in the
+// stored tuple, that the probe is within that relation's window — via
+// the precomputed τ column positions.
+func (t *task) windowOK(probe, stored *tuple.Tuple, sh *storedShape) bool {
+	for i := range t.wins {
+		pos := sh.tauPos[i]
+		if pos < 0 {
+			continue
+		}
+		if int64(probe.TS)-stored.At(pos).Int() > t.wins[i].w {
+			return false
+		}
+	}
+	return true
+}
+
+// probeLegacy is the pre-compilation probe path: predicates are
+// re-resolved per tuple through string-keyed schema lookups. It is kept
+// as the differential-testing oracle for the compiled path (engine
+// Config.legacyProbe) and must not be used on the hot path.
+func (t *task) probeLegacy(tp *tuple.Tuple, msg *message, rp *rulePlan) {
+	rule := rp.rule
+	if len(rule.Preds) == 0 || len(t.containers) == 0 {
+		return
+	}
 	type probePred struct {
 		storedAttr string
 		probeAttr  string
@@ -235,16 +507,12 @@ func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
 		inStore[r] = true
 	}
 	for _, p := range rule.Preds {
-		var stored, probe query.Attr
-		if inStore[p.Left.Rel] {
-			stored, probe = p.Left, p.Right
-		} else {
+		stored, probe := p.Left, p.Right
+		if !inStore[p.Left.Rel] {
 			stored, probe = p.Right, p.Left
 		}
 		pps = append(pps, probePred{storedAttr: stored.Qualified(), probeAttr: probe.Qualified()})
 	}
-
-	// First predicate through the index; the rest filter.
 	v0, ok := tp.Get(pps[0].probeAttr)
 	if !ok {
 		return
@@ -254,7 +522,7 @@ func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
 		for _, ci := range c.index(pps[0].storedAttr)[v0] {
 			en := c.entries[ci]
 			if en.seq >= msg.seq {
-				continue // only earlier-arrived tuples are join partners
+				continue
 			}
 			match := true
 			for _, pp := range pps[1:] {
@@ -265,7 +533,7 @@ func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
 					break
 				}
 			}
-			if !match || !t.withinWindows(tp, en.t) {
+			if !match || !t.withinWindowsLegacy(tp, en.t) {
 				continue
 			}
 			results = append(results, t.join(tp, en.t))
@@ -274,17 +542,16 @@ func (t *task) probe(tp *tuple.Tuple, msg message, rule *topology.Rule) {
 	if len(results) == 0 {
 		return
 	}
-	t.forward(rule.Out, msg, results)
+	t.forward(rp.out, msg, results)
 }
 
-// withinWindows checks, for every base relation materialized in the
-// stored tuple, that the probe is within that relation's window. The τ
-// pseudo-attributes carry per-member event times through joins.
-func (t *task) withinWindows(probe, stored *tuple.Tuple) bool {
+// withinWindowsLegacy is the string-resolved window check of the legacy
+// probe path.
+func (t *task) withinWindowsLegacy(probe, stored *tuple.Tuple) bool {
 	for _, rel := range t.store.Rels {
 		w := t.e.window(rel)
 		if w <= 0 {
-			continue // unbounded history
+			continue
 		}
 		tau, ok := stored.Get(rel + ".τ")
 		if !ok {
@@ -299,58 +566,55 @@ func (t *task) withinWindows(probe, stored *tuple.Tuple) bool {
 
 func (t *task) join(probe, stored *tuple.Tuple) *tuple.Tuple {
 	key := [2]*tuple.Schema{probe.Schema, stored.Schema}
+	if key == t.lastJoinKey {
+		return t.arena.Join(probe, stored, t.lastJoined)
+	}
 	joined := t.schemaCache[key]
 	if joined == nil {
 		joined = probe.Schema.Concat(stored.Schema)
 		t.schemaCache[key] = joined
 	}
-	return probe.Join(stored, joined)
+	t.lastJoinKey, t.lastJoined = key, joined
+	return t.arena.Join(probe, stored, joined)
 }
 
-// forward routes one probe's join results along the rule's emissions:
-// sinks record each result; probe and store edges receive the results
-// batched per target task, under the originating tuple's epoch
-// configuration, which stays consistent along the whole chain.
-func (t *task) forward(out []topology.Emission, msg message, results []*tuple.Tuple) {
+// forward routes one probe's join results along the rule's compiled
+// emissions: sinks record each result; probe and store edges receive
+// the results batched per target task, under the originating tuple's
+// epoch configuration, which stays consistent along the whole chain.
+func (t *task) forward(out []emitStep, msg *message, results []*tuple.Tuple) {
 	e := t.e
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	cfg := e.configFor(msg.epoch)
-	if cfg == nil {
-		return
-	}
-	for _, em := range out {
+	for i := range out {
 		// deliverResult only touches sinkMu, safe under e.mu.RLock.
-		e.emitBatchLocked(cfg, em, msg.epoch, results, msg.seq, msg.ingestWall)
+		e.emitBatchLocked(&out[i], msg.epoch, results, msg.seq, msg.ingestWall, &t.rs)
 	}
 }
 
-// prune drops entries whose event time precedes the cutoff; emptied
-// containers are removed entirely.
+// prune drops entries whose event time precedes the cutoff, maintaining
+// the containers' indices incrementally; emptied containers are removed
+// entirely.
 func (t *task) prune(cut tuple.Time) {
+	dropped := false
 	for ep, c := range t.containers {
-		kept := c.entries[:0]
-		removedBytes := int64(0)
-		removed := 0
-		for _, en := range c.entries {
-			if en.t.TS < cut {
-				removed++
-				removedBytes += int64(en.t.MemSize())
-				continue
-			}
-			kept = append(kept, en)
-		}
+		removed, removedBytes, remap := c.prune(cut, t.pruneRemap)
+		t.pruneRemap = remap
 		if removed == 0 {
 			continue
 		}
 		t.storedCount.Add(int64(-removed))
 		t.e.metrics.stored.Add(int64(-removed))
 		t.e.metrics.storeBytes.Add(-removedBytes)
-		if len(kept) == 0 {
+		if len(c.entries) == 0 {
 			delete(t.containers, ep)
-			continue
+			dropped = true
 		}
-		c.entries = kept
-		c.indices = map[string]map[tuple.Value][]int{} // lazy rebuild
+	}
+	if dropped {
+		t.conts = t.conts[:0]
+		for _, c := range t.containers {
+			t.conts = append(t.conts, c)
+		}
 	}
 }

@@ -188,6 +188,20 @@ func (c *Config) StoreIDs() []StoreID {
 	return ids
 }
 
+// IsStoreEdge reports whether a StoreRule at store `to` consumes tuples
+// arriving over `edge` — i.e. whether an emission over that edge
+// materializes state. It resolves rule metadata for plan compilation
+// (the runtime bakes the answer into each compiled emission at Install
+// time; per-tuple code never calls this).
+func (c *Config) IsStoreEdge(to StoreID, edge EdgeID) bool {
+	for _, r := range c.Rules[to][edge] {
+		if r.Kind == StoreRule {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks referential integrity: every emission targets an
 // existing store (or a sink), every rule belongs to an existing store,
 // and probe rules carry at least one predicate unless the store is

@@ -59,6 +59,17 @@ func (s *Schema) Index(name string) int {
 // Has reports whether the schema contains the named attribute.
 func (s *Schema) Has(name string) bool { _, ok := s.index[name]; return ok }
 
+// Positions resolves each name to its column position (-1 if absent).
+// Probe-plan compilation uses it to turn name-keyed predicate lookups
+// into positional slice accesses.
+func (s *Schema) Positions(names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.Index(n)
+	}
+	return out
+}
+
 // Concat returns a new schema holding s's attributes followed by o's.
 func (s *Schema) Concat(o *Schema) *Schema {
 	names := make([]string, 0, len(s.names)+len(o.names))
@@ -89,6 +100,12 @@ func New(s *Schema, ts Time, values ...Value) *Tuple {
 	}
 	return &Tuple{Schema: s, Values: values, TS: ts}
 }
+
+// At returns the value at the given column position. It is the
+// fast-path accessor for compiled probe plans, which resolve attribute
+// names to positions once per schema instead of per tuple; the caller
+// must have obtained i from this tuple's schema.
+func (t *Tuple) At(i int) Value { return t.Values[i] }
 
 // Get returns the value of the named attribute and whether it exists.
 func (t *Tuple) Get(name string) (Value, bool) {
