@@ -71,7 +71,41 @@ type (
 	Topology = topology.Config
 	// MetricsSnapshot is a point-in-time copy of runtime counters.
 	MetricsSnapshot = runtime.Snapshot
+	// SubstrateKind selects the execution substrate (see Config).
+	SubstrateKind = runtime.SubstrateKind
+	// FlowConfig tunes the flow-controlled substrate.
+	FlowConfig = runtime.FlowConfig
+	// OverloadPolicy is the flow substrate's behaviour on exhausted
+	// credit: block the producer or shed the tuple.
+	OverloadPolicy = runtime.OverloadPolicy
+	// Pressure is the engine's aggregated overload signal.
+	Pressure = runtime.Pressure
+	// TaskGauge is one store task's pressure reading.
+	TaskGauge = runtime.TaskGauge
 )
+
+// Execution substrates and overload policies (runtime/flow.go).
+const (
+	// SubstrateAuto resolves from Config.Synchronous.
+	SubstrateAuto = runtime.SubstrateAuto
+	// SubstrateSynchronous runs the whole topology on the ingesting
+	// goroutine: exact, deterministic; single-goroutine ingest only.
+	SubstrateSynchronous = runtime.SubstrateSynchronous
+	// SubstrateUnbounded is the free-running default: one goroutine per
+	// task, unbounded buffering under overload (the paper's Fig. 8a).
+	SubstrateUnbounded = runtime.SubstrateUnbounded
+	// SubstrateFlow bounds queueing with credit-based backpressure and
+	// runs all tasks on a shared worker pool.
+	SubstrateFlow = runtime.SubstrateFlow
+	// BlockOnOverload throttles Ingest when credits run out (lossless).
+	BlockOnOverload = runtime.BlockOnOverload
+	// ShedOnOverload drops tuples when credits run out (lossy, live).
+	ShedOnOverload = runtime.ShedOnOverload
+)
+
+// ErrMemoryLimit is the terminal failure of an engine that exceeded
+// its MemoryLimitBytes budget (state plus queued messages).
+var ErrMemoryLimit = runtime.ErrMemoryLimit
 
 // Int wraps an int64 as a Value.
 func Int(v int64) Value { return tuple.IntValue(v) }
@@ -155,6 +189,14 @@ type Config struct {
 	// mode reproduces overload buffering (Fig. 8) but may miss pairs
 	// whose materialization races a probe.
 	Synchronous bool
+	// Substrate selects the execution substrate explicitly: synchronous,
+	// unbounded-async (default), or flow-controlled with credit-based
+	// backpressure and a shared worker pool. SubstrateAuto defers to
+	// the Synchronous flag.
+	Substrate SubstrateKind
+	// Flow tunes the flow-controlled substrate (credit grants, worker
+	// count, block-vs-shed overload policy).
+	Flow FlowConfig
 	// SampleSize is the per-relation, per-epoch statistics sample
 	// (default 256).
 	SampleSize int
@@ -219,6 +261,8 @@ func Start(cfg Config) (*Engine, error) {
 		MemoryLimitBytes: cfg.MemoryLimitBytes,
 		StepMode:         cfg.StepMode,
 		Synchronous:      cfg.Synchronous,
+		Substrate:        cfg.Substrate,
+		Flow:             cfg.Flow,
 		TwoChoiceRouting: cfg.TwoChoiceRouting,
 		Observer:         func(rel string, t *tuple.Tuple) { col.Observe(rel, t) },
 	})
@@ -269,6 +313,15 @@ func (e *Engine) Reoptimizations() int { return e.ctl.Reoptimizations() }
 
 // Metrics returns a snapshot of the runtime counters.
 func (e *Engine) Metrics() MetricsSnapshot { return e.eng.Metrics().Snapshot() }
+
+// Pressure returns the engine's aggregated overload signal: queued
+// work, the deepest task backlog, the flow substrate's credit balance,
+// and shed counts.
+func (e *Engine) Pressure() Pressure { return e.eng.Pressure() }
+
+// TaskGauges returns a per-task pressure reading (queue depth, stored
+// tuples, cumulative load), sorted by store and partition.
+func (e *Engine) TaskGauges() []TaskGauge { return e.eng.TaskGauges() }
 
 // ResetLatency clears latency aggregates (per-interval reporting).
 func (e *Engine) ResetLatency() { e.eng.Metrics().ResetLatency() }

@@ -3,6 +3,7 @@ package clash
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -250,5 +251,80 @@ func TestCheckpointRestoreAPI(t *testing.T) {
 func TestValueConstructors(t *testing.T) {
 	if Int(5).Int() != 5 || Str("x").Str() != "x" || Float(1.5).Float() != 1.5 || !Bool(true).Bool() {
 		t.Error("value constructors broken")
+	}
+}
+
+func TestFlowSubstrateAPI(t *testing.T) {
+	// The flow-controlled substrate through the public API: identical
+	// results to the synchronous reference, pressure gauges readable,
+	// all credits repaid once drained.
+	run := func(cfg Config) (int64, MetricsSnapshot) {
+		cfg.Workload = "q1: R(a) S(a,b) T(b)"
+		eng, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Stop()
+		var count atomic.Int64
+		eng.OnResult("q1", func(*Tuple) { count.Add(1) })
+		for i := 0; i < 60; i++ {
+			k := Int(int64(i % 5))
+			if err := eng.Ingest("R", Time(3*i), k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("S", Time(3*i+1), k, k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("T", Time(3*i+2), k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Drain()
+		return count.Load(), eng.Metrics()
+	}
+	refCount, refM := run(Config{Synchronous: true})
+	if refCount == 0 {
+		t.Fatal("no results — test vacuous")
+	}
+	flowCount, flowM := run(Config{
+		Substrate: SubstrateFlow,
+		StepMode:  true, // settle multi-hop chains per tuple (exactness)
+		Flow:      FlowConfig{MailboxCredits: 16},
+	})
+	if flowCount != refCount || flowM.Results != refM.Results {
+		t.Errorf("flow substrate results %d (metric %d), synchronous reference %d",
+			flowCount, flowM.Results, refM.Results)
+	}
+	if flowM.ShedTuples != 0 {
+		t.Errorf("unexpected shedding: %d", flowM.ShedTuples)
+	}
+
+	// Pressure through the public API on a settled flow engine.
+	eng, err := Start(Config{
+		Workload:  "q1: R(a) S(a)",
+		Substrate: SubstrateFlow,
+		Flow:      FlowConfig{MailboxCredits: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if err := eng.Ingest("R", 1, Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest("S", 2, Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	gauges := eng.TaskGauges()
+	if len(gauges) == 0 {
+		t.Fatal("no task gauges through public API")
+	}
+	p := eng.Pressure()
+	if p.QueuedMessages != 0 {
+		t.Errorf("queued work after drain: %+v", p)
+	}
+	if want := int64(len(gauges) * 16); p.Credits != want {
+		t.Errorf("credit balance %d, want full grant %d", p.Credits, want)
 	}
 }

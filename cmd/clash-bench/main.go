@@ -6,10 +6,18 @@
 //	8a, 8b     — adaptive vs. static latency over time under changing
 //	             data characteristics
 //	9a..9f     — ILP probe-cost savings, problem sizes, and runtimes
+//	overload   — overload survival across execution substrates: the
+//	             unbounded substrate dies at the memory budget while
+//	             the flow-controlled substrate degrades gracefully
 //	all        — everything (the default)
 //
 // Scale knobs (-sf, -rate, -quick) trade fidelity for wall time; the
 // defaults finish in a few minutes on a laptop.
+//
+// -compare BENCH_fig7.json diffs the current Fig. 7 run against a
+// checked-in baseline and exits non-zero when a tracked metric
+// regresses by more than -regress-pct percent, so the perf trajectory
+// across PRs is enforced rather than just recorded.
 package main
 
 import (
@@ -28,12 +36,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (7b,7c,7d,8a,8b,9a..9f,all)")
-		sf      = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
-		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		solveTO = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		jsonOut = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
+		fig        = flag.String("fig", "all", "figure to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,all)")
+		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
+		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		jsonOut    = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
+		compareTo  = flag.String("compare", "", "baseline Fig. 7 JSON (e.g. BENCH_fig7.json): diff this run against it and exit 1 on regressions")
+		regressPct = flag.Float64("regress-pct", 10, "regression threshold for -compare, in percent")
 	)
 	flag.Parse()
 
@@ -42,7 +52,26 @@ func main() {
 			(len(name) > 1 && strings.EqualFold((*fig)[:1], name[:1]) && *fig == name[:1])
 	}
 
-	if want("7b") || want("7c") || want("7d") || *fig == "7" {
+	// A comparison run must reproduce the baseline's workload: adopt its
+	// recorded scale factor and seed unless explicitly overridden.
+	var baseline []fig7Series
+	if *compareTo != "" {
+		bsf, bseed, series, err := readFig7JSON(*compareTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline = series
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["sf"] {
+			*sf = bsf
+		}
+		if !explicit["seed"] {
+			*seed = bseed
+		}
+	}
+
+	if want("7b") || want("7c") || want("7d") || *fig == "7" || *compareTo != "" {
 		series := runFig7(*sf, *quick, *seed)
 		if *jsonOut != "" {
 			if err := writeFig7JSON(*jsonOut, *sf, *seed, series); err != nil {
@@ -50,6 +79,14 @@ func main() {
 			}
 			log.Printf("wrote %s", *jsonOut)
 		}
+		if *compareTo != "" {
+			if !compareFig7(*compareTo, baseline, series, *regressPct/100) {
+				os.Exit(1)
+			}
+		}
+	}
+	if want("overload") {
+		runOverload(*quick, *seed)
 	}
 	if want("8a") {
 		runFig8('a', *quick, *seed)
@@ -162,6 +199,108 @@ func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series) er
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOverload(quick bool, seed uint64) {
+	cfg := bench.OverloadConfig{Seed: seed}
+	if quick {
+		// Shorter stream, proportionally tighter budget: the unbounded
+		// substrate must still hit the wall for the comparison to show.
+		cfg.Tuples = 8000
+		cfg.MemoryLimitBytes = 256 << 10
+	}
+	fmt.Println("=== Overload survival — execution substrates under one memory budget ===")
+	results, err := bench.OverloadSurvival(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatOverload(results))
+	fmt.Println()
+}
+
+// readFig7JSON loads a baseline written by -json.
+func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var doc struct {
+		SF     float64      `json:"sf"`
+		Seed   uint64       `json:"seed"`
+		Series []fig7Series `json:"series"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.SF, doc.Seed, doc.Series, nil
+}
+
+// compareFig7 diffs the current Fig. 7 run against the baseline and
+// reports whether the run is regression-free. Deterministic work
+// metrics (probe tuples, memory, result counts) and the wall-clock
+// throughput are gated at the threshold; latency is reported but not
+// gated (it is wall-clock noise at bench scale).
+func compareFig7(path string, baseline, current []fig7Series, threshold float64) bool {
+	baseOf := map[int]map[string]fig7Result{}
+	for _, s := range baseline {
+		m := map[string]fig7Result{}
+		for _, r := range s.Results {
+			m[r.Strategy] = r
+		}
+		baseOf[s.Queries] = m
+	}
+
+	fmt.Printf("=== Comparison against %s (threshold %.0f%%) ===\n", path, threshold*100)
+	regressions := 0
+	// worse flags metric regressions: delta is the fractional change in
+	// the "bad" direction (positive = regressed).
+	check := func(queries int, strategy, metric string, delta float64) {
+		if delta <= threshold {
+			return
+		}
+		regressions++
+		fmt.Printf("REGRESSION  q=%-3d %-5s %-14s %+.1f%%\n", queries, strategy, metric, delta*100)
+	}
+	for _, s := range current {
+		base, ok := baseOf[s.Queries]
+		if !ok {
+			fmt.Printf("(no baseline series for %d queries — skipped)\n", s.Queries)
+			continue
+		}
+		for _, r := range s.Results {
+			b, ok := base[r.Strategy]
+			if !ok {
+				fmt.Printf("(no baseline for strategy %s — skipped)\n", r.Strategy)
+				continue
+			}
+			if b.ThroughputTPS > 0 {
+				check(s.Queries, r.Strategy, "throughput", (b.ThroughputTPS-r.ThroughputTPS)/b.ThroughputTPS)
+			}
+			if b.MemoryBytes > 0 {
+				check(s.Queries, r.Strategy, "memory", float64(r.MemoryBytes-b.MemoryBytes)/float64(b.MemoryBytes))
+			}
+			if b.ProbeTuples > 0 {
+				check(s.Queries, r.Strategy, "probe_tuples", float64(r.ProbeTuples-b.ProbeTuples)/float64(b.ProbeTuples))
+			}
+			if r.Results != b.Results {
+				regressions++
+				fmt.Printf("REGRESSION  q=%-3d %-5s result count %d -> %d (correctness drift!)\n",
+					s.Queries, r.Strategy, b.Results, r.Results)
+			}
+			if b.AvgLatencyNS > 0 {
+				d := float64(r.AvgLatencyNS-b.AvgLatencyNS) / float64(b.AvgLatencyNS)
+				if d > threshold {
+					fmt.Printf("note        q=%-3d %-5s latency %+.1f%% (not gated)\n", s.Queries, r.Strategy, d*100)
+				}
+			}
+		}
+	}
+	if regressions == 0 {
+		fmt.Println("no regressions")
+		return true
+	}
+	fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, threshold*100)
+	return false
 }
 
 func runFig8(variant byte, quick bool, seed uint64) {

@@ -31,6 +31,18 @@ type ControllerConfig struct {
 	// OnDecision, when set, observes every installed configuration
 	// change: the active plans and the plans warming up MIR stores.
 	OnDecision func(epoch int64, plans, warming []*core.Plan)
+	// PressureQueueDepth, when > 0, closes the loop from runtime
+	// pressure back into re-optimization: at each epoch boundary the
+	// controller reads the engine's per-task gauges (metrics.go), and
+	// when the deepest task queue exceeds this threshold it treats the
+	// measured arrival rates of the relations feeding that store as
+	// understated — under backpressure the statistics collector only
+	// sees what the admission gate let through — and inflates them by
+	// the backlog ratio (capped at 8× the epoch's measured rate, so
+	// sustained overload saturates instead of compounding) before the
+	// next optimization, so the optimizer plans for the demand that is
+	// actually queueing up, not the throttled rate.
+	PressureQueueDepth int
 }
 
 // Controller implements the epoch-based adaptive configuration of
@@ -46,6 +58,7 @@ type Controller struct {
 	est        *stats.Estimates
 	lastSealed int64 // highest epoch whose statistics were evaluated
 	reoptims   int
+	overloads  int // epochs whose gauges crossed PressureQueueDepth
 	lastPlan   *core.Plan
 	lastSig    string
 	liveSince  map[string]int64 // composite MIR key -> first epoch fed
@@ -91,6 +104,60 @@ func (c *Controller) Reoptimizations() int {
 	return c.reoptims
 }
 
+// OverloadEvents returns how many sealed epochs crossed the configured
+// pressure threshold (0 when the feedback loop is disabled).
+func (c *Controller) OverloadEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overloads
+}
+
+// applyPressureLocked folds an overload reading into the estimates.
+// When the deepest task queue (p.MaxQueueDepth at p.MaxQueueStore —
+// one consistent sample) exceeds the threshold, the relations
+// materialized in that store are the ones whose demand outruns the
+// admitted rate; their rate estimates are scaled by the backlog ratio.
+// Inflation is anchored to the epoch's freshly measured rates and
+// capped at 8× them, so sustained backlog saturates at the cap instead
+// of compounding tick over tick.
+func (c *Controller) applyPressureLocked(p Pressure, fresh *stats.Estimates) {
+	thr := c.cfg.PressureQueueDepth
+	if thr <= 0 || p.MaxQueueDepth <= thr {
+		return
+	}
+	factor := 1 + float64(p.MaxQueueDepth)/float64(thr)
+	if factor > 8 {
+		factor = 8
+	}
+	topo := c.eng.ConfigFor(c.eng.Epoch(c.eng.Watermark()))
+	if topo == nil {
+		return
+	}
+	s := topo.Stores[p.MaxQueueStore]
+	if s == nil {
+		return
+	}
+	// Counted only once feedback actually applies: OverloadEvents means
+	// "rates were inflated N times", not "the threshold was crossed".
+	c.overloads++
+	for _, rel := range s.Rels {
+		cur := c.est.Rate(rel)
+		measured := fresh.Rate(rel)
+		if measured <= 0 {
+			// No fresh observation to anchor to: leave the blended
+			// estimate alone rather than compounding it unboundedly.
+			continue
+		}
+		inflated := cur * factor
+		if cap8 := measured * 8; inflated > cap8 {
+			inflated = cap8
+		}
+		if inflated > cur {
+			c.est.SetRate(rel, inflated)
+		}
+	}
+}
+
 // Estimates returns the current blended estimates (read-only).
 func (c *Controller) Estimates() *stats.Estimates {
 	c.mu.Lock()
@@ -119,6 +186,11 @@ func (c *Controller) Tick() error {
 	fresh := c.cfg.Collector.Seal(c.eng.cfg.EpochLength, preds)
 	c.est = stats.Blend(c.est, fresh, c.cfg.BlendAlpha)
 	c.lastSealed = cur
+
+	// Fold runtime pressure into the estimates (overload feedback).
+	if c.cfg.PressureQueueDepth > 0 {
+		c.applyPressureLocked(c.eng.Pressure(), fresh)
+	}
 
 	// Window expiry.
 	maxW := c.maxWindowLocked()

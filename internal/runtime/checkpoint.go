@@ -21,12 +21,24 @@ import (
 // do not Ingest concurrently. Restore must run after Install on an
 // engine whose topology contains the checkpointed stores with the same
 // pinned parallelism.
+//
+// Drain semantics under bounded queues (SubstrateFlow): quiescence is
+// well-defined on every substrate because admission happens before any
+// message exists — a producer blocked at the credit gate holds no
+// credit and no in-flight message, so draining the pool really does
+// settle all state. Checkpoint verifies this invariant after its
+// Drain and refuses to snapshot an engine that still has (or regained)
+// in-flight work, rather than serializing mid-probe state. Restore
+// writes directly into the task containers and consumes no credits.
 
 var ckptMagic = [8]byte{'C', 'L', 'S', 'H', 'C', 'K', 'P', '1'}
 
 // Checkpoint writes a snapshot of all materialized state to w.
 func (e *Engine) Checkpoint(w io.Writer) error {
 	e.Drain()
+	if n := e.inflight.Load(); n != 0 {
+		return fmt.Errorf("runtime: checkpoint requires a quiesced engine (%d messages in flight — concurrent Ingest?)", n)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 

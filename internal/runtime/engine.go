@@ -1,8 +1,12 @@
-// Package runtime executes CLASH topologies on a scale-out simulator
-// substrate: one goroutine per store task, unbounded mailboxes as network
-// links, hash or broadcast routing between tasks, and per-epoch windowed
-// stores with attribute indices (Sec. IV and VI of the paper; the Storm
-// substitution is documented in DESIGN.md).
+// Package runtime executes CLASH topologies on a pluggable scale-out
+// simulator substrate (flow.go, DESIGN.md §8): hash or broadcast
+// routing between store tasks and per-epoch windowed stores with
+// attribute indices (Sec. IV and VI of the paper; the Storm
+// substitution is documented in DESIGN.md). Three substrates share all
+// store/probe code: synchronous (exact FIFO on the ingesting
+// goroutine), unbounded-async (one goroutine per task, the Fig. 8a
+// buffering behaviour), and flow-controlled (credit-based backpressure
+// over a shared worker pool).
 package runtime
 
 import (
@@ -44,7 +48,16 @@ type Config struct {
 	// the right substrate for overload dynamics (Fig. 8), where probes
 	// racing ahead of feeding chains is precisely the buffering behaviour
 	// under study. Synchronous engines must be fed from one goroutine.
+	// Shorthand for Substrate: SubstrateSynchronous; ignored when
+	// Substrate is set explicitly.
 	Synchronous bool
+	// Substrate selects the execution substrate (flow.go, DESIGN.md §8):
+	// synchronous, unbounded-async (the default), or flow-controlled.
+	// SubstrateAuto defers to the Synchronous flag.
+	Substrate SubstrateKind
+	// Flow tunes the flow-controlled substrate (credit grants, worker
+	// count, overload policy); ignored by the other substrates.
+	Flow FlowConfig
 	// OverheadLoops adds busy work per handled message, emulating
 	// per-tuple engine overhead differences (FI vs SI profiles).
 	OverheadLoops int
@@ -121,6 +134,11 @@ func (m *message) memSize() int64 {
 type Engine struct {
 	cfg     Config
 	metrics *Metrics
+	// sub is the execution substrate (flow.go): message delivery, task
+	// scheduling, and flow control. syncMode mirrors whether sub is the
+	// synchronous substrate (the FIFO queue must be pumped inline).
+	sub      substrate
+	syncMode bool
 
 	mu      sync.RWMutex
 	configs []*epochConfig // sorted by fromEpoch ascending
@@ -137,34 +155,18 @@ type Engine struct {
 	sinkMu sync.RWMutex
 	sinks  map[string]func(*tuple.Tuple)
 
-	// syncQueue is the FIFO work list of Synchronous mode; only the
-	// ingesting goroutine touches it. syncHead is the consume cursor,
-	// shared across nested drains: a sink callback calling Ingest/Drain
-	// re-enters runSyncQueue, which keeps consuming from the same
-	// cursor, so each item is handled exactly once and a nested Drain
-	// still drains fully.
-	syncQueue []syncItem
-	syncHead  int
-
 	seq         atomic.Uint64
 	inflight    atomic.Int64
 	queuedBytes atomic.Int64 // approximate bytes buffered in mailboxes
 	watermk     atomic.Int64 // max event time observed
 	failure     atomic.Value // error
 	stopped     atomic.Bool
-	wg          sync.WaitGroup
 }
 
 type epochConfig struct {
 	fromEpoch int64
 	topo      *topology.Config
 	comp      *compiledTopo // compiled once at Install (plan.go)
-}
-
-// syncItem is one queued unit of work in Synchronous mode.
-type syncItem struct {
-	key taskKey
-	msg message
 }
 
 // New creates an engine; Install a topology before ingesting.
@@ -177,6 +179,23 @@ func New(cfg Config) *Engine {
 		pinnedPart: map[topology.StoreID]query.Attr{},
 		schemas:    map[string]*tuple.Schema{},
 		sinks:      map[string]func(*tuple.Tuple){},
+	}
+	kind := cfg.Substrate
+	if kind == SubstrateAuto {
+		if cfg.Synchronous {
+			kind = SubstrateSynchronous
+		} else {
+			kind = SubstrateUnbounded
+		}
+	}
+	switch kind {
+	case SubstrateSynchronous:
+		e.syncMode = true
+		e.sub = &syncSubstrate{e: e}
+	case SubstrateFlow:
+		e.sub = newFlowSubstrate(e, cfg.Flow)
+	default:
+		e.sub = &unboundedSubstrate{e: e}
 	}
 	if cfg.Catalog != nil {
 		for _, rel := range cfg.Catalog.Names() {
@@ -237,10 +256,7 @@ func (e *Engine) Install(topo *topology.Config, fromEpoch int64) error {
 			if e.tasks[k] == nil {
 				t := newTask(e, k, s)
 				e.tasks[k] = t
-				if !e.cfg.Synchronous {
-					e.wg.Add(1)
-					go t.run()
-				}
+				e.sub.start(t)
 			}
 		}
 	}
@@ -315,6 +331,9 @@ func (e *Engine) Failure() error {
 
 func (e *Engine) fail(err error) {
 	e.failure.CompareAndSwap(nil, err)
+	// Admission waiters must observe terminal failures or they would
+	// block forever on an engine that will never repay credits.
+	e.sub.wake()
 }
 
 // Watermark returns the maximum event time ingested.
@@ -338,6 +357,21 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	}
 	if len(vals) != schema.Len()-1 {
 		return fmt.Errorf("runtime: %d values for relation %s with %d attributes", len(vals), rel, schema.Len()-1)
+	}
+	// Flow-controlled admission (credit protocol, flow.go) runs before
+	// any engine lock is taken, so a blocked producer can never stall
+	// workers or a concurrent Install. A shed tuple is dropped silently
+	// per policy and counted in Snapshot.ShedTuples; a woken waiter
+	// re-checks engine state before emitting anything.
+	if !e.sub.admit() {
+		e.metrics.shed.Add(1)
+		return nil
+	}
+	if e.stopped.Load() {
+		return errors.New("runtime: engine stopped")
+	}
+	if err := e.Failure(); err != nil {
+		return err
 	}
 	full := make([]tuple.Value, 0, schema.Len())
 	full = append(full, vals...)
@@ -372,9 +406,13 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	}
 	e.mu.RUnlock()
 
-	if e.cfg.Synchronous {
-		e.runSyncQueue()
-	} else if e.cfg.StepMode {
+	if e.syncMode {
+		e.Drain()
+	} else if e.cfg.StepMode && !e.sub.reentrant() {
+		// A sink re-entering Ingest from a dispatch goroutine must not
+		// drain: the message being handled below this frame keeps the
+		// in-flight count nonzero, so the wait could never settle. The
+		// outer (source-side) step drain settles the feedback instead.
 		e.Drain()
 	}
 	return e.Failure()
@@ -618,47 +656,37 @@ func (e *Engine) send(k taskKey, msg message) {
 			e.fail(ErrMemoryLimit)
 		}
 	}
-	if e.cfg.Synchronous {
-		e.syncQueue = append(e.syncQueue, syncItem{key: k, msg: msg})
-		return
-	}
-	t.mailbox.put(msg)
+	e.sub.send(t, msg)
 }
 
-// runSyncQueue processes queued work in FIFO order until the topology
-// settles. Only the ingesting goroutine calls this (Synchronous mode);
-// handling a message may enqueue follow-up work, which is appended
-// behind the shared cursor and processed in the same pass. Re-entrant
-// calls (a handler's sink callback invoking Ingest or Drain) advance
-// the same cursor, so every item is handled exactly once and a nested
-// call returns only when the queue is momentarily empty. The backing
-// array is kept between bursts — the ingest hot path must not re-grow
-// it on every tuple — with consumed slots zeroed so carried tuples are
-// collectable.
-func (e *Engine) runSyncQueue() {
-	for e.syncHead < len(e.syncQueue) {
-		it := e.syncQueue[e.syncHead]
-		e.syncQueue[e.syncHead] = syncItem{}
-		e.syncHead++
-		e.mu.RLock()
-		t := e.tasks[it.key]
-		e.mu.RUnlock()
-		if t != nil {
-			if it.msg.kind == kindPrune {
-				t.prune(tuple.Time(it.msg.epoch))
-			} else {
-				e.queuedBytes.Add(-it.msg.memSize())
-				t.handle(&it.msg)
-			}
-		}
-		e.inflight.Add(-1)
-	}
-	e.syncHead = 0
-	if cap(e.syncQueue) > 4096 {
-		e.syncQueue = nil // release a one-off spike's high-water memory
+// dispatch handles one delivered message on its task — the single
+// per-message execution path shared by every substrate (flow.go).
+func (e *Engine) dispatch(t *task, msg *message) {
+	if msg.kind == kindPrune {
+		t.prune(tuple.Time(msg.epoch))
 	} else {
-		e.syncQueue = e.syncQueue[:0]
+		e.queuedBytes.Add(-msg.memSize())
+		t.handle(msg)
+		// Prune housekeeping stays out of the load gauge: Handled
+		// feeds pressure decisions about data throughput.
+		t.handled.Add(1)
 	}
+	e.inflight.Add(-1)
+}
+
+// dispatchBatch runs one drained batch through dispatch with busy-time
+// accounting, zeroing consumed slots so carried tuples release
+// promptly. Both asynchronous substrates' run loops use it.
+func (e *Engine) dispatchBatch(t *task, batch []message) {
+	if len(batch) == 0 {
+		return
+	}
+	start := nowNanos()
+	for i := range batch {
+		e.dispatch(t, &batch[i])
+		batch[i] = message{}
+	}
+	t.busyNanos.Add(nowNanos() - start)
 }
 
 func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
@@ -677,18 +705,11 @@ func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
 
 // Drain blocks until every queued and in-process message has been
 // handled. Combined with timestamp-ordered ingestion this yields exact
-// symmetric-join semantics.
-func (e *Engine) Drain() {
-	if e.cfg.Synchronous {
-		e.runSyncQueue()
-		return
-	}
-	for e.inflight.Load() != 0 {
-		time.Sleep(20 * time.Microsecond)
-	}
-}
+// symmetric-join semantics. No concurrent Ingest may run.
+func (e *Engine) Drain() { e.sub.drain() }
 
-// Stop drains and terminates all tasks.
+// Stop drains and terminates all tasks. A producer blocked at the flow
+// substrate's admission gate is woken and observes the stop.
 func (e *Engine) Stop() {
 	if e.stopped.Swap(true) {
 		return
@@ -696,10 +717,12 @@ func (e *Engine) Stop() {
 	e.Drain()
 	e.mu.Lock()
 	for _, t := range e.tasks {
-		t.mailbox.close()
+		if t.mailbox != nil {
+			t.mailbox.close()
+		}
 	}
 	e.mu.Unlock()
-	e.wg.Wait()
+	e.sub.stop()
 }
 
 // StoreSizes returns per-store materialized tuple counts, for memory
@@ -744,7 +767,7 @@ func (e *Engine) PruneBefore(cut tuple.Time) {
 	for _, t := range tasks {
 		t.requestPrune(cut)
 	}
-	if e.cfg.Synchronous {
-		e.runSyncQueue()
+	if e.syncMode {
+		e.Drain()
 	}
 }

@@ -1,0 +1,140 @@
+package runtime
+
+// Edge-case coverage for the mailbox ring that every asynchronous
+// substrate depends on: grow-while-wrapped unwrapping, oversized-ring
+// release between bursts, and close-while-draining.
+
+import (
+	"testing"
+	"time"
+)
+
+// seqMsg tags a message with a recognizable sequence for FIFO checks.
+func seqMsg(i int) message { return message{seq: uint64(i), epoch: int64(i)} }
+
+// TestMailboxGrowWhileWrapped forces the ring into a wrapped state via
+// a bounded drain (head > 0, live region crossing the array end), then
+// grows it and verifies FIFO order survives the unwrap.
+func TestMailboxGrowWhileWrapped(t *testing.T) {
+	m := newMailbox()
+	next := 0
+	// Fill the initial 16-slot ring completely.
+	for ; next < 16; next++ {
+		m.put(seqMsg(next))
+	}
+	// Consume a prefix so head advances to 5...
+	got, remaining := m.drainN(nil, 5)
+	if len(got) != 5 || got[0].seq != 0 || got[4].seq != 4 {
+		t.Fatalf("bounded drain returned %d messages, first %d last %d", len(got), got[0].seq, got[len(got)-1].seq)
+	}
+	if remaining != 11 {
+		t.Fatalf("drainN reported %d remaining, want 11", remaining)
+	}
+	// ...then refill past the array end so the live region wraps.
+	for ; next < 21; next++ {
+		m.put(seqMsg(next))
+	}
+	if m.count != 16 || m.head != 5 {
+		t.Fatalf("ring not wrapped as expected: head=%d count=%d", m.head, m.count)
+	}
+	// One more put triggers grow on a wrapped ring: the oldest message
+	// must land at index 0 and order must be preserved end to end.
+	m.put(seqMsg(next))
+	next++
+	if m.head != 0 || len(m.buf) != 32 {
+		t.Fatalf("grow did not unwrap: head=%d len=%d", m.head, len(m.buf))
+	}
+	rest, ok := m.drainWait(nil)
+	if !ok {
+		t.Fatal("drainWait reported closed")
+	}
+	if len(rest) != 17 {
+		t.Fatalf("drained %d messages, want 17", len(rest))
+	}
+	for i, msg := range rest {
+		if want := uint64(i + 5); msg.seq != want {
+			t.Fatalf("FIFO order broken at %d: seq %d, want %d", i, msg.seq, want)
+		}
+	}
+}
+
+// TestMailboxReleasesOversizedRing verifies a burst larger than the
+// retention threshold does not pin its high-water storage after the
+// ring empties — on both the blocking and the bounded drain path.
+func TestMailboxReleasesOversizedRing(t *testing.T) {
+	for _, mode := range []string{"drainWait", "drainN"} {
+		m := newMailbox()
+		for i := 0; i < 2000; i++ {
+			m.put(seqMsg(i))
+		}
+		if len(m.buf) <= 1024 {
+			t.Fatalf("ring did not grow past the threshold: %d", len(m.buf))
+		}
+		switch mode {
+		case "drainWait":
+			if got, ok := m.drainWait(nil); !ok || len(got) != 2000 {
+				t.Fatalf("%s: drained %d ok=%v", mode, len(got), ok)
+			}
+		case "drainN":
+			// Partial drains must keep the ring; only the drain that
+			// empties it may release.
+			if _, remaining := m.drainN(nil, 1500); remaining != 500 || m.buf == nil {
+				t.Fatalf("%s: partial drain left %d (ring released early: %v)", mode, remaining, m.buf == nil)
+			}
+			m.drainN(nil, 0) // 0 = no bound: take the rest
+		}
+		if m.buf != nil {
+			t.Errorf("%s: oversized ring retained after burst (len %d)", mode, len(m.buf))
+		}
+		// The next burst starts from a fresh, small ring.
+		m.put(seqMsg(1))
+		if len(m.buf) != 16 {
+			t.Errorf("%s: ring after release has %d slots, want 16", mode, len(m.buf))
+		}
+	}
+}
+
+// TestMailboxCloseWhileDraining covers the shutdown handshake: a
+// consumer blocked in drainWait must wake on close and report the
+// mailbox dead; buffered messages are still delivered before the dead
+// signal, and puts after close are dropped.
+func TestMailboxCloseWhileDraining(t *testing.T) {
+	m := newMailbox()
+	type result struct {
+		n  int
+		ok bool
+	}
+	res := make(chan result, 1)
+	go func() {
+		got, ok := m.drainWait(nil)
+		res <- result{n: len(got), ok: ok}
+	}()
+	// Let the consumer block, then close under it.
+	time.Sleep(10 * time.Millisecond)
+	m.close()
+	select {
+	case r := <-res:
+		if r.ok || r.n != 0 {
+			t.Fatalf("blocked drain returned n=%d ok=%v after close, want 0/false", r.n, r.ok)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer did not wake on close")
+	}
+
+	// Close with buffered messages: the backlog drains first, the dead
+	// signal comes only once the ring is empty.
+	m2 := newMailbox()
+	m2.put(seqMsg(1))
+	m2.put(seqMsg(2))
+	m2.close()
+	if got, ok := m2.drainWait(nil); !ok || len(got) != 2 {
+		t.Fatalf("close lost buffered messages: n=%d ok=%v", len(got), ok)
+	}
+	if got, ok := m2.drainWait(nil); ok || len(got) != 0 {
+		t.Fatalf("closed empty mailbox still alive: n=%d ok=%v", len(got), ok)
+	}
+	m2.put(seqMsg(3)) // dropped
+	if m2.depth() != 0 {
+		t.Error("put after close buffered a message")
+	}
+}

@@ -2,9 +2,12 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"clash/internal/topology"
 )
 
 // Metrics aggregates runtime counters. All methods are safe for
@@ -16,6 +19,7 @@ type Metrics struct {
 	stored     atomic.Int64 // tuples currently materialized across stores
 	storeBytes atomic.Int64 // approximate bytes materialized
 	results    atomic.Int64 // join results emitted across all queries
+	shed       atomic.Int64 // tuples dropped at the flow-control admission gate
 
 	mu        sync.Mutex
 	byQuery   map[string]int64
@@ -29,6 +33,15 @@ type Metrics struct {
 	lagSum   atomic.Int64
 	lagCount atomic.Int64
 	lagTick  atomic.Int64 // sampling counter
+}
+
+// avgLag returns the sampled ingest-to-handling delay and sample count.
+func (m *Metrics) avgLag() (time.Duration, int64) {
+	n := m.lagCount.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return time.Duration(m.lagSum.Load() / n), n
 }
 
 // recordLag samples the ingest-to-handling delay of one message.
@@ -81,6 +94,9 @@ type Snapshot struct {
 	// buffering even when no results are produced).
 	AvgLag   time.Duration
 	LagCount int64
+	// ShedTuples counts ingests dropped at the flow-control admission
+	// gate (SubstrateFlow with ShedOnOverload).
+	ShedTuples int64
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -96,14 +112,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	latMax, latCount := m.latMax, m.latCount
 	m.mu.Unlock()
-	var avgLag time.Duration
-	lagN := m.lagCount.Load()
-	if lagN > 0 {
-		avgLag = time.Duration(m.lagSum.Load() / lagN)
-	}
+	avgLag, lagN := m.avgLag()
 	return Snapshot{
 		AvgLag:     avgLag,
 		LagCount:   lagN,
+		ShedTuples: m.shed.Load(),
 		Ingested:   m.ingested.Load(),
 		ProbeSent:  m.probeSent.Load(),
 		Messages:   m.messages.Load(),
@@ -135,4 +148,91 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf("in=%d probes=%d msgs=%d stored=%d (%.1f MiB) results=%d avgLat=%v",
 		s.Ingested, s.ProbeSent, s.Messages, s.Stored,
 		float64(s.StoreBytes)/(1<<20), s.Results, s.AvgLatency)
+}
+
+// TaskGauge is one task's pressure reading: mailbox queue depth,
+// materialized state, cumulative load, and busy time — the per-task
+// overload signals of the execution substrate. The adaptive Controller
+// consumes them at epoch boundaries as re-optimization input
+// (adaptive.go), closing the loop from runtime pressure back into
+// planning.
+type TaskGauge struct {
+	Store      topology.StoreID
+	Part       int
+	QueueDepth int   // messages waiting in the task's mailbox
+	Stored     int64 // tuples materialized in the task
+	Handled    int64 // messages handled since spawn
+	BusyNanos  int64 // time spent handling batches (async substrates)
+}
+
+// TaskGauges returns a pressure reading per task, sorted by store and
+// partition. Gauges are sampled individually — the reading is not an
+// atomic cross-task snapshot.
+func (e *Engine) TaskGauges() []TaskGauge {
+	e.mu.RLock()
+	out := make([]TaskGauge, 0, len(e.tasks))
+	for k, t := range e.tasks {
+		depth := 0
+		if t.mailbox != nil {
+			depth = t.mailbox.depth()
+		}
+		out = append(out, TaskGauge{
+			Store:      k.store,
+			Part:       k.part,
+			QueueDepth: depth,
+			Stored:     t.storedCount.Load(),
+			Handled:    t.handled.Load(),
+			BusyNanos:  t.busyNanos.Load(),
+		})
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Store != out[j].Store {
+			return out[i].Store < out[j].Store
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// Pressure is the engine's aggregated overload signal: how much work is
+// queued, where the deepest backlog sits, the flow substrate's credit
+// balance, and the sampled processing lag.
+type Pressure struct {
+	QueuedMessages int64            // Σ task queue depths
+	QueuedBytes    int64            // approximate bytes buffered in mailboxes
+	MaxQueueDepth  int              // deepest single task queue
+	MaxQueueStore  topology.StoreID // store owning the deepest queue
+	Credits        int64            // flow-substrate balance (0 elsewhere)
+	ShedTuples     int64            // tuples dropped at the admission gate
+	AvgLag         time.Duration    // sampled ingest-to-handling delay
+}
+
+// Pressure aggregates the per-task gauges into one overload reading.
+// It is polled on hot control paths (every Controller.Tick, sampling
+// loops), so it reads the queue depths directly instead of building
+// the sorted TaskGauges slice.
+func (e *Engine) Pressure() Pressure {
+	p := Pressure{
+		QueuedBytes: e.queuedBytes.Load(),
+		ShedTuples:  e.metrics.shed.Load(),
+	}
+	p.AvgLag, _ = e.metrics.avgLag()
+	e.mu.RLock()
+	for k, t := range e.tasks {
+		if t.mailbox == nil {
+			continue
+		}
+		d := t.mailbox.depth()
+		p.QueuedMessages += int64(d)
+		if d > p.MaxQueueDepth || (d == p.MaxQueueDepth && d > 0 && k.store < p.MaxQueueStore) {
+			p.MaxQueueDepth = d
+			p.MaxQueueStore = k.store
+		}
+	}
+	e.mu.RUnlock()
+	if f, ok := e.sub.(*flowSubstrate); ok {
+		p.Credits = f.creditsAvailable()
+	}
+	return p
 }

@@ -7,6 +7,7 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,8 +20,9 @@ import (
 	"clash/internal/tuple"
 )
 
-// runWorkload executes the topology over the records on a synchronous
-// engine and returns, per query, the sorted rendered results.
+// runWorkload executes the topology over the records and returns, per
+// query, the sorted rendered results. Sinks collect under a mutex: on
+// the asynchronous substrates callbacks run on task goroutines.
 func runWorkload(t *testing.T, cfg Config, topo *topology.Config, queries []*query.Query, records []broker.Record) map[string][]string {
 	t.Helper()
 	eng := New(cfg)
@@ -28,11 +30,14 @@ func runWorkload(t *testing.T, cfg Config, topo *topology.Config, queries []*que
 		t.Fatal(err)
 	}
 	defer eng.Stop()
+	var mu sync.Mutex
 	out := map[string][]string{}
 	for _, q := range queries {
 		name := q.Name
 		eng.OnResult(name, func(tp *tuple.Tuple) {
+			mu.Lock()
 			out[name] = append(out[name], tp.String())
+			mu.Unlock()
 		})
 	}
 	for _, r := range records {
@@ -49,9 +54,11 @@ func runWorkload(t *testing.T, cfg Config, topo *topology.Config, queries []*que
 
 // TestCompiledPlanEquivalenceTPCH asserts the compiled probe path
 // produces byte-identical join results to the legacy string-resolved
-// path on the TPC-H multi-query workload (the Fig. 7 setting): same
-// topology, same records, two engines differing only in probe
-// implementation.
+// path on the TPC-H multi-query workload (the Fig. 7 setting) — and
+// that the result bytes are identical on every execution substrate
+// (synchronous, unbounded-async, flow-controlled): same topology, same
+// records, engines differing only in probe implementation or
+// scheduling/flow-control layer (DESIGN.md §3, §8).
 func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
 	queries := tpch.Fig7Queries()
 	cat := tpch.Catalog()
@@ -85,21 +92,27 @@ func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	compiled := runWorkload(t, Config{Catalog: cat, Synchronous: true}, topo, queries, records)
 	legacy := runWorkload(t, Config{Catalog: cat, Synchronous: true, legacyProbe: true}, topo, queries, records)
-
-	for _, q := range queries {
-		c, l := compiled[q.Name], legacy[q.Name]
-		if len(c) != len(l) {
-			t.Fatalf("%s: compiled %d results, legacy %d", q.Name, len(c), len(l))
-		}
-		for i := range c {
-			if c[i] != l[i] {
-				t.Fatalf("%s: result %d differs:\ncompiled: %s\nlegacy:   %s", q.Name, i, c[i], l[i])
+	runs := map[string]Config{
+		"compiled-synchronous": {Catalog: cat, Synchronous: true},
+		"compiled-unbounded":   {Catalog: cat, Substrate: SubstrateUnbounded, StepMode: true},
+		"compiled-flow":        {Catalog: cat, Substrate: SubstrateFlow, StepMode: true, Flow: FlowConfig{MailboxCredits: 64}},
+	}
+	for name, cfg := range runs {
+		compiled := runWorkload(t, cfg, topo, queries, records)
+		for _, q := range queries {
+			c, l := compiled[q.Name], legacy[q.Name]
+			if len(c) != len(l) {
+				t.Fatalf("%s/%s: compiled %d results, legacy %d", name, q.Name, len(c), len(l))
 			}
-		}
-		if len(c) == 0 {
-			t.Errorf("%s: zero results — equivalence vacuous", q.Name)
+			for i := range c {
+				if c[i] != l[i] {
+					t.Fatalf("%s/%s: result %d differs:\ncompiled: %s\nlegacy:   %s", name, q.Name, i, c[i], l[i])
+				}
+			}
+			if len(c) == 0 {
+				t.Errorf("%s/%s: zero results — equivalence vacuous", name, q.Name)
+			}
 		}
 	}
 }

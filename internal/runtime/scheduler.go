@@ -1,0 +1,122 @@
+package runtime
+
+// Shared worker-pool scheduler of the flow-controlled substrate
+// (DESIGN.md §8): a fixed set of workers multiplexes every store task,
+// decoupling topology size (queries × stores × parallelism) from
+// goroutine count, so hundreds of concurrent queries deploy without
+// hundreds of goroutines. Each task appears in the run queue at most
+// once (the task.sched claim flag); a worker claims a task, drains a
+// bounded batch from its mailbox, and either requeues the task at the
+// tail (more pending — round-robin fairness) or parks it idle.
+
+import "sync"
+
+// schedBatch bounds how many messages one dispatch drains, so one hot
+// task cannot monopolize a worker while others wait.
+const schedBatch = 128
+
+type workerPool struct {
+	flow *flowSubstrate
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runq    []*task // FIFO run queue; head is the consume cursor
+	head    int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newWorkerPool(f *flowSubstrate, workers int) *workerPool {
+	p := &workerPool{flow: f}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) enqueue(t *task) {
+	p.mu.Lock()
+	p.runq = append(p.runq, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// next pops the oldest runnable task, blocking while the queue is
+// empty. It returns nil only after stop, once the queue has fully
+// drained — pending work is finished before workers exit.
+func (p *workerPool) next() *task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.head < len(p.runq) {
+			t := p.runq[p.head]
+			p.runq[p.head] = nil
+			p.head++
+			switch {
+			case p.head == len(p.runq):
+				p.runq = p.runq[:0]
+				p.head = 0
+			case p.head >= 64 && p.head*2 >= len(p.runq):
+				// Under sustained load the queue never empties (every
+				// dispatch requeues its task), so the consumed prefix
+				// must be compacted away or the slice grows by one
+				// slot per dispatch forever.
+				n := copy(p.runq, p.runq[p.head:])
+				clear(p.runq[n:])
+				p.runq = p.runq[:n]
+				p.head = 0
+			}
+			return t
+		}
+		if p.stopped {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *workerPool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	p.flow.noteWorker(curGoroutineID())
+	e := p.flow.e
+	var batch []message
+	for {
+		t := p.next()
+		if t == nil {
+			return
+		}
+		var remaining int
+		batch, remaining = t.mailbox.drainN(batch[:0], schedBatch)
+		if n := len(batch); n > 0 {
+			e.dispatchBatch(t, batch)
+			p.flow.repay(n)
+		}
+		if cap(batch) > 1024 {
+			batch = nil // release a one-off spike's high-water memory
+		}
+		// Requeue or park. The claim flag stays set across a requeue so
+		// concurrent sends cannot double-queue the task; parking
+		// publishes idle first and re-checks the mailbox, so a send
+		// racing the park either sees the claim and skips, or the
+		// re-check here wins the CAS and requeues — a message is never
+		// stranded in a parked task's mailbox.
+		if remaining > 0 {
+			p.enqueue(t)
+			continue
+		}
+		t.sched.Store(0)
+		if t.mailbox.depth() > 0 && t.sched.CompareAndSwap(0, 1) {
+			p.enqueue(t)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package runtime
+
+// Substrate-independence and flow-control tests (DESIGN.md §3, §8).
+// The sequence condition makes the result multiset independent of the
+// execution substrate; these tests prove it on all three, and cover the
+// flow substrate's overload behaviour: bounded queueing, graceful
+// degradation (block and shed), and the pressure gauges feeding the
+// adaptive controller.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/stats"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// substrateMatrix lists the three substrates under their deterministic
+// configuration: the asynchronous ones run in StepMode so multi-hop
+// feeding chains settle between tuples (exactness; DESIGN.md §3).
+func substrateMatrix() map[string]Config {
+	return map[string]Config{
+		"synchronous": {Synchronous: true},
+		"unbounded":   {Substrate: SubstrateUnbounded, StepMode: true},
+		"flow":        {Substrate: SubstrateFlow, StepMode: true, Flow: FlowConfig{MailboxCredits: 32}},
+	}
+}
+
+// TestSubstrateOracleEquivalence checks every substrate against the
+// nested-loop reference oracle on the shared multi-query workload.
+func TestSubstrateOracleEquivalence(t *testing.T) {
+	for name, cfg := range substrateMatrix() {
+		t.Run(name, func(t *testing.T) {
+			cfg.DefaultWindow = 40
+			h := newHarness(t, "q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)",
+				core.Options{StoreParallelism: 3},
+				flatEstimates([]string{"R", "S", "T", "U"}, 100), cfg)
+			ins := randomStream(h.cat, 300, 5, 21)
+			h.ingestAll(t, ins)
+			h.checkAgainstOracle(t, ins)
+			if h.sinks["q1"].Count() == 0 || h.sinks["q2"].Count() == 0 {
+				t.Fatal("a query produced nothing — test vacuous")
+			}
+			h.eng.Stop()
+		})
+	}
+}
+
+// TestSubstrateResultEquivalence asserts byte-identical result
+// multisets across all three substrates on a windowed MIR-bearing plan.
+func TestSubstrateResultEquivalence(t *testing.T) {
+	est := flatEstimates([]string{"R", "S", "T"}, 100)
+	est.SetSelectivity(query.Predicate{
+		Left:  query.Attr{Rel: "R", Name: "a"},
+		Right: query.Attr{Rel: "S", Name: "a"},
+	}, 0.5)
+	var reference string
+	var refName string
+	for name, cfg := range substrateMatrix() {
+		cfg.DefaultWindow = 60
+		h := newHarness(t, "q1: R(a) S(a,b) T(b)",
+			core.Options{StoreParallelism: 2}, est.Clone(), cfg)
+		ins := randomStream(h.cat, 320, 5, 33)
+		h.ingestAll(t, ins)
+		got := fmt.Sprint(sortedResults(h.sinks["q1"]))
+		h.eng.Stop()
+		if reference == "" {
+			reference, refName = got, name
+			continue
+		}
+		if got != reference {
+			t.Errorf("substrate %s produced different results than %s", name, refName)
+		}
+	}
+	if reference == "" || reference == "map[]" {
+		t.Fatal("no results — test vacuous")
+	}
+}
+
+func sortedResults(s *CollectSink) []string {
+	res := s.Results()
+	out := make([]string, 0, len(res))
+	for k, n := range res {
+		out = append(out, fmt.Sprintf("%s×%d", k, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// overloadFixture builds an engine over a two-way join with slow
+// consumers (OverheadLoops) so a free-running producer outruns the
+// topology — the Fig. 8a overload shape at test scale.
+func overloadFixture(t *testing.T, cfg Config) (*Engine, *query.Catalog) {
+	t.Helper()
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := flatEstimates([]string{"R", "S"}, 100)
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 2}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Catalog = cat
+	eng := New(cfg)
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.OnResult("q1", func(*tuple.Tuple) {})
+	return eng, cat
+}
+
+// driveOverload ingests a sustained stream, pruning the window
+// periodically, and returns the peak queued-message pressure plus any
+// terminal error.
+func driveOverload(eng *Engine, cat *query.Catalog, n int, window tuple.Time) (peakQueued int64, ingestErr error) {
+	ins := randomStream(cat, n, 16, 5)
+	for i, in := range ins {
+		if err := eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			return peakQueued, err
+		}
+		if i%64 == 0 {
+			if p := eng.Pressure(); p.QueuedMessages > peakQueued {
+				peakQueued = p.QueuedMessages
+			}
+		}
+		if window > 0 && i%200 == 199 {
+			eng.PruneBefore(eng.Watermark() - window)
+		}
+	}
+	return peakQueued, nil
+}
+
+// TestFlowBoundsQueueingUnderOverload: the same overload stream on the
+// unbounded substrate accumulates a deep backlog, while the flow
+// substrate's admission gate keeps the queue near the credit bound.
+func TestFlowBoundsQueueingUnderOverload(t *testing.T) {
+	const loops = 20000
+	unb, cat := overloadFixture(t, Config{OverheadLoops: loops})
+	peakUnbounded, err := driveOverload(unb, cat, 3000, 0)
+	unb.Drain()
+	unb.Stop()
+	if err != nil {
+		t.Fatalf("unbounded run failed: %v", err)
+	}
+
+	flw, cat := overloadFixture(t, Config{
+		OverheadLoops: loops,
+		Substrate:     SubstrateFlow,
+		Flow:          FlowConfig{MailboxCredits: 16},
+	})
+	peakFlow, err := driveOverload(flw, cat, 3000, 0)
+	flw.Drain()
+	flw.Stop()
+	if err != nil {
+		t.Fatalf("flow run failed: %v", err)
+	}
+
+	if peakUnbounded < 4*peakFlow || peakUnbounded < 100 {
+		t.Errorf("flow control did not bound queueing: unbounded peak %d vs flow peak %d",
+			peakUnbounded, peakFlow)
+	}
+	t.Logf("peak queued messages: unbounded=%d flow=%d", peakUnbounded, peakFlow)
+}
+
+// TestFlowSurvivesWhereUnboundedDies is the overload-survival core: a
+// memory budget the unbounded substrate's buffering must blow through
+// (Fig. 8a death) while credit-based backpressure stays within it —
+// and, under BlockOnOverload, without losing a single result.
+func TestFlowSurvivesWhereUnboundedDies(t *testing.T) {
+	const (
+		loops  = 50000
+		budget = 256 << 10
+		n      = 8000
+		window = tuple.Time(50)
+	)
+	// Reference result count from the exact synchronous substrate.
+	ref, cat := overloadFixture(t, Config{Synchronous: true, DefaultWindow: time.Duration(window)})
+	if _, err := driveOverload(ref, cat, n, window); err != nil {
+		t.Fatalf("synchronous reference failed: %v", err)
+	}
+	ref.Drain()
+	wantResults := ref.Metrics().Snapshot().Results
+	ref.Stop()
+	if wantResults == 0 {
+		t.Fatal("reference produced no results — test vacuous")
+	}
+
+	unb, cat := overloadFixture(t, Config{
+		OverheadLoops:    loops,
+		DefaultWindow:    time.Duration(window),
+		MemoryLimitBytes: budget,
+	})
+	_, err := driveOverload(unb, cat, n, window)
+	unb.Stop()
+	if !errors.Is(err, ErrMemoryLimit) {
+		t.Fatalf("unbounded substrate survived the %d-byte budget (err=%v) — overload scenario too weak", budget, err)
+	}
+
+	flw, cat := overloadFixture(t, Config{
+		OverheadLoops:    loops,
+		DefaultWindow:    time.Duration(window),
+		MemoryLimitBytes: budget,
+		Substrate:        SubstrateFlow,
+		Flow:             FlowConfig{MailboxCredits: 16},
+	})
+	if _, err := driveOverload(flw, cat, n, window); err != nil {
+		t.Fatalf("flow substrate died under the same budget: %v", err)
+	}
+	flw.Drain()
+	m := flw.Metrics().Snapshot()
+	flw.Stop()
+	if m.Ingested != int64(n) {
+		t.Errorf("flow substrate admitted %d of %d tuples under BlockOnOverload", m.Ingested, n)
+	}
+	if m.ShedTuples != 0 {
+		t.Errorf("BlockOnOverload shed %d tuples", m.ShedTuples)
+	}
+	if m.Results != wantResults {
+		t.Errorf("flow substrate produced %d results, exact reference %d", m.Results, wantResults)
+	}
+}
+
+// TestFlowShedPolicy: with ShedOnOverload the engine stays live and
+// lossy — tuples are dropped at the admission gate, counted, and never
+// half-processed.
+func TestFlowShedPolicy(t *testing.T) {
+	const n = 4000
+	eng, cat := overloadFixture(t, Config{
+		OverheadLoops: 30000,
+		Substrate:     SubstrateFlow,
+		Flow:          FlowConfig{MailboxCredits: 8, Policy: ShedOnOverload},
+	})
+	if _, err := driveOverload(eng, cat, n, 0); err != nil {
+		t.Fatalf("shedding engine failed: %v", err)
+	}
+	eng.Drain()
+	m := eng.Metrics().Snapshot()
+	eng.Stop()
+	if m.ShedTuples == 0 {
+		t.Fatal("no tuples shed — overload scenario too weak to exercise the policy")
+	}
+	if m.Ingested+m.ShedTuples != int64(n) {
+		t.Errorf("admitted %d + shed %d != offered %d", m.Ingested, m.ShedTuples, n)
+	}
+	if m.Ingested == 0 {
+		t.Error("everything shed — the engine made no progress at all")
+	}
+	t.Logf("admitted=%d shed=%d results=%d", m.Ingested, m.ShedTuples, m.Results)
+}
+
+// TestFlowStopWhileBlocked: Stop must wake a producer blocked at the
+// admission gate instead of deadlocking the shutdown.
+func TestFlowStopWhileBlocked(t *testing.T) {
+	eng, cat := overloadFixture(t, Config{
+		OverheadLoops: 100000,
+		Substrate:     SubstrateFlow,
+		Flow:          FlowConfig{MailboxCredits: 1, Workers: 1},
+	})
+	done := make(chan error, 1)
+	go func() {
+		ins := randomStream(cat, 100000, 8, 9)
+		for _, in := range ins {
+			if err := eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	time.Sleep(50 * time.Millisecond) // let the producer hit the gate
+	eng.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("producer finished 100k tuples against a stopped engine — admission never blocked?")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer still blocked after Stop — admission gate not woken")
+	}
+}
+
+// TestReentrantSinkIngest: a result sink feeding tuples back via
+// Ingest runs on a dispatch goroutine. On the flow substrate it must
+// get elastic credit instead of blocking on repayments only its own
+// unfinished batch can make (the one-worker one-credit configuration
+// deadlocks otherwise), and on any asynchronous substrate a StepMode
+// feedback ingest must skip the per-tuple drain — the message being
+// handled keeps inflight nonzero, so the drain could never settle.
+func TestReentrantSinkIngest(t *testing.T) {
+	configs := map[string]Config{
+		"flow": {Substrate: SubstrateFlow,
+			Flow: FlowConfig{MailboxCredits: 1, Workers: 1}},
+		"flow-step": {Substrate: SubstrateFlow, StepMode: true,
+			Flow: FlowConfig{MailboxCredits: 1, Workers: 1}},
+		"flow-shed": {Substrate: SubstrateFlow,
+			Flow: FlowConfig{MailboxCredits: 1, Workers: 1, Policy: ShedOnOverload}},
+		"unbounded-step": {Substrate: SubstrateUnbounded, StepMode: true},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			qs, cat, err := query.ParseWorkload("q1: R(a) S(a)\nq2: F(a) S(a)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := flatEstimates([]string{"R", "S", "F"}, 100)
+			plan, err := core.NewOptimizer(core.Options{StoreParallelism: 2}).Optimize(qs, est)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Catalog = cat
+			eng := New(cfg)
+			if err := eng.Install(topo, 0); err != nil {
+				t.Fatal(err)
+			}
+			var q1, q2, feedTS atomic.Int64
+			feedTS.Store(10000)
+			eng.OnResult("q1", func(tp *tuple.Tuple) {
+				q1.Add(1)
+				v := tp.MustGet("R.a")
+				if err := eng.Ingest("F", tuple.Time(feedTS.Add(1)), v); err != nil {
+					t.Errorf("re-entrant ingest: %v", err)
+				}
+			})
+			eng.OnResult("q2", func(*tuple.Tuple) { q2.Add(1) })
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 200; i++ {
+					k := tuple.IntValue(int64(i % 4))
+					if err := eng.Ingest("S", tuple.Time(2*i+1), k); err != nil {
+						t.Errorf("ingest: %v", err)
+						return
+					}
+					if err := eng.Ingest("R", tuple.Time(2*i+2), k); err != nil {
+						t.Errorf("ingest: %v", err)
+						return
+					}
+				}
+				eng.Drain()
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("deadlock: sink feedback blocked dispatch")
+			}
+			if cfg.Flow.Policy != ShedOnOverload {
+				if shed := eng.Metrics().Snapshot().ShedTuples; shed != 0 {
+					t.Errorf("%d tuples shed under a blocking policy", shed)
+				}
+			}
+			// Feedback tuples are never shed (worker elastic credit), so
+			// every q1 result must have produced a q2 join — even under
+			// ShedOnOverload, where only source tuples may drop.
+			if q1.Load() == 0 || q2.Load() == 0 {
+				t.Fatalf("feedback produced q1=%d q2=%d — test vacuous", q1.Load(), q2.Load())
+			}
+			eng.Stop()
+		})
+	}
+}
+
+// TestPressureGauges: the per-task gauges and the aggregate Pressure
+// reading are coherent after a settled run — all credits repaid, no
+// queued work, every store task reporting its handled load.
+func TestPressureGauges(t *testing.T) {
+	grant := 32
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Substrate: SubstrateFlow, Flow: FlowConfig{MailboxCredits: grant}})
+	ins := randomStream(h.cat, 200, 8, 13)
+	h.ingestAll(t, ins)
+	gauges := h.eng.TaskGauges()
+	if len(gauges) == 0 {
+		t.Fatal("no task gauges")
+	}
+	var handled int64
+	for _, g := range gauges {
+		if g.QueueDepth != 0 {
+			t.Errorf("task %s/%d still queues %d messages after drain", g.Store, g.Part, g.QueueDepth)
+		}
+		handled += g.Handled
+	}
+	if handled == 0 {
+		t.Error("no task reported handled load")
+	}
+	p := h.eng.Pressure()
+	if p.QueuedMessages != 0 || p.MaxQueueDepth != 0 {
+		t.Errorf("pressure reports queued work after drain: %+v", p)
+	}
+	if want := int64(len(gauges) * grant); p.Credits != want {
+		t.Errorf("credit balance %d after settle, want the full grant %d", p.Credits, want)
+	}
+	if p.ShedTuples != 0 {
+		t.Errorf("shed %d tuples in an un-overloaded run", p.ShedTuples)
+	}
+	h.eng.Stop()
+}
+
+// TestControllerPressureFeedback: an overload reading crossing the
+// threshold inflates the rate estimates of the relations feeding the
+// deepest store, so the next optimization prices the real demand.
+func TestControllerPressureFeedback(t *testing.T) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Substrate: SubstrateFlow})
+	defer eng.Stop()
+	est := flatEstimates([]string{"R", "S"}, 100)
+	ctl, err := NewController(eng, ControllerConfig{
+		Optimizer:          core.NewOptimizer(core.Options{StoreParallelism: 2}),
+		Collector:          stats.NewCollector(64, 32, 1),
+		Shared:             true,
+		PressureQueueDepth: 100,
+	}, qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the store materializing R in the installed topology.
+	topo := eng.ConfigFor(0)
+	var rStore topology.StoreID
+	for _, id := range topo.StoreIDs() {
+		for _, rel := range topo.Stores[id].Rels {
+			if rel == "R" {
+				rStore = id
+			}
+		}
+	}
+	if rStore == "" {
+		t.Fatal("no store materializes R")
+	}
+	before := ctl.Estimates().Rate("R")
+	fresh := flatEstimates([]string{"R", "S"}, 100) // the epoch's measured rates
+
+	ctl.mu.Lock()
+	// Below threshold: no event, no inflation.
+	ctl.applyPressureLocked(Pressure{MaxQueueDepth: 50, MaxQueueStore: rStore}, fresh)
+	// Above threshold: the deepest store's relations inflate.
+	ctl.applyPressureLocked(Pressure{MaxQueueDepth: 500, MaxQueueStore: rStore}, fresh)
+	ctl.mu.Unlock()
+
+	if got := ctl.OverloadEvents(); got != 1 {
+		t.Errorf("overload events = %d, want 1", got)
+	}
+	after := ctl.Estimates().Rate("R")
+	if after <= before {
+		t.Errorf("pressure did not inflate R's rate estimate: %v -> %v", before, after)
+	}
+
+	// Sustained overload must saturate at 8x the measured rate, not
+	// compound across ticks.
+	ctl.mu.Lock()
+	for i := 0; i < 10; i++ {
+		ctl.applyPressureLocked(Pressure{MaxQueueDepth: 5000, MaxQueueStore: rStore}, fresh)
+	}
+	ctl.mu.Unlock()
+	if got := ctl.Estimates().Rate("R"); got > 8*100+0.01 {
+		t.Errorf("inflation compounded past the 8x-of-measured cap: %v", got)
+	}
+}

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -10,90 +9,6 @@ import (
 )
 
 func nowNanos() int64 { return time.Now().UnixNano() }
-
-// mailbox is an unbounded FIFO link between tasks, implemented as a
-// ring buffer so steady-state put/drain never shifts elements or
-// reallocates. Unboundedness mirrors the paper's observation that
-// overloaded workers buffer tuples (and eventually die on memory
-// overflow, Fig. 8a) rather than deadlock.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []message // ring storage
-	head   int       // index of the oldest message
-	count  int       // number of buffered messages
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) put(msg message) {
-	m.mu.Lock()
-	if !m.closed {
-		if m.count == len(m.buf) {
-			m.grow()
-		}
-		m.buf[(m.head+m.count)%len(m.buf)] = msg
-		m.count++
-	}
-	m.mu.Unlock()
-	m.cond.Signal()
-}
-
-// grow doubles the ring, unwrapping it so the oldest message lands at
-// index 0. Caller holds m.mu.
-func (m *mailbox) grow() {
-	n := len(m.buf) * 2
-	if n == 0 {
-		n = 16
-	}
-	next := make([]message, n)
-	for i := 0; i < m.count; i++ {
-		next[i] = m.buf[(m.head+i)%len(m.buf)]
-	}
-	m.buf = next
-	m.head = 0
-}
-
-// drain blocks until messages are available (or the mailbox closes),
-// then moves every buffered message into dst under one lock
-// acquisition. It returns the filled buffer and false once the mailbox
-// is closed and empty. Ring slots are zeroed as they are drained so the
-// mailbox never pins tuple memory.
-func (m *mailbox) drain(dst []message) ([]message, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for m.count == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if m.count == 0 {
-		return dst, false
-	}
-	for i := 0; i < m.count; i++ {
-		slot := (m.head + i) % len(m.buf)
-		dst = append(dst, m.buf[slot])
-		m.buf[slot] = message{}
-	}
-	m.head = 0
-	m.count = 0
-	// Release oversized rings between bursts so a one-off spike does not
-	// hold its high-water memory forever.
-	if len(m.buf) > 1024 {
-		m.buf = nil
-	}
-	return dst, true
-}
-
-func (m *mailbox) close() {
-	m.mu.Lock()
-	m.closed = true
-	m.mu.Unlock()
-	m.cond.Broadcast()
-}
 
 const (
 	kindData int8 = iota
@@ -194,18 +109,29 @@ func (c *container) prune(cut tuple.Time, remap []int32) (removed int, removedBy
 	return removed, removedBytes, remap
 }
 
-// task is one partition worker of a store: a goroutine consuming its
-// mailbox and applying the epoch's compiled ruleset to each message
-// (Alg. 3/4).
+// task is one partition worker of a store: it applies the epoch's
+// compiled ruleset to each delivered message (Alg. 3/4). Which
+// goroutine runs it is the substrate's decision (flow.go): a dedicated
+// goroutine (unbounded), a shared pool worker (flow), or the ingesting
+// goroutine itself (synchronous). At most one goroutine executes a
+// task at a time on every substrate, so all non-atomic task state is
+// effectively single-threaded.
 type task struct {
 	e           *Engine
 	key         taskKey
 	store       *topology.Store
-	mailbox     *mailbox
+	mailbox     *mailbox // created by the substrate; nil on syncSubstrate
 	containers  map[int64]*container
 	conts       []*container // iteration-order copy of containers' values
 	storedCount atomic.Int64
 	spin        uint64 // overhead-emulation sink
+
+	// Scheduling and pressure state. sched is the worker-pool claim
+	// flag (scheduler.go): 0 parked, 1 queued-or-running. handled and
+	// busyNanos are the per-task load gauges (metrics.go TaskGauges).
+	sched     atomic.Int32
+	handled   atomic.Int64
+	busyNanos atomic.Int64
 
 	// wins lists the windowed base relations materialized here; probe
 	// plans resolve the τ columns per stored schema against it
@@ -214,8 +140,8 @@ type task struct {
 	wins     []relWindow
 	tauNames []string
 
-	// Compiled-plan state (owned by this task's goroutine; in
-	// Synchronous mode, by the ingesting goroutine). Two generations of
+	// Compiled-plan state (owned by whichever goroutine the substrate
+	// runs this task on — always exactly one). Two generations of
 	// schema-position caches are kept — the current config's and the
 	// previous one's, since traffic interleaves across an epoch
 	// boundary — and older generations are dropped, so adaptive
@@ -247,7 +173,6 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 		e:           e,
 		key:         k,
 		store:       s,
-		mailbox:     newMailbox(),
 		containers:  map[int64]*container{},
 		states:      map[*rulePlan]*planState{},
 		schemaCache: map[[2]*tuple.Schema]*tuple.Schema{},
@@ -275,38 +200,7 @@ func (t *task) containerFor(ep int64) *container {
 
 func (t *task) requestPrune(cut tuple.Time) {
 	t.e.inflight.Add(1)
-	msg := message{kind: kindPrune, epoch: int64(cut)}
-	if t.e.cfg.Synchronous {
-		t.e.syncQueue = append(t.e.syncQueue, syncItem{key: t.key, msg: msg})
-		return
-	}
-	t.mailbox.put(msg)
-}
-
-func (t *task) run() {
-	defer t.e.wg.Done()
-	var batch []message
-	for {
-		var ok bool
-		batch, ok = t.mailbox.drain(batch[:0])
-		if !ok {
-			return
-		}
-		for i := range batch {
-			msg := &batch[i]
-			if msg.kind == kindPrune {
-				t.prune(tuple.Time(msg.epoch))
-			} else {
-				t.e.queuedBytes.Add(-msg.memSize())
-				t.handle(msg)
-			}
-			t.e.inflight.Add(-1)
-			batch[i] = message{} // release carried tuples promptly
-		}
-		if cap(batch) > 1024 {
-			batch = nil // release a one-off spike's high-water memory
-		}
-	}
+	t.e.sub.send(t, message{kind: kindPrune, epoch: int64(cut)})
 }
 
 // handle applies the compiled ruleset valid for the message's epoch
