@@ -75,6 +75,18 @@ type (
 	SubstrateKind = runtime.SubstrateKind
 	// FlowConfig tunes the flow-controlled substrate.
 	FlowConfig = runtime.FlowConfig
+	// SimConfig tunes the deterministic simulation substrate: schedule
+	// seed, virtual-time step, flow-control model, schedule-trace and
+	// fault-injection hooks.
+	SimConfig = runtime.SimConfig
+	// SimEvent is one scheduling decision of the simulation substrate
+	// (the schedule trace element).
+	SimEvent = runtime.SimEvent
+	// Clock is the engine's time source (virtual on SubstrateSim).
+	Clock = runtime.Clock
+	// VirtualClock is a manually advanced clock: simulated time moves
+	// per dispatched message and via Advance (fast-forward).
+	VirtualClock = runtime.VirtualClock
 	// OverloadPolicy is the flow substrate's behaviour on exhausted
 	// credit: block the producer or shed the tuple.
 	OverloadPolicy = runtime.OverloadPolicy
@@ -97,6 +109,11 @@ const (
 	// SubstrateFlow bounds queueing with credit-based backpressure and
 	// runs all tasks on a shared worker pool.
 	SubstrateFlow = runtime.SubstrateFlow
+	// SubstrateSim is the deterministic simulation substrate: a seeded
+	// single-threaded scheduler over a virtual clock. One seed
+	// reproduces one exact interleaving; a seed sweep explores
+	// thousands. Single-goroutine ingest only.
+	SubstrateSim = runtime.SubstrateSim
 	// BlockOnOverload throttles Ingest when credits run out (lossless).
 	BlockOnOverload = runtime.BlockOnOverload
 	// ShedOnOverload drops tuples when credits run out (lossy, live).
@@ -190,13 +207,22 @@ type Config struct {
 	// whose materialization races a probe.
 	Synchronous bool
 	// Substrate selects the execution substrate explicitly: synchronous,
-	// unbounded-async (default), or flow-controlled with credit-based
-	// backpressure and a shared worker pool. SubstrateAuto defers to
+	// unbounded-async (default), flow-controlled with credit-based
+	// backpressure and a shared worker pool, or deterministic simulation
+	// (seeded schedules over a virtual clock). SubstrateAuto defers to
 	// the Synchronous flag.
 	Substrate SubstrateKind
 	// Flow tunes the flow-controlled substrate (credit grants, worker
 	// count, block-vs-shed overload policy).
 	Flow FlowConfig
+	// Sim tunes the deterministic simulation substrate (SubstrateSim):
+	// schedule seed, virtual-time step, flow-control model, trace and
+	// fault hooks.
+	Sim SimConfig
+	// SimSeed is shorthand for Sim.Seed (ignored when Sim.Seed is set):
+	// the schedule seed of a simulated run. Same seed, same inputs —
+	// same interleaving, byte for byte.
+	SimSeed uint64
 	// SampleSize is the per-relation, per-epoch statistics sample
 	// (default 256).
 	SampleSize int
@@ -254,6 +280,10 @@ func Start(cfg Config) (*Engine, error) {
 			est.SetRate(name, 1000)
 		}
 	}
+	sim := cfg.Sim
+	if sim.Seed == 0 {
+		sim.Seed = cfg.SimSeed
+	}
 	eng := runtime.New(runtime.Config{
 		Catalog:          cat,
 		DefaultWindow:    cfg.DefaultWindow,
@@ -263,6 +293,7 @@ func Start(cfg Config) (*Engine, error) {
 		Synchronous:      cfg.Synchronous,
 		Substrate:        cfg.Substrate,
 		Flow:             cfg.Flow,
+		Sim:              sim,
 		TwoChoiceRouting: cfg.TwoChoiceRouting,
 		Observer:         func(rel string, t *tuple.Tuple) { col.Observe(rel, t) },
 	})
@@ -326,8 +357,15 @@ func (e *Engine) TaskGauges() []TaskGauge { return e.eng.TaskGauges() }
 // ResetLatency clears latency aggregates (per-interval reporting).
 func (e *Engine) ResetLatency() { e.eng.Metrics().ResetLatency() }
 
-// Drain blocks until all in-flight tuples are processed.
+// Drain blocks until all in-flight tuples are processed. On the
+// simulation substrate this runs the seeded scheduler to quiescence.
 func (e *Engine) Drain() { e.eng.Drain() }
+
+// VirtualClock returns the engine's virtual clock on the simulation
+// substrate (nil elsewhere). Advance it to fast-forward simulated time
+// — window-expiry and latency behaviour then plays out in microseconds
+// of wall time.
+func (e *Engine) VirtualClock() *VirtualClock { return e.eng.VirtualClock() }
 
 // Failure reports a terminal engine error (e.g. the memory limit).
 func (e *Engine) Failure() error { return e.eng.Failure() }

@@ -328,3 +328,83 @@ func TestFlowSubstrateAPI(t *testing.T) {
 		t.Errorf("credit balance %d, want full grant %d", p.Credits, want)
 	}
 }
+
+func TestSimSubstrateAPI(t *testing.T) {
+	// The deterministic simulation substrate through the public API:
+	// identical results to the synchronous reference, identical schedule
+	// traces on same-seed reruns, different schedules across seeds, and
+	// a working virtual clock.
+	run := func(cfg Config) (int64, []SimEvent, *Engine) {
+		cfg.Workload = "q1: R(a) S(a,b) T(b)"
+		var trace []SimEvent
+		if cfg.Substrate == SubstrateSim {
+			cfg.Sim.OnEvent = func(ev SimEvent) { trace = append(trace, ev) }
+		}
+		eng, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count atomic.Int64
+		eng.OnResult("q1", func(*Tuple) { count.Add(1) })
+		for i := 0; i < 60; i++ {
+			k := Int(int64(i % 5))
+			if err := eng.Ingest("R", Time(3*i), k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("S", Time(3*i+1), k, k); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Ingest("T", Time(3*i+2), k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Drain()
+		return count.Load(), trace, eng
+	}
+	refCount, _, refEng := run(Config{Synchronous: true})
+	refEng.Stop()
+	if refCount == 0 {
+		t.Fatal("no results — test vacuous")
+	}
+	if refEng.VirtualClock() != nil {
+		t.Error("synchronous engine reports a virtual clock")
+	}
+
+	simCfg := Config{Substrate: SubstrateSim, SimSeed: 42, StepMode: true}
+	c1, t1, e1 := run(simCfg)
+	c2, t2, e2 := run(simCfg)
+	if c1 != refCount || c2 != refCount {
+		t.Errorf("sim results %d/%d, synchronous reference %d", c1, c2, refCount)
+	}
+	if len(t1) == 0 || len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same-seed traces diverge at step %d", i)
+		}
+	}
+	if vc := e1.VirtualClock(); vc == nil || vc.Now() == 0 {
+		t.Error("virtual time did not advance")
+	}
+	e1.Stop()
+	e2.Stop()
+
+	c3, t3, e3 := run(Config{Substrate: SubstrateSim, SimSeed: 1, StepMode: true})
+	defer e3.Stop()
+	if c3 != refCount {
+		t.Errorf("seed 1 results %d, reference %d", c3, refCount)
+	}
+	same := len(t3) == len(t1)
+	if same {
+		for i := range t3 {
+			if t3[i] != t1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 42 produced the identical schedule")
+	}
+}

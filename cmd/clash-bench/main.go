@@ -9,6 +9,11 @@
 //	overload   — overload survival across execution substrates: the
 //	             unbounded substrate dies at the memory budget while
 //	             the flow-controlled substrate degrades gracefully
+//	simsweep   — deterministic-schedule sweep: the TPC-H multi-query
+//	             equivalence oracle across -seeds seeded interleavings
+//	             on the simulation substrate, with same-seed replay
+//	             verification and an injected-fault scenario (source
+//	             hiccup under flow control) replayed from its seed
 //	all        — everything (the default)
 //
 // Scale knobs (-sf, -rate, -quick) trade fidelity for wall time; the
@@ -41,6 +46,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
 		seed       = flag.Uint64("seed", 42, "workload seed")
+		seeds      = flag.Int("seeds", 16, "schedule seeds for -fig simsweep")
 		jsonOut    = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
 		compareTo  = flag.String("compare", "", "baseline Fig. 7 JSON (e.g. BENCH_fig7.json): diff this run against it and exit 1 on regressions")
 		regressPct = flag.Float64("regress-pct", 10, "regression threshold for -compare, in percent")
@@ -87,6 +93,9 @@ func main() {
 	}
 	if want("overload") {
 		runOverload(*quick, *seed)
+	}
+	if want("simsweep") {
+		runSimSweep(*seeds, *quick, *seed)
 	}
 	if want("8a") {
 		runFig8('a', *quick, *seed)
@@ -215,6 +224,23 @@ func runOverload(quick bool, seed uint64) {
 		log.Fatal(err)
 	}
 	fmt.Print(bench.FormatOverload(results))
+	fmt.Println()
+}
+
+// runSimSweep drives the deterministic-schedule sweep (DESIGN.md §9)
+// and exits non-zero on any seed that deviates from the oracle, any
+// replay divergence, or a fault scenario that fails to reproduce.
+func runSimSweep(seeds int, quick bool, seed uint64) {
+	cfg := bench.SimSweepConfig{Seeds: seeds, Seed: seed}
+	if quick && cfg.Seeds > 8 {
+		cfg.Seeds = 8
+	}
+	fmt.Printf("=== Sim sweep — TPC-H equivalence oracle across %d seeded schedules ===\n", cfg.Seeds)
+	res, err := bench.SimSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSimSweep(res))
 	fmt.Println()
 }
 

@@ -142,7 +142,11 @@ func (e *Engine) Restore(r io.Reader) error {
 	buf = buf[n:]
 
 	nSchemas, n := binary.Uvarint(buf)
-	if n <= 0 {
+	// A schema costs at least one byte; a count beyond the remaining
+	// input is corrupt, and pre-allocating from it would let a tiny
+	// malformed snapshot demand gigabytes (same class as the
+	// FuzzTupleCodecRoundTrip finding in DecodeSchema).
+	if n <= 0 || nSchemas > uint64(len(buf)-n) {
 		return tuple.ErrCorrupt
 	}
 	buf = buf[n:]

@@ -2,11 +2,12 @@
 // simulator substrate (flow.go, DESIGN.md §8): hash or broadcast
 // routing between store tasks and per-epoch windowed stores with
 // attribute indices (Sec. IV and VI of the paper; the Storm
-// substitution is documented in DESIGN.md). Three substrates share all
+// substitution is documented in DESIGN.md). Four substrates share all
 // store/probe code: synchronous (exact FIFO on the ingesting
 // goroutine), unbounded-async (one goroutine per task, the Fig. 8a
-// buffering behaviour), and flow-controlled (credit-based backpressure
-// over a shared worker pool).
+// buffering behaviour), flow-controlled (credit-based backpressure
+// over a shared worker pool), and deterministic simulation (seeded
+// schedules over a virtual clock, sim.go and DESIGN.md §9).
 package runtime
 
 import (
@@ -51,9 +52,10 @@ type Config struct {
 	// Shorthand for Substrate: SubstrateSynchronous; ignored when
 	// Substrate is set explicitly.
 	Synchronous bool
-	// Substrate selects the execution substrate (flow.go, DESIGN.md §8):
-	// synchronous, unbounded-async (the default), or flow-controlled.
-	// SubstrateAuto defers to the Synchronous flag.
+	// Substrate selects the execution substrate (flow.go, DESIGN.md §8
+	// and §9): synchronous, unbounded-async (the default),
+	// flow-controlled, or deterministic simulation. SubstrateAuto defers
+	// to the Synchronous flag.
 	Substrate SubstrateKind
 	// Flow tunes the flow-controlled substrate (credit grants, worker
 	// count, overload policy); ignored by the other substrates.
@@ -69,6 +71,14 @@ type Config struct {
 	// price of doubling keyed probe fan-out (χ = 2 instead of 1); results
 	// stay exact because probes cover both candidate tasks.
 	TwoChoiceRouting bool
+	// Sim tunes the deterministic simulation substrate (sim.go); ignored
+	// by the other substrates.
+	Sim SimConfig
+	// Clock overrides the engine's time source (latency, lag, and busy
+	// accounting — event time always comes from the tuples). Nil selects
+	// the wall clock, except on SubstrateSim, which defaults to its own
+	// VirtualClock.
+	Clock Clock
 	// Observer, when set, is called for every ingested tuple — the
 	// statistics-gathering tap of Fig. 2 (wire it to a stats.Collector).
 	Observer func(rel string, t *tuple.Tuple)
@@ -113,7 +123,6 @@ func (m *message) tupleCount() int64 {
 	return 0
 }
 
-
 // memSize approximates the message payload bytes.
 func (m *message) memSize() int64 {
 	if m.batch != nil {
@@ -129,16 +138,26 @@ func (m *message) memSize() int64 {
 	return 0
 }
 
-
 // Engine executes topology configurations.
 type Engine struct {
 	cfg     Config
 	metrics *Metrics
+	clock   Clock
 	// sub is the execution substrate (flow.go): message delivery, task
-	// scheduling, and flow control. syncMode mirrors whether sub is the
-	// synchronous substrate (the FIFO queue must be pumped inline).
+	// scheduling, and flow control. syncMode mirrors whether sub is a
+	// single-threaded substrate (the work queue must be pumped inline).
 	sub      substrate
 	syncMode bool
+
+	// Quiesce parking: Drain waits here instead of sleep-polling. A
+	// waiter registers in qWaiters before checking its settle condition
+	// under qMu; notifySettled broadcasts under the same lock, so a
+	// settle landing in the check-to-Wait window blocks on qMu until the
+	// waiter is parked — no lost wakeups, and the lock is untouched
+	// unless someone waits.
+	qMu      sync.Mutex
+	qCond    *sync.Cond
+	qWaiters atomic.Int32
 
 	mu      sync.RWMutex
 	configs []*epochConfig // sorted by fromEpoch ascending
@@ -180,6 +199,7 @@ func New(cfg Config) *Engine {
 		schemas:    map[string]*tuple.Schema{},
 		sinks:      map[string]func(*tuple.Tuple){},
 	}
+	e.qCond = sync.NewCond(&e.qMu)
 	kind := cfg.Substrate
 	if kind == SubstrateAuto {
 		if cfg.Synchronous {
@@ -188,14 +208,29 @@ func New(cfg Config) *Engine {
 			kind = SubstrateUnbounded
 		}
 	}
+	e.clock = cfg.Clock
 	switch kind {
 	case SubstrateSynchronous:
 		e.syncMode = true
 		e.sub = &syncSubstrate{e: e}
 	case SubstrateFlow:
 		e.sub = newFlowSubstrate(e, cfg.Flow)
+	case SubstrateSim:
+		s := newSimSubstrate(e, cfg.Sim)
+		// The simulation substrate owns virtual time: it advances its
+		// clock per dispatched message. A caller-supplied VirtualClock is
+		// adopted (fast-forward from tests); any other Clock would leave
+		// the simulation unable to advance time, so it is ignored.
+		if vc, ok := e.clock.(*VirtualClock); ok {
+			s.vclock = vc
+		}
+		e.clock = s.vclock
+		e.sub = s
 	default:
 		e.sub = &unboundedSubstrate{e: e}
+	}
+	if e.clock == nil {
+		e.clock = wallClock{}
 	}
 	if cfg.Catalog != nil {
 		for _, rel := range cfg.Catalog.Names() {
@@ -219,6 +254,48 @@ func ingestSchema(r *query.Relation) *tuple.Schema {
 
 // Metrics exposes the engine counters.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Clock returns the engine's time source (the VirtualClock on a
+// simulated engine, the wall clock otherwise).
+func (e *Engine) Clock() Clock { return e.clock }
+
+// VirtualClock returns the engine's virtual clock, or nil when the
+// engine runs on real time. Tests use it to fast-forward simulated time.
+func (e *Engine) VirtualClock() *VirtualClock {
+	vc, _ := e.clock.(*VirtualClock)
+	return vc
+}
+
+// waitSettled parks the calling goroutine until settled() holds. The
+// substrates' drain implementations use it instead of sleep-polling:
+// notifySettled wakes the parked waiter as soon as the last in-flight
+// message (or credit repayment) lands, so drains return promptly without
+// burning a CPU on a spin-wait. settled must be monotonic-ish under no
+// concurrent Ingest: once true it stays true, which is exactly the
+// drain contract.
+func (e *Engine) waitSettled(settled func() bool) {
+	if settled() {
+		return
+	}
+	e.qWaiters.Add(1)
+	e.qMu.Lock()
+	for !settled() {
+		e.qCond.Wait()
+	}
+	e.qMu.Unlock()
+	e.qWaiters.Add(-1)
+}
+
+// notifySettled wakes drain waiters. Called on the transitions a drain
+// condition can wait for: the in-flight count reaching zero and the
+// flow substrate's credit pool settling. Lock-free unless someone waits.
+func (e *Engine) notifySettled() {
+	if e.qWaiters.Load() > 0 {
+		e.qMu.Lock()
+		e.qCond.Broadcast()
+		e.qMu.Unlock()
+	}
+}
 
 // OnResult registers a sink callback for a query's results. Callbacks
 // run on task goroutines and must be fast and thread-safe.
@@ -389,7 +466,7 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(rel, t)
 	}
-	wall := time.Now().UnixNano()
+	wall := e.clock.Now()
 
 	// The tuple is processed under its own epoch's configuration: stored
 	// once into its arrival-epoch container, and probing along the
@@ -671,7 +748,9 @@ func (e *Engine) dispatch(t *task, msg *message) {
 		// feeds pressure decisions about data throughput.
 		t.handled.Add(1)
 	}
-	e.inflight.Add(-1)
+	if e.inflight.Add(-1) == 0 {
+		e.notifySettled()
+	}
 }
 
 // dispatchBatch runs one drained batch through dispatch with busy-time
@@ -681,18 +760,18 @@ func (e *Engine) dispatchBatch(t *task, batch []message) {
 	if len(batch) == 0 {
 		return
 	}
-	start := nowNanos()
+	start := e.clock.Now()
 	for i := range batch {
 		e.dispatch(t, &batch[i])
 		batch[i] = message{}
 	}
-	t.busyNanos.Add(nowNanos() - start)
+	t.busyNanos.Add(e.clock.Now() - start)
 }
 
 func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
 	var lat time.Duration
 	if wall > 0 {
-		lat = time.Duration(time.Now().UnixNano() - wall)
+		lat = time.Duration(e.clock.Now() - wall)
 	}
 	e.metrics.recordResult(queryName, lat)
 	e.sinkMu.RLock()
@@ -764,6 +843,15 @@ func (e *Engine) PruneBefore(cut tuple.Time) {
 		tasks = append(tasks, t)
 	}
 	e.mu.RUnlock()
+	// Sorted delivery: prune messages must not inherit the task map's
+	// iteration order, or the schedule (and the simulation substrate's
+	// trace) would differ between identically seeded runs.
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].key.store != tasks[j].key.store {
+			return tasks[i].key.store < tasks[j].key.store
+		}
+		return tasks[i].key.part < tasks[j].key.part
+	})
 	for _, t := range tasks {
 		t.requestPrune(cut)
 	}

@@ -18,12 +18,14 @@ package runtime
 //     decouples topology size from goroutine count. Overload throttles
 //     the source (BlockOnOverload) or drops tuples (ShedOnOverload)
 //     instead of buffering to death.
+//   - simSubstrate (sim.go): deterministic simulation — a seeded
+//     single-threaded scheduler over a virtual clock; one seed, one
+//     exact interleaving.
 
 import (
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // SubstrateKind selects how the engine schedules task work and moves
@@ -47,6 +49,12 @@ const (
 	// sustained overload degrades gracefully (throttle or shed) with
 	// bounded queueing instead of buffering to death.
 	SubstrateFlow
+	// SubstrateSim is the deterministic simulation substrate (sim.go): a
+	// single-threaded seeded scheduler over a virtual clock that picks
+	// the next runnable task pseudo-randomly, so one seed reproduces one
+	// exact interleaving and a seed sweep explores thousands. Feed it
+	// from one goroutine only.
+	SubstrateSim
 )
 
 // OverloadPolicy is what a flow-controlled engine does with an ingested
@@ -317,10 +325,11 @@ func (u *unboundedSubstrate) admit() bool               { return true }
 func (u *unboundedSubstrate) wake()                     {}
 func (u *unboundedSubstrate) stop()                     { u.wg.Wait() }
 
+// drain parks until the in-flight count settles (engine.waitSettled);
+// the last dispatch's decrement-to-zero wakes it. No sleep-polling: a
+// drain against slow consumers costs no CPU while it waits.
 func (u *unboundedSubstrate) drain() {
-	for u.e.inflight.Load() != 0 {
-		time.Sleep(20 * time.Microsecond)
-	}
+	u.e.waitSettled(func() bool { return u.e.inflight.Load() == 0 })
 }
 
 func (u *unboundedSubstrate) runTask(t *task) {
@@ -439,10 +448,17 @@ func (f *flowSubstrate) repay(n int) { f.addCredits(int64(n)) }
 // check-to-Wait window blocks on mu until the waiter is parked — no
 // lost wakeups, and the lock is touched only when someone waits.
 func (f *flowSubstrate) addCredits(n int64) {
-	if f.credits.Add(n) > 0 && f.waiters.Load() > 0 {
+	bal := f.credits.Add(n)
+	if bal > 0 && f.waiters.Load() > 0 {
 		f.mu.Lock()
 		f.cond.Broadcast()
 		f.mu.Unlock()
+	}
+	// A fully repaid pool is the second half of drain's settle condition
+	// (inflight can hit zero before the last repayment lands), so credit
+	// settlement must wake drain waiters too.
+	if bal == f.granted.Load() {
+		f.e.notifySettled()
 	}
 }
 
@@ -478,14 +494,13 @@ func (f *flowSubstrate) admit() bool {
 // workers repay a batch's credits after dispatching it, so inflight
 // can reach zero a moment before the last repayment lands. Waiting for
 // the full grant makes post-drain Pressure readings (and the tests
-// asserting them) deterministic.
+// asserting them) deterministic. The wait parks on the engine's quiesce
+// condition — woken by the inflight-zero transition (Engine.dispatch)
+// and by credit settlement (addCredits) — instead of sleep-polling.
 func (f *flowSubstrate) drain() {
-	for {
-		if f.e.inflight.Load() == 0 && f.credits.Load() == f.granted.Load() {
-			return
-		}
-		time.Sleep(20 * time.Microsecond)
-	}
+	f.e.waitSettled(func() bool {
+		return f.e.inflight.Load() == 0 && f.credits.Load() == f.granted.Load()
+	})
 }
 
 func (f *flowSubstrate) wake() {

@@ -231,8 +231,11 @@ func (e *Engine) Pressure() Pressure {
 		}
 	}
 	e.mu.RUnlock()
-	if f, ok := e.sub.(*flowSubstrate); ok {
-		p.Credits = f.creditsAvailable()
+	switch sub := e.sub.(type) {
+	case *flowSubstrate:
+		p.Credits = sub.creditsAvailable()
+	case *simSubstrate:
+		p.Credits = sub.creditsAvailable()
 	}
 	return p
 }

@@ -1,14 +1,12 @@
 package runtime
 
 import (
+	"sort"
 	"sync/atomic"
-	"time"
 
 	"clash/internal/topology"
 	"clash/internal/tuple"
 )
-
-func nowNanos() int64 { return time.Now().UnixNano() }
 
 const (
 	kindData int8 = iota
@@ -122,7 +120,8 @@ type task struct {
 	store       *topology.Store
 	mailbox     *mailbox // created by the substrate; nil on syncSubstrate
 	containers  map[int64]*container
-	conts       []*container // iteration-order copy of containers' values
+	conts       []*container // containers' values ordered by ascending epoch
+	contEps     []int64      // epochs matching conts, same order
 	storedCount atomic.Int64
 	spin        uint64 // overhead-emulation sink
 
@@ -187,13 +186,21 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 }
 
 // containerFor returns (creating if needed) the container of the epoch,
-// keeping the iteration slice in sync with the map.
+// keeping the iteration slice in sync with the map. conts stays sorted
+// by epoch: probe iteration order must be a function of the data alone,
+// never of Go's randomized map iteration, or identically seeded
+// simulation runs (and their result byte order) would diverge.
 func (t *task) containerFor(ep int64) *container {
 	c := t.containers[ep]
 	if c == nil {
 		c = newContainer()
 		t.containers[ep] = c
-		t.conts = append(t.conts, c)
+		i := sort.Search(len(t.contEps), func(i int) bool { return t.contEps[i] >= ep })
+		t.conts = append(t.conts, nil)
+		t.contEps = append(t.contEps, 0)
+		copy(t.conts[i+1:], t.conts[i:])
+		copy(t.contEps[i+1:], t.contEps[i:])
+		t.conts[i], t.contEps[i] = c, ep
 	}
 	return c
 }
@@ -212,7 +219,7 @@ func (t *task) handle(msg *message) {
 		}
 	}
 	if msg.ingestWall > 0 && t.e.metrics.sampleLag() {
-		t.e.metrics.recordLag(nowNanos() - msg.ingestWall)
+		t.e.metrics.recordLag(t.e.clock.Now() - msg.ingestWall)
 	}
 	t.e.mu.RLock()
 	ec := t.e.configFor(msg.epoch)
@@ -491,7 +498,7 @@ func (t *task) forward(out []emitStep, msg *message, results []*tuple.Tuple) {
 // entirely.
 func (t *task) prune(cut tuple.Time) {
 	dropped := false
-	for ep, c := range t.containers {
+	for i, c := range t.conts {
 		removed, removedBytes, remap := c.prune(cut, t.pruneRemap)
 		t.pruneRemap = remap
 		if removed == 0 {
@@ -501,14 +508,22 @@ func (t *task) prune(cut tuple.Time) {
 		t.e.metrics.stored.Add(int64(-removed))
 		t.e.metrics.storeBytes.Add(-removedBytes)
 		if len(c.entries) == 0 {
-			delete(t.containers, ep)
+			delete(t.containers, t.contEps[i])
 			dropped = true
 		}
 	}
 	if dropped {
-		t.conts = t.conts[:0]
-		for _, c := range t.containers {
-			t.conts = append(t.conts, c)
+		// Compact in place: the epoch-sorted order survives removal.
+		keptC, keptE := t.conts[:0], t.contEps[:0]
+		for i, c := range t.conts {
+			if len(c.entries) != 0 {
+				keptC = append(keptC, c)
+				keptE = append(keptE, t.contEps[i])
+			}
 		}
+		for i := len(keptC); i < len(t.conts); i++ {
+			t.conts[i] = nil
+		}
+		t.conts, t.contEps = keptC, keptE
 	}
 }

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+
+	"clash/internal/runtime"
+)
+
+// base is the shared scenario: a multi-query workload with a shared
+// S–T prefix and windowed relations — enough structure to exercise
+// multi-hop chains, pruning, and partitioned routing.
+func base() Scenario {
+	return Scenario{
+		Workload: "q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)",
+		Window:   40,
+		Stream:   StreamConfig{Tuples: 300, Keys: 5, Seed: 21},
+		Seed:     1,
+		StepMode: true,
+	}
+}
+
+// TestScenarioRunAndVerify: a seeded run computes the exact answer and
+// produces a non-empty schedule trace.
+func TestScenarioRunAndVerify(t *testing.T) {
+	sc := base()
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyExact(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalResults() == 0 {
+		t.Fatal("no results — test vacuous")
+	}
+	if res.Trace.Len() == 0 {
+		t.Fatal("empty schedule trace")
+	}
+}
+
+// TestReplayIsExact: replaying a scenario from its seed reproduces the
+// identical schedule (divergence detection returns -1) and digest.
+func TestReplayIsExact(t *testing.T) {
+	sc := base()
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, at, err := sc.Replay(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at >= 0 {
+		t.Fatalf("replay diverges at step %d:\n%s", at, res.Trace.Format(at, 3))
+	}
+	if res.Trace.Digest() != again.Trace.Digest() {
+		t.Error("identical traces, different digests")
+	}
+}
+
+// TestDivergenceDetection: traces from different seeds must be caught
+// by DivergesAt and produce distinct digests.
+func TestDivergenceDetection(t *testing.T) {
+	sc := base()
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 2
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at := a.Trace.DivergesAt(b.Trace); at < 0 {
+		t.Fatal("seeds 1 and 2 produced the identical schedule — divergence detection vacuous")
+	}
+	if a.Trace.Digest() == b.Trace.Digest() {
+		t.Error("diverging traces share a digest")
+	}
+}
+
+// TestSweepExploresSchedules: a seed sweep stays exact on every seed
+// and actually explores distinct schedules.
+func TestSweepExploresSchedules(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 4
+	}
+	sc := base()
+	distinct, err := sc.Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct < n/2 {
+		t.Errorf("%d seeds produced only %d distinct schedules", n, distinct)
+	}
+}
+
+// TestTaskStallFaultKeepsExactness: a stalled store task delays its
+// work without changing the answer, and the faulted run replays.
+func TestTaskStallFaultKeepsExactness(t *testing.T) {
+	sc := base()
+	sc.Faults = []Fault{TaskStall{Part: -1, Every: 2, Until: 400}}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Stalls() == 0 {
+		t.Fatal("no stalls traced — fault inert")
+	}
+	if err := res.VerifyExact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, at, err := sc.Replay(res); err != nil || at >= 0 {
+		t.Fatalf("fault replay diverged (at=%d err=%v)", at, err)
+	}
+}
+
+// TestSourceHiccupUnderFlowControl is the injected-fault scenario of
+// the acceptance criteria: a source hiccup releases a held burst into a
+// credit-starved engine; under BlockOnOverload the admission gate
+// absorbs it losslessly and the run stays exact over the delivered
+// order — and the whole incident replays from its seed.
+func TestSourceHiccupUnderFlowControl(t *testing.T) {
+	sc := base()
+	sc.Credits = 4
+	sc.Faults = []Fault{SourceHiccup{At: 50, Hold: 80}}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Ingested != int64(len(res.Delivered)) {
+		t.Errorf("admitted %d of %d delivered tuples under BlockOnOverload",
+			res.Metrics.Ingested, len(res.Delivered))
+	}
+	// The hiccup reorders delivery (late data), so the oracle's in-order
+	// precondition is gone; the schedule-independence property is what
+	// must survive any fault: byte-identical results vs the synchronous
+	// substrate over the same delivered stream.
+	if err := sc.VerifySubstrateIndependent(res); err != nil {
+		t.Fatal(err)
+	}
+	// The hiccup genuinely reordered delivery: the burst window moved.
+	plain := base()
+	plainRes, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plainRes.Delivered) != len(res.Delivered) {
+		t.Fatalf("hiccup changed the stream length")
+	}
+	moved := false
+	for i := range res.Delivered {
+		if res.Delivered[i].TS != plainRes.Delivered[i].TS {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("hiccup did not reorder delivery — fault inert")
+	}
+	if _, at, err := sc.Replay(res); err != nil || at >= 0 {
+		t.Fatalf("hiccup replay diverged (at=%d err=%v)", at, err)
+	}
+}
+
+// TestCreditStarvationShedsDeterministically: under ShedOnOverload a
+// starved scenario sheds — and sheds the same tuples on every run.
+func TestCreditStarvationShedsDeterministically(t *testing.T) {
+	sc := base()
+	sc.StepMode = false // backlog only builds free-running
+	sc.Policy = runtime.ShedOnOverload
+	sc.Stream.Tuples = 1500
+	sc.Faults = []Fault{CreditStarvation{Credits: 2}}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.ShedTuples == 0 {
+		t.Fatal("no tuples shed — starvation inert")
+	}
+	if a.Metrics.Ingested+a.Metrics.ShedTuples != int64(len(a.Delivered)) {
+		t.Errorf("admitted %d + shed %d != offered %d",
+			a.Metrics.Ingested, a.Metrics.ShedTuples, len(a.Delivered))
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.ShedTuples != b.Metrics.ShedTuples || a.TotalResults() != b.TotalResults() {
+		t.Errorf("lossy run not deterministic: shed %d/%d results %d/%d",
+			a.Metrics.ShedTuples, b.Metrics.ShedTuples, a.TotalResults(), b.TotalResults())
+	}
+	if at := a.Trace.DivergesAt(b.Trace); at >= 0 {
+		t.Errorf("lossy replay diverges at step %d", at)
+	}
+}

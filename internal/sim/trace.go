@@ -1,0 +1,123 @@
+// Package sim is the reproducible-scenario harness over the runtime's
+// deterministic simulation substrate (DESIGN.md §9): seeded scenarios,
+// schedule traces with record/replay and divergence detection, fault
+// injection (task stalls, source hiccups, credit starvation), and
+// oracle verification. A scenario is fully described by its
+// configuration and two seeds (stream and schedule); anything it ever
+// does — including a bug it finds — is replayed exactly from those.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"clash/internal/runtime"
+)
+
+// Trace is a recorded schedule: the ordered scheduling decisions of one
+// simulated run. Two runs of the same seeded scenario are equivalent
+// iff their traces are identical element-wise.
+type Trace struct {
+	Events []runtime.SimEvent
+}
+
+// Hook returns the OnEvent callback that records into the trace.
+func (t *Trace) Hook() func(runtime.SimEvent) {
+	return func(ev runtime.SimEvent) { t.Events = append(t.Events, ev) }
+}
+
+// Len returns the number of recorded scheduling decisions.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Stalls counts the fault-injected (vetoed) picks in the trace.
+func (t *Trace) Stalls() int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Stalled {
+			n++
+		}
+	}
+	return n
+}
+
+// Digest returns an FNV-1a hash over every event field — a compact
+// schedule fingerprint for logs and sweep summaries. Equal traces have
+// equal digests; a digest mismatch means the schedules diverged.
+func (t *Trace) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	for _, ev := range t.Events {
+		mix(ev.Step)
+		for i := 0; i < len(ev.Store); i++ {
+			h ^= uint64(ev.Store[i])
+			h *= prime64
+		}
+		mix(uint64(ev.Part))
+		mix(uint64(ev.Kind))
+		mix(uint64(ev.Queued))
+		mix(uint64(ev.VNanos))
+		if ev.Stalled {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// DivergesAt returns the first step index at which the two traces
+// differ, or -1 when they are identical (length included).
+func (t *Trace) DivergesAt(o *Trace) int {
+	n := len(t.Events)
+	if len(o.Events) < n {
+		n = len(o.Events)
+	}
+	for i := 0; i < n; i++ {
+		if t.Events[i] != o.Events[i] {
+			return i
+		}
+	}
+	if len(t.Events) != len(o.Events) {
+		return n
+	}
+	return -1
+}
+
+// Format renders a human-readable excerpt of the trace around the given
+// step (for divergence reports); width events on each side.
+func (t *Trace) Format(around, width int) string {
+	var b strings.Builder
+	lo, hi := around-width, around+width+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Events) {
+		hi = len(t.Events)
+	}
+	for _, ev := range t.Events[lo:hi] {
+		mark := " "
+		if int(ev.Step) == around {
+			mark = ">"
+		}
+		kind := "data"
+		switch {
+		case ev.Stalled:
+			kind = "stall"
+		case ev.Kind != 0:
+			kind = "prune"
+		}
+		fmt.Fprintf(&b, "%s step=%-6d %s/%d %-5s queued=%d vt=%dns\n",
+			mark, ev.Step, ev.Store, ev.Part, kind, ev.Queued, ev.VNanos)
+	}
+	return b.String()
+}

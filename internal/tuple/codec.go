@@ -95,13 +95,30 @@ func DecodeSchema(b []byte) (*Schema, []byte, error) {
 		return nil, nil, ErrCorrupt
 	}
 	b = b[sz:]
+	// Never pre-allocate from an unvalidated length prefix: each name
+	// costs at least one byte, so a count beyond the remaining input is
+	// corrupt — without this check a 4-byte input could demand a
+	// multi-gigabyte allocation (found by FuzzTupleCodecRoundTrip).
+	if n > uint64(len(b)) {
+		return nil, nil, ErrCorrupt
+	}
 	names := make([]string, 0, n)
+	seen := make(map[string]bool, n)
 	for i := uint64(0); i < n; i++ {
 		l, sz := binary.Uvarint(b)
 		if sz <= 0 || uint64(len(b)-sz) < l {
 			return nil, nil, ErrCorrupt
 		}
-		names = append(names, string(b[sz:sz+int(l)]))
+		name := string(b[sz : sz+int(l)])
+		// NewSchema panics on duplicate attributes — a programming error
+		// for in-process callers, but decoded input is data, not code:
+		// a corrupt or adversarial encoding must error, never crash
+		// (found by FuzzTupleCodecRoundTrip).
+		if seen[name] {
+			return nil, nil, fmt.Errorf("%w: duplicate attribute %q in schema", ErrCorrupt, name)
+		}
+		seen[name] = true
+		names = append(names, name)
 		b = b[sz+int(l):]
 	}
 	return NewSchema(names...), b, nil
