@@ -90,6 +90,12 @@ type (
 	// OverloadPolicy is the flow substrate's behaviour on exhausted
 	// credit: block the producer or shed the tuple.
 	OverloadPolicy = runtime.OverloadPolicy
+	// StateBackendKind selects the task-store implementation (see
+	// Config.StateBackend).
+	StateBackendKind = runtime.StateBackendKind
+	// StatePolicy is the engine's behaviour when materialized state
+	// exceeds Config.StateLimitBytes: fail or evict oldest epochs.
+	StatePolicy = runtime.StatePolicy
 	// Pressure is the engine's aggregated overload signal.
 	Pressure = runtime.Pressure
 	// TaskGauge is one store task's pressure reading.
@@ -118,6 +124,24 @@ const (
 	BlockOnOverload = runtime.BlockOnOverload
 	// ShedOnOverload drops tuples when credits run out (lossy, live).
 	ShedOnOverload = runtime.ShedOnOverload
+)
+
+// State backends and bounded-memory policies (runtime/state.go,
+// DESIGN.md §10).
+const (
+	// BackendContainer is the default store layout: per-epoch containers
+	// with map-based local indices — the differential oracle.
+	BackendContainer = runtime.BackendContainer
+	// BackendColumnar is the epoch-ring columnar store: flat per-epoch
+	// segments, open-addressed hash indices, int32 posting chains.
+	BackendColumnar = runtime.BackendColumnar
+	// EvictFail terminates the engine with ErrMemoryLimit when
+	// materialized state exceeds StateLimitBytes (the default).
+	EvictFail = runtime.EvictFail
+	// EvictOldestEpoch sheds whole epochs, oldest first, when state
+	// exceeds StateLimitBytes: bounded memory, counted drops, and the
+	// engine stays live.
+	EvictOldestEpoch = runtime.EvictOldestEpoch
 )
 
 // ErrMemoryLimit is the terminal failure of an engine that exceeded
@@ -195,6 +219,20 @@ type Config struct {
 	// MemoryLimitBytes fails the engine when state plus queued messages
 	// exceed it (0 = unlimited).
 	MemoryLimitBytes int64
+	// StateBackend selects the store layout serving every task:
+	// BackendContainer (default) or BackendColumnar. Results are
+	// byte-identical across backends; they differ in speed, memory
+	// footprint, and GC pressure.
+	StateBackend StateBackendKind
+	// StateLimitBytes bounds materialized state — tuple payloads plus
+	// storage structure plus index overhead (0 = unlimited). StatePolicy
+	// decides what happens at the limit.
+	StateLimitBytes int64
+	// StatePolicy selects the behaviour at StateLimitBytes: EvictFail
+	// (terminate, the default) or EvictOldestEpoch (shed whole epochs
+	// oldest-first with counted drops; requires EpochLength > 0 to give
+	// eviction a granularity finer than "everything").
+	StatePolicy StatePolicy
 	// StepMode drains after every ingest: deterministic results, lower
 	// throughput. Meant for tests and examples.
 	StepMode bool
@@ -289,6 +327,9 @@ func Start(cfg Config) (*Engine, error) {
 		DefaultWindow:    cfg.DefaultWindow,
 		EpochLength:      cfg.EpochLength,
 		MemoryLimitBytes: cfg.MemoryLimitBytes,
+		StateBackend:     cfg.StateBackend,
+		StateLimitBytes:  cfg.StateLimitBytes,
+		StatePolicy:      cfg.StatePolicy,
 		StepMode:         cfg.StepMode,
 		Synchronous:      cfg.Synchronous,
 		Substrate:        cfg.Substrate,

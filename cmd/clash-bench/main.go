@@ -13,7 +13,12 @@
 //	             equivalence oracle across -seeds seeded interleavings
 //	             on the simulation substrate, with same-seed replay
 //	             verification and an injected-fault scenario (source
-//	             hiccup under flow control) replayed from its seed
+//	             hiccup under flow control) replayed from its seed;
+//	             -backend selects the state backend of the sim runs
+//	longstate  — state-backend shoot-out on a long-state workload:
+//	             per-backend probe/prune ns+allocs, resident/heap
+//	             bytes, and the bounded-memory eviction stage
+//	             (EvictFail dies, EvictOldestEpoch survives)
 //	all        — everything (the default)
 //
 // Scale knobs (-sf, -rate, -quick) trade fidelity for wall time; the
@@ -41,12 +46,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,all)")
+		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,all)")
 		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		seeds      = flag.Int("seeds", 16, "schedule seeds for -fig simsweep")
+		backendF   = flag.String("backend", "container", "state backend for the -fig simsweep runs (container|columnar)")
 		jsonOut    = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
 		compareTo  = flag.String("compare", "", "baseline Fig. 7 JSON (e.g. BENCH_fig7.json): diff this run against it and exit 1 on regressions")
 		regressPct = flag.Float64("regress-pct", 10, "regression threshold for -compare, in percent")
@@ -54,8 +60,14 @@ func main() {
 	flag.Parse()
 
 	want := func(name string) bool {
-		return *fig == "all" || strings.EqualFold(*fig, name) ||
-			(len(name) > 1 && strings.EqualFold((*fig)[:1], name[:1]) && *fig == name[:1])
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if f == "all" || strings.EqualFold(f, name) ||
+				(len(name) > 1 && strings.EqualFold(f, name[:1])) {
+				return true
+			}
+		}
+		return false
 	}
 
 	// A comparison run must reproduce the baseline's workload: adopt its
@@ -77,25 +89,44 @@ func main() {
 		}
 	}
 
+	backend, err := bench.ParseBackend(*backendF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var series []fig7Series
+	var longstate []bench.LongStateResult
 	if want("7b") || want("7c") || want("7d") || *fig == "7" || *compareTo != "" {
-		series := runFig7(*sf, *quick, *seed)
-		if *jsonOut != "" {
-			if err := writeFig7JSON(*jsonOut, *sf, *seed, series); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("wrote %s", *jsonOut)
+		series = runFig7(*sf, *quick, *seed)
+	}
+	if want("longstate") {
+		longstate = runLongState(*quick, *seed)
+	}
+	if *jsonOut != "" {
+		// A written baseline must always carry the Fig. 7 series the
+		// -compare gate diffs against — a longstate-only write would
+		// silently turn the gate vacuous.
+		if series == nil {
+			log.Fatal("-json requires the Fig. 7 series; run with -fig 7 or -fig 7,longstate")
 		}
-		if *compareTo != "" {
-			if !compareFig7(*compareTo, baseline, series, *regressPct/100) {
-				os.Exit(1)
-			}
+		if longstate == nil {
+			log.Print("note: no -fig longstate in this run — the baseline's longstate section will be absent")
+		}
+		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+	if *compareTo != "" {
+		if !compareFig7(*compareTo, baseline, series, *regressPct/100) {
+			os.Exit(1)
 		}
 	}
 	if want("overload") {
 		runOverload(*quick, *seed)
 	}
 	if want("simsweep") {
-		runSimSweep(*seeds, *quick, *seed)
+		runSimSweep(*seeds, *quick, *seed, backend)
 	}
 	if want("8a") {
 		runFig8('a', *quick, *seed)
@@ -114,7 +145,7 @@ func main() {
 	if want("9f") {
 		runFig9Sizes(*quick, *solveTO, *seed)
 	}
-	if *fig == "all" || strings.EqualFold(*fig, "ablation") {
+	if want("ablation") {
 		runAblations(*quick, *solveTO, *seed)
 	}
 }
@@ -158,9 +189,11 @@ type fig7Result struct {
 	Strategy      string  `json:"strategy"`
 	ThroughputTPS float64 `json:"throughput_tps"`
 	MemoryBytes   int64   `json:"memory_bytes"`
+	IndexBytes    int64   `json:"index_bytes"`
 	AvgLatencyNS  int64   `json:"avg_latency_ns"`
 	ProbeTuples   int64   `json:"probe_tuples"`
 	Results       int64   `json:"results"`
+	EvictedEpochs int64   `json:"evicted_epochs"`
 	Stores        int     `json:"stores"`
 	WallTimeNS    int64   `json:"wall_time_ns"`
 }
@@ -184,9 +217,11 @@ func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
 				Strategy:      string(r.Strategy),
 				ThroughputTPS: r.ThroughputTPS,
 				MemoryBytes:   r.MemoryBytes,
+				IndexBytes:    r.IndexBytes,
 				AvgLatencyNS:  r.AvgLatency.Nanoseconds(),
 				ProbeTuples:   r.ProbeTuples,
 				Results:       r.Results,
+				EvictedEpochs: r.EvictedEpochs,
 				Stores:        r.Stores,
 				WallTimeNS:    r.WallTime.Nanoseconds(),
 			})
@@ -196,13 +231,14 @@ func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
 	return series
 }
 
-func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series) error {
+func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult) error {
 	doc := struct {
-		Figure string       `json:"figure"`
-		SF     float64      `json:"sf"`
-		Seed   uint64       `json:"seed"`
-		Series []fig7Series `json:"series"`
-	}{Figure: "7", SF: sf, Seed: seed, Series: series}
+		Figure    string                  `json:"figure"`
+		SF        float64                 `json:"sf"`
+		Seed      uint64                  `json:"seed"`
+		Series    []fig7Series            `json:"series"`
+		LongState []bench.LongStateResult `json:"longstate,omitempty"`
+	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -227,15 +263,35 @@ func runOverload(quick bool, seed uint64) {
 	fmt.Println()
 }
 
+// runLongState drives the state-backend shoot-out (DESIGN.md §10) on
+// both backends and dies on a vacuous or inconclusive stage (an
+// EvictFail run that survives its budget, a survivor that never
+// evicts).
+func runLongState(quick bool, seed uint64) []bench.LongStateResult {
+	cfg := bench.LongStateConfig{Seed: seed}
+	if quick {
+		cfg.Tuples = 6000
+		cfg.PruneWindow = 1024
+	}
+	fmt.Println("=== Long state — state-backend shoot-out (probe / prune / eviction) ===")
+	results, err := bench.LongState(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatLongState(results))
+	fmt.Println()
+	return results
+}
+
 // runSimSweep drives the deterministic-schedule sweep (DESIGN.md §9)
 // and exits non-zero on any seed that deviates from the oracle, any
 // replay divergence, or a fault scenario that fails to reproduce.
-func runSimSweep(seeds int, quick bool, seed uint64) {
-	cfg := bench.SimSweepConfig{Seeds: seeds, Seed: seed}
+func runSimSweep(seeds int, quick bool, seed uint64, backend bench.StateBackendKind) {
+	cfg := bench.SimSweepConfig{Seeds: seeds, Seed: seed, Backend: backend}
 	if quick && cfg.Seeds > 8 {
 		cfg.Seeds = 8
 	}
-	fmt.Printf("=== Sim sweep — TPC-H equivalence oracle across %d seeded schedules ===\n", cfg.Seeds)
+	fmt.Printf("=== Sim sweep — TPC-H equivalence oracle across %d seeded schedules (%s backend) ===\n", cfg.Seeds, backend)
 	res, err := bench.SimSweep(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -278,6 +334,7 @@ func compareFig7(path string, baseline, current []fig7Series, threshold float64)
 
 	fmt.Printf("=== Comparison against %s (threshold %.0f%%) ===\n", path, threshold*100)
 	regressions := 0
+	compared := 0
 	// worse flags metric regressions: delta is the fractional change in
 	// the "bad" direction (positive = regressed).
 	check := func(queries int, strategy, metric string, delta float64) {
@@ -299,6 +356,7 @@ func compareFig7(path string, baseline, current []fig7Series, threshold float64)
 				fmt.Printf("(no baseline for strategy %s — skipped)\n", r.Strategy)
 				continue
 			}
+			compared++
 			if b.ThroughputTPS > 0 {
 				check(s.Queries, r.Strategy, "throughput", (b.ThroughputTPS-r.ThroughputTPS)/b.ThroughputTPS)
 			}
@@ -313,6 +371,14 @@ func compareFig7(path string, baseline, current []fig7Series, threshold float64)
 				fmt.Printf("REGRESSION  q=%-3d %-5s result count %d -> %d (correctness drift!)\n",
 					s.Queries, r.Strategy, b.Results, r.Results)
 			}
+			// Absolute gate, not a relative one: the Fig. 7 workload
+			// fits in memory, so ANY eviction means the state budget
+			// or its accounting broke.
+			if r.EvictedEpochs != 0 {
+				regressions++
+				fmt.Printf("REGRESSION  q=%-3d %-5s evicted_epochs %d, want 0 (state budget misfiring!)\n",
+					s.Queries, r.Strategy, r.EvictedEpochs)
+			}
 			if b.AvgLatencyNS > 0 {
 				d := float64(r.AvgLatencyNS-b.AvgLatencyNS) / float64(b.AvgLatencyNS)
 				if d > threshold {
@@ -320,6 +386,12 @@ func compareFig7(path string, baseline, current []fig7Series, threshold float64)
 				}
 			}
 		}
+	}
+	// A gate that compared nothing is a broken gate, not a green one
+	// (empty baseline, mismatched query counts, strategy drift).
+	if compared == 0 {
+		fmt.Println("GATE FAILURE: no strategy of the current run found a baseline to compare against")
+		return false
 	}
 	if regressions == 0 {
 		fmt.Println("no regressions")

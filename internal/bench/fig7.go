@@ -82,10 +82,12 @@ func (c *Fig7Config) fill() {
 type Fig7Result struct {
 	Strategy      Strategy
 	ThroughputTPS float64       // Fig. 7b
-	MemoryBytes   int64         // Fig. 7c
+	MemoryBytes   int64         // Fig. 7c — resident state incl. index overhead
+	IndexBytes    int64         // index-overhead portion of MemoryBytes
 	AvgLatency    time.Duration // Fig. 7d
 	ProbeTuples   int64
 	Results       int64
+	EvictedEpochs int64 // must stay 0: the Fig. 7 workload fits in memory
 	Stores        int
 	WallTime      time.Duration
 }
@@ -218,9 +220,11 @@ func runFig7Strategy(s Strategy, plans []*core.Plan, cat *query.Catalog, records
 		Strategy:      s,
 		ThroughputTPS: float64(m.Ingested) / wall.Seconds(),
 		MemoryBytes:   m.StoreBytes,
+		IndexBytes:    m.IndexBytes,
 		AvgLatency:    m.AvgLatency,
 		ProbeTuples:   m.ProbeSent,
 		Results:       m.Results,
+		EvictedEpochs: m.EvictedEpochs,
 		Stores:        len(topo.Stores),
 		WallTime:      wall,
 	}, nil

@@ -1,0 +1,399 @@
+package bench
+
+// Long-state benchmark (DESIGN.md §10): the state-backend shoot-out on
+// a workload where state growth, not CPU, is the bottleneck — a wide
+// window holding tens of thousands of tuples across many epochs, a
+// skewed key distribution (a few hot keys carry long posting lists),
+// and a probe/prune mix dominated by store maintenance. Each backend
+// runs three stages:
+//
+//   probe — a preloaded long-window store is probed with a skewed key
+//           mix (mostly misses, periodic hot hits), measuring ns/op
+//           and allocs/op through testing.Benchmark;
+//   prune — a sliding window advances one tuple at a time over a full
+//           store, measuring the incremental insert+prune cycle. The
+//           container backend rescans every resident entry per prune;
+//           the columnar ring skips segments wholly inside the window
+//           by their min event time and compacts only the boundary;
+//   evict — an unbounded-window stream grows state past a budget set
+//           from the measured resident bytes: under EvictFail the run
+//           must die with ErrMemoryLimit (the seed behaviour), under
+//           EvictOldestEpoch it must survive with counted drops.
+//
+// clash-bench -fig longstate prints the per-backend numbers and -json
+// carries them alongside the Fig. 7 series for tracking across PRs.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	goruntime "runtime"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/rng"
+	"clash/internal/runtime"
+	"clash/internal/stats"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// LongStateConfig parameterizes the long-state scenario.
+type LongStateConfig struct {
+	Tuples      int           // preloaded stored tuples (default 20000)
+	Keys        int64         // key domain (default 512)
+	HotKeys     int64         // keys carrying half the stream (default 8)
+	EpochLength time.Duration // epoch granularity (default 256)
+	PruneWindow time.Duration // sliding window of the prune stage (default 4096)
+	Seed        uint64
+}
+
+func (c *LongStateConfig) fill() {
+	if c.Tuples == 0 {
+		c.Tuples = 20000
+	}
+	if c.Keys == 0 {
+		c.Keys = 512
+	}
+	if c.HotKeys == 0 {
+		c.HotKeys = 8
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = 256
+	}
+	if c.PruneWindow == 0 {
+		c.PruneWindow = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// LongStateResult is one backend's run of all three stages. The json
+// tags shape the -json output tracked across PRs alongside the Fig. 7
+// series.
+type LongStateResult struct {
+	Backend string `json:"backend"`
+
+	// Store footprint after the probe-stage preload.
+	Stored     int64 `json:"stored"`      // resident tuples
+	StateBytes int64 `json:"state_bytes"` // accounted resident bytes (payload+structure+index)
+	IndexBytes int64 `json:"index_bytes"` // index-overhead portion
+	HeapBytes  int64 `json:"heap_bytes"`  // measured heap growth attributable to the store (RSS proxy)
+
+	ProbeNsOp     int64   `json:"probe_ns_op"`     // probe stage: one skewed probe into the long store
+	ProbeAllocsOp int64   `json:"probe_allocs_op"` //
+	ProbeMatches  float64 `json:"probe_matches"`   // join results per probe (non-vacuity)
+
+	PruneNsOp     int64 `json:"prune_ns_op"`     // prune stage: one insert + sliding-window prune cycle
+	PruneAllocsOp int64 `json:"prune_allocs_op"` //
+
+	// Eviction stage (budget = StateBytes/3 of this backend's build).
+	FailDiedAt    int   `json:"fail_died_at"`   // tuple index where EvictFail hit ErrMemoryLimit (-1: never — a failure)
+	EvictSurvived bool  `json:"evict_survived"` // EvictOldestEpoch finished the same stream
+	EvictedEpochs int64 `json:"evicted_epochs"` // epochs shed at the budget
+	EvictedTuples int64 `json:"evicted_tuples"` //
+	EvictResults  int64 `json:"evict_results"`  // results the surviving run still produced
+}
+
+// StateBackendKind re-exports the runtime's backend selector so
+// cmd/clash-bench needs only this package.
+type StateBackendKind = runtime.StateBackendKind
+
+// ParseBackend maps a -backend flag value to a state backend kind.
+func ParseBackend(name string) (runtime.StateBackendKind, error) {
+	switch strings.ToLower(name) {
+	case "", "container":
+		return runtime.BackendContainer, nil
+	case "columnar":
+		return runtime.BackendColumnar, nil
+	}
+	return 0, fmt.Errorf("bench: unknown state backend %q (container|columnar)", name)
+}
+
+// longStateTopo compiles the two-way join deployed in every stage.
+func longStateTopo(parallelism int) ([]*query.Query, *query.Catalog, *topology.Config, error) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	est := stats.NewEstimates(0.05)
+	for _, name := range cat.Names() {
+		est.SetRate(name, 1000)
+	}
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: parallelism}).Optimize(qs, est)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: parallelism})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return qs, cat, topo, nil
+}
+
+// key draws from the skewed stored distribution: half the mass on the
+// hot keys, half uniform over the cold remainder.
+func (c *LongStateConfig) key(r *rng.RNG) int64 {
+	if r.Intn(2) == 0 {
+		return r.Int64n(c.HotKeys)
+	}
+	return c.HotKeys + r.Int64n(c.Keys-c.HotKeys)
+}
+
+func heapInUse() int64 {
+	goruntime.GC()
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// LongState runs all three stages on both backends and reports one
+// result per backend, container first (the baseline).
+func LongState(cfg LongStateConfig) ([]LongStateResult, error) {
+	cfg.fill()
+	var out []LongStateResult
+	for _, backend := range []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar} {
+		r, err := longStateBackend(backend, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: longstate %v: %w", backend, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func longStateBackend(backend runtime.StateBackendKind, cfg LongStateConfig) (LongStateResult, error) {
+	res := LongStateResult{Backend: backend.String(), FailDiedAt: -1}
+
+	// ---- Probe stage: preload a long-window store, probe it skewed.
+	_, cat, topo, err := longStateTopo(1)
+	if err != nil {
+		return res, err
+	}
+	// GC percent up: the benchmark measures the backends' allocation
+	// behaviour, not the collector's pacing on a growing heap.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	heapBefore := heapInUse()
+	eng := runtime.New(runtime.Config{
+		Catalog:       cat,
+		Synchronous:   true,
+		StateBackend:  backend,
+		DefaultWindow: time.Duration(4 * cfg.Tuples), // covers the whole preload span
+		EpochLength:   cfg.EpochLength,
+	})
+	var results int64
+	eng.OnResult("q1", func(*tuple.Tuple) { results++ })
+	if err := eng.Install(topo, 0); err != nil {
+		return res, err
+	}
+	r := rng.New(cfg.Seed)
+	ts := tuple.Time(0)
+	for i := 0; i < cfg.Tuples; i++ {
+		ts++
+		if err := eng.Ingest("R", ts, tuple.IntValue(cfg.key(r))); err != nil {
+			return res, err
+		}
+	}
+	eng.Drain()
+
+	// Warm every segment's R-store index before snapshotting: the
+	// footprint of a long-state store includes its local indices.
+	probeTS := ts
+	miss := cfg.Keys * 4
+	if err := eng.Ingest("S", probeTS, tuple.IntValue(miss)); err != nil {
+		return res, err
+	}
+	eng.Drain()
+	m := eng.Metrics().Snapshot()
+	res.Stored, res.StateBytes, res.IndexBytes = m.Stored, m.StoreBytes, m.IndexBytes
+	res.HeapBytes = heapInUse() - heapBefore
+
+	probeN := 0
+	preResults := results
+	br := testing.Benchmark(func(b *testing.B) {
+		pr := rng.New(cfg.Seed + 1)
+		for i := 0; i < b.N; i++ {
+			// 1-in-8 probes hit the stored skew (long chains on hot
+			// keys); the rest miss — pure index-structure cost.
+			k := miss + pr.Int64n(cfg.Keys)
+			if pr.Intn(8) == 0 {
+				k = cfg.key(pr)
+			}
+			if err := eng.Ingest("S", probeTS, tuple.IntValue(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		probeN += b.N
+	})
+	res.ProbeNsOp = br.NsPerOp()
+	res.ProbeAllocsOp = br.AllocsPerOp()
+	if probeN > 0 {
+		res.ProbeMatches = float64(results-preResults) / float64(probeN)
+	}
+	eng.Stop()
+	if res.ProbeMatches == 0 {
+		return res, fmt.Errorf("probe stage produced no matches — vacuous")
+	}
+
+	// ---- Prune stage: slide a window one tuple at a time.
+	if err := res.pruneStage(backend, cfg); err != nil {
+		return res, err
+	}
+
+	// ---- Eviction stage: budget from the measured resident bytes.
+	return res, res.evictStage(backend, cfg, res.StateBytes/3)
+}
+
+func (res *LongStateResult) pruneStage(backend runtime.StateBackendKind, cfg LongStateConfig) error {
+	_, cat, topo, err := longStateTopo(1)
+	if err != nil {
+		return err
+	}
+	eng := runtime.New(runtime.Config{
+		Catalog:       cat,
+		Synchronous:   true,
+		StateBackend:  backend,
+		DefaultWindow: cfg.PruneWindow,
+		EpochLength:   cfg.EpochLength,
+	})
+	defer eng.Stop()
+	eng.OnResult("q1", func(*tuple.Tuple) {})
+	if err := eng.Install(topo, 0); err != nil {
+		return err
+	}
+	r := rng.New(cfg.Seed + 2)
+	window := tuple.Time(cfg.PruneWindow)
+	ts := tuple.Time(0)
+	ingest := func() error {
+		ts++
+		return eng.Ingest("R", ts, tuple.IntValue(cfg.key(r)))
+	}
+	// Fill the window, build the store-side indices, then warm one
+	// full window of insert+prune cycles so every backing array is at
+	// its high-water mark before timing.
+	for i := tuple.Time(0); i < window; i++ {
+		if err := ingest(); err != nil {
+			return err
+		}
+	}
+	if err := eng.Ingest("S", ts, tuple.IntValue(0)); err != nil {
+		return err
+	}
+	cycle := func() error {
+		if err := ingest(); err != nil {
+			return err
+		}
+		// A periodic miss probe keeps the indices of fresh epochs
+		// live, so prune maintains postings rather than skipping them.
+		if ts%64 == 0 {
+			if err := eng.Ingest("S", ts, tuple.IntValue(cfg.Keys*4)); err != nil {
+				return err
+			}
+		}
+		eng.PruneBefore(ts - window)
+		return nil
+	}
+	for i := tuple.Time(0); i < window; i++ {
+		if err := cycle(); err != nil {
+			return err
+		}
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cycle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.PruneNsOp = br.NsPerOp()
+	res.PruneAllocsOp = br.AllocsPerOp()
+	return nil
+}
+
+// evictStage replays one unbounded-window stream twice under a state
+// budget: EvictFail must die at the wall, EvictOldestEpoch must finish
+// it live with counted drops.
+func (res *LongStateResult) evictStage(backend runtime.StateBackendKind, cfg LongStateConfig, budget int64) error {
+	run := func(policy runtime.StatePolicy) (*runtime.Engine, int, error) {
+		_, cat, topo, err := longStateTopo(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		eng := runtime.New(runtime.Config{
+			Catalog:         cat,
+			Synchronous:     true,
+			StateBackend:    backend,
+			EpochLength:     cfg.EpochLength,
+			StateLimitBytes: budget,
+			StatePolicy:     policy,
+		})
+		var results int64
+		eng.OnResult("q1", func(*tuple.Tuple) { results++ })
+		if err := eng.Install(topo, 0); err != nil {
+			eng.Stop()
+			return nil, 0, err
+		}
+		r := rng.New(cfg.Seed + 3)
+		ts := tuple.Time(0)
+		for i := 0; i < cfg.Tuples; i++ {
+			ts++
+			rel := "R"
+			if i%2 == 1 {
+				rel = "S"
+			}
+			if err := eng.Ingest(rel, ts, tuple.IntValue(r.Int64n(64))); err != nil {
+				eng.Stop()
+				return nil, i, err
+			}
+		}
+		eng.Drain()
+		res.EvictResults = results
+		return eng, -1, nil
+	}
+
+	eng, at, err := run(runtime.EvictFail)
+	if !errors.Is(err, runtime.ErrMemoryLimit) {
+		if eng != nil {
+			eng.Stop()
+		}
+		return fmt.Errorf("EvictFail survived the %d-byte budget (err=%v) — scenario too weak", budget, err)
+	}
+	res.FailDiedAt = at
+
+	eng, _, err = run(runtime.EvictOldestEpoch)
+	if err != nil {
+		return fmt.Errorf("EvictOldestEpoch died: %w", err)
+	}
+	defer eng.Stop()
+	m := eng.Metrics().Snapshot()
+	res.EvictSurvived = true
+	res.EvictedEpochs, res.EvictedTuples = m.EvictedEpochs, m.EvictedTuples
+	if res.EvictedEpochs == 0 {
+		return fmt.Errorf("EvictOldestEpoch survived without evicting — scenario too weak")
+	}
+	return nil
+}
+
+// FormatLongState renders the shoot-out, container baseline first.
+func FormatLongState(results []LongStateResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %12s %10s %12s %10s %9s\n",
+		"backend", "stored", "state MiB", "index MiB", "heap MiB", "probe ns", "probe alloc", "prune ns", "prune alloc")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %10d %12.2f %12.2f %12.2f %10d %12d %10d %9d\n",
+			r.Backend, r.Stored,
+			float64(r.StateBytes)/(1<<20), float64(r.IndexBytes)/(1<<20), float64(r.HeapBytes)/(1<<20),
+			r.ProbeNsOp, r.ProbeAllocsOp, r.PruneNsOp, r.PruneAllocsOp)
+	}
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s eviction: EvictFail died at tuple %d; EvictOldestEpoch survived=%v shed %d epochs / %d tuples, %d results\n",
+			r.Backend, r.FailDiedAt, r.EvictSurvived, r.EvictedEpochs, r.EvictedTuples, r.EvictResults)
+	}
+	return b.String()
+}

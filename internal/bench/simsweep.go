@@ -24,6 +24,10 @@ type SimSweepConfig struct {
 	SF    float64 // TPC-H scale factor (default 0.0002 — sweep scale)
 	Seeds int     // schedule seeds to explore (default 16)
 	Seed  uint64  // workload/data seed (default 42)
+	// Backend selects the state backend of the simulated runs; the
+	// oracle stays on the default container backend, so a columnar
+	// sweep also proves cross-backend equivalence seed by seed.
+	Backend runtime.StateBackendKind
 }
 
 func (c *SimSweepConfig) fill() {
@@ -40,6 +44,7 @@ func (c *SimSweepConfig) fill() {
 
 // SimSweepResult summarizes one sweep.
 type SimSweepResult struct {
+	Backend           string
 	Seeds             int   // seeds swept, all equivalent to the oracle
 	Records           int   // TPC-H records per run
 	OracleResults     int64 // join results of the exact oracle run
@@ -61,6 +66,7 @@ type SimSweepResult struct {
 func SimSweep(cfg SimSweepConfig) (SimSweepResult, error) {
 	cfg.fill()
 	var res SimSweepResult
+	res.Backend = cfg.Backend.String()
 
 	queries := tpch.Fig7Queries()
 	cat := tpch.Catalog()
@@ -128,7 +134,7 @@ func SimSweep(cfg SimSweepConfig) (SimSweepResult, error) {
 	for seed := 1; seed <= cfg.Seeds; seed++ {
 		trace := &sim.Trace{}
 		simCfg := runtime.Config{Substrate: runtime.SubstrateSim, StepMode: true,
-			Sim: runtime.SimConfig{Seed: uint64(seed)}}
+			StateBackend: cfg.Backend, Sim: runtime.SimConfig{Seed: uint64(seed)}}
 		got, _, err := run(simCfg, trace.Hook())
 		if err != nil {
 			return res, fmt.Errorf("bench: seed %d: %w", seed, err)
@@ -165,6 +171,7 @@ func SimSweep(cfg SimSweepConfig) (SimSweepResult, error) {
 		Workload: "q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)",
 		Window:   40 * time.Nanosecond,
 		Stream:   sim.StreamConfig{Tuples: 500, Keys: 5, Seed: cfg.Seed},
+		Backend:  cfg.Backend,
 		Seed:     res.FaultSeed,
 		Credits:  4,
 		StepMode: true,
@@ -212,6 +219,7 @@ func canonicalMultiset(s *runtime.CollectSink) string {
 // FormatSimSweep renders the sweep summary.
 func FormatSimSweep(r SimSweepResult) string {
 	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %s\n", "state backend", r.Backend)
 	fmt.Fprintf(&sb, "%-28s %d\n", "seeds swept (all exact)", r.Seeds)
 	fmt.Fprintf(&sb, "%-28s %d\n", "records per run", r.Records)
 	fmt.Fprintf(&sb, "%-28s %d\n", "oracle join results", r.OracleResults)

@@ -342,6 +342,14 @@ func (c *Controller) reoptimizeLocked(epoch int64) error {
 	if err := c.eng.Install(topo, epoch); err != nil {
 		return err
 	}
+	// State migration on rewiring: stores that just left every installed
+	// configuration (query expiry, plan changes) release their
+	// materialized state — unreachable by any probe, it would only burn
+	// the state budget. Skipped on the very first install (nothing can
+	// be stale yet).
+	if c.reoptims > 0 {
+		c.eng.RetireAbsentStores()
+	}
 	c.lastSig = sig
 	if c.cfg.OnDecision != nil {
 		c.cfg.OnDecision(epoch, plans, warming)

@@ -11,11 +11,17 @@ import (
 )
 
 // Checkpointing serializes the engine's materialized store state — every
-// task's per-epoch containers — so a restarted process can resume
+// task's per-epoch tuple history — so a restarted process can resume
 // answering with its windowed history intact instead of waiting a full
 // window for completeness (the bootstrap problem of Sec. VI-B, Fig. 6).
 // The format is a self-contained binary snapshot: a schema table (joined
 // tuples share schemas, encoded once) followed by per-task entry lists.
+//
+// The format is backend-agnostic: state is walked through the
+// stateBackend interface in deterministic order (epoch-ascending,
+// storage order within an epoch), so a snapshot taken on one backend
+// restores onto any other — and two engines that ingested the same
+// stream produce byte-identical snapshots regardless of backend.
 //
 // Checkpoint and Restore require a quiesced engine: call Drain first and
 // do not Ingest concurrently. Restore must run after Install on an
@@ -70,10 +76,8 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	// First pass assigns IDs in deterministic order.
 	for _, k := range keys {
 		t := e.tasks[k]
-		for _, ep := range sortedEpochs(t.containers) {
-			for _, en := range t.containers[ep].entries {
-				idOf(en.t.Schema)
-			}
+		for _, ep := range t.state.epochs() {
+			t.state.forEach(ep, func(tp *tuple.Tuple, _ uint64) { idOf(tp.Schema) })
 		}
 	}
 
@@ -91,30 +95,20 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		buf = binary.AppendUvarint(buf, uint64(len(k.store)))
 		buf = append(buf, k.store...)
 		buf = binary.AppendUvarint(buf, uint64(k.part))
-		eps := sortedEpochs(t.containers)
+		eps := t.state.epochs()
 		buf = binary.AppendUvarint(buf, uint64(len(eps)))
 		for _, ep := range eps {
-			c := t.containers[ep]
 			buf = binary.AppendVarint(buf, ep)
-			buf = binary.AppendUvarint(buf, uint64(len(c.entries)))
-			for _, en := range c.entries {
-				buf = binary.AppendUvarint(buf, uint64(idOf(en.t.Schema)))
-				buf = binary.AppendUvarint(buf, en.seq)
-				buf = tuple.AppendTuple(buf, en.t)
-			}
+			buf = binary.AppendUvarint(buf, uint64(t.state.epochLen(ep)))
+			t.state.forEach(ep, func(tp *tuple.Tuple, seq uint64) {
+				buf = binary.AppendUvarint(buf, uint64(idOf(tp.Schema)))
+				buf = binary.AppendUvarint(buf, seq)
+				buf = tuple.AppendTuple(buf, tp)
+			})
 		}
 	}
 	_, err := w.Write(buf)
 	return err
-}
-
-func sortedEpochs(cs map[int64]*container) []int64 {
-	eps := make([]int64, 0, len(cs))
-	for ep := range cs {
-		eps = append(eps, ep)
-	}
-	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
-	return eps
 }
 
 // Restore loads a snapshot produced by Checkpoint into this engine.
@@ -215,10 +209,10 @@ func (e *Engine) Restore(r io.Reader) error {
 				if t == nil {
 					return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
 				}
-				t.containerFor(ep).add(entry{t: tp, seq: eseq})
+				delta, idxDelta := t.state.insert(tp, eseq, ep)
 				t.storedCount.Add(1)
 				e.metrics.stored.Add(1)
-				e.metrics.storeBytes.Add(int64(tp.MemSize()))
+				t.accountState(delta, idxDelta)
 			}
 		}
 	}

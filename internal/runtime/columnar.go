@@ -1,0 +1,438 @@
+package runtime
+
+// columnarState is the epoch-ring columnar state backend (DESIGN.md
+// §10). Where the seed container design keeps per-epoch []entry slices
+// indexed by map[string]map[Value][]int — two map levels and one
+// posting slice per distinct key, all individually heap-allocated and
+// GC-scanned — the columnar layout stores one segment per epoch as flat
+// parallel columns (tuple pointer, sequence number, event time) with
+// open-addressed uint64-hash indices whose posting lists are int32
+// chains threaded through a single flat array. Consequences:
+//
+//   - insert appends to three columns and pushes one chain head per
+//     index: no map writes, no per-key slice growth;
+//   - probe walks a chain of int32 row ids: the index is a candidate
+//     filter bucketed by 64-bit hash, and the probe visitor re-checks
+//     the indexed predicate by value (state.go's index contract);
+//   - prune drops whole expired epochs off the ring in O(1), skips
+//     segments wholly inside the window via their min event time, and
+//     compacts only the boundary segment (in-epoch remap) with an
+//     index rebuild that reuses every backing array;
+//   - eviction (EvictOldestEpoch) is a ring pop.
+//
+// Iteration is deterministic: segments ascend by epoch, chains follow
+// insertion order within a segment (rows append at the chain tail,
+// matching the container backend's posting lists) — a pure function of
+// the insert/prune history, never of Go map order.
+
+import (
+	"clash/internal/tuple"
+)
+
+// Structural cost estimates (bytes) for the columnar accounting.
+const (
+	colSegBase = 128 // segment struct + column slice headers + index map
+	colIdxBase = 96  // colIndex struct + position cache
+	colRowCost = 24  // three column slots: *Tuple + uint64 + int64
+)
+
+// colHash hashes a value for the columnar index. It only needs to be
+// self-consistent within the index (unlike Value.Hash, which pins
+// partition routing), so scalar kinds take a cheap splitmix64 finalizer
+// instead of byte-wise FNV.
+func colHash(v tuple.Value) uint64 {
+	if v.Kind() == tuple.String {
+		return v.Hash()
+	}
+	x := uint64(v.Int()) ^ uint64(v.Kind())<<56
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// colIndex is one local index of a segment: an open-addressed hash
+// table from value hash to the head of an int32 row chain. Rows whose
+// schema lacks the attribute are never linked. Chains are exact per
+// 64-bit hash; distinct values colliding on the full hash share a
+// chain and are separated by the visitor's value re-check.
+type colIndex struct {
+	attr   string
+	heads  []int32  // power-of-two table: first row of the chain, -1 empty
+	tails  []int32  // last row of the chain (append point)
+	hashes []uint64 // hash occupying each slot
+	used   int      // occupied slots
+	next   []int32  // per row: next row in the same chain, -1 end
+
+	// Schema → column position of attr, monomorphic inline slot over a
+	// map fallback (stored schemas are almost always stable per store).
+	lastSch  *tuple.Schema
+	lastPos  int
+	posCache map[*tuple.Schema]int
+}
+
+func newColIndex(attr string) *colIndex {
+	ix := &colIndex{attr: attr, lastPos: -1}
+	return ix
+}
+
+func (ix *colIndex) resident() int64 {
+	return colIdxBase + int64(cap(ix.heads)+cap(ix.tails))*4 + int64(cap(ix.hashes))*8 +
+		int64(cap(ix.next))*4 + int64(len(ix.posCache))*16
+}
+
+// posFor resolves the attribute's column position in the schema.
+func (ix *colIndex) posFor(s *tuple.Schema) int {
+	if s == ix.lastSch {
+		return ix.lastPos
+	}
+	p, ok := ix.posCache[s]
+	if !ok {
+		p = s.Index(ix.attr)
+		if ix.posCache == nil {
+			ix.posCache = make(map[*tuple.Schema]int, 2)
+		}
+		ix.posCache[s] = p
+	}
+	ix.lastSch, ix.lastPos = s, p
+	return p
+}
+
+// find returns the slot holding hash h, or ok=false on a miss.
+func (ix *colIndex) find(h uint64) (int, bool) {
+	n := len(ix.heads)
+	if n == 0 {
+		return 0, false
+	}
+	mask := uint64(n - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		if ix.heads[i] < 0 {
+			return 0, false
+		}
+		if ix.hashes[i] == h {
+			return int(i), true
+		}
+	}
+}
+
+// addRow appends the row to its chain's tail — chains keep insertion
+// order, matching the container backend's posting lists exactly, so
+// probe-result order (and everything downstream of it, including
+// checkpoint bytes) is backend-independent. The table grows at 3/4
+// load.
+func (ix *colIndex) addRow(tp *tuple.Tuple, row int32) {
+	pos := ix.posFor(tp.Schema)
+	if pos < 0 {
+		ix.next = append(ix.next, -1)
+		return
+	}
+	h := colHash(tp.At(pos))
+	if 4*(ix.used+1) > 3*len(ix.heads) {
+		ix.grow()
+	}
+	mask := uint64(len(ix.heads) - 1)
+	i := h & mask
+	for ix.heads[i] >= 0 && ix.hashes[i] != h {
+		i = (i + 1) & mask
+	}
+	ix.next = append(ix.next, -1)
+	if ix.heads[i] < 0 {
+		ix.used++
+		ix.hashes[i] = h
+		ix.heads[i] = row
+	} else {
+		ix.next[ix.tails[i]] = row
+	}
+	ix.tails[i] = row
+}
+
+// grow doubles the table, re-placing chain heads and tails by their
+// stored slot hashes — chains themselves are untouched.
+func (ix *colIndex) grow() {
+	n := len(ix.heads) * 2
+	if n < 16 {
+		n = 16
+	}
+	oldHeads, oldTails, oldHashes := ix.heads, ix.tails, ix.hashes
+	ix.heads = make([]int32, n)
+	ix.tails = make([]int32, n)
+	ix.hashes = make([]uint64, n)
+	for i := range ix.heads {
+		ix.heads[i] = -1
+	}
+	mask := uint64(n - 1)
+	for i, head := range oldHeads {
+		if head < 0 {
+			continue
+		}
+		h := oldHashes[i]
+		j := h & mask
+		for ix.heads[j] >= 0 {
+			j = (j + 1) & mask
+		}
+		ix.heads[j] = head
+		ix.tails[j] = oldTails[i]
+		ix.hashes[j] = h
+	}
+}
+
+// reset empties the table and chains, keeping every backing array.
+func (ix *colIndex) reset() {
+	for i := range ix.heads {
+		ix.heads[i] = -1
+	}
+	ix.used = 0
+	ix.next = ix.next[:0]
+}
+
+// colSegment is one epoch's flat storage: parallel columns plus the
+// segment's local indices.
+type colSegment struct {
+	epoch   int64
+	tups    []*tuple.Tuple
+	seqs    []uint64
+	ts      []int64 // event times, so prune never dereferences tuples
+	payload int64   // Σ tuple.MemSize
+	minTS   int64
+	maxTS   int64
+	indices map[string]*colIndex
+
+	// Monomorphic index lookup: probes on a task use one attribute in
+	// the overwhelming majority of deployments.
+	lastAttr string
+	lastIdx  *colIndex
+}
+
+func newColSegment(ep int64) *colSegment {
+	return &colSegment{epoch: ep, minTS: int64(^uint64(0) >> 1), maxTS: int64(-1) << 62}
+}
+
+func (s *colSegment) resident() int64 {
+	b := colSegBase + s.payload + int64(cap(s.tups)+cap(s.seqs)+cap(s.ts))*8
+	return b + s.idxResident()
+}
+
+func (s *colSegment) idxResident() int64 {
+	var b int64
+	for _, ix := range s.indices {
+		b += ix.resident()
+	}
+	return b
+}
+
+func (s *colSegment) add(tp *tuple.Tuple, seq uint64) {
+	row := int32(len(s.tups))
+	s.tups = append(s.tups, tp)
+	s.seqs = append(s.seqs, seq)
+	t := int64(tp.TS)
+	s.ts = append(s.ts, t)
+	if t < s.minTS {
+		s.minTS = t
+	}
+	if t > s.maxTS {
+		s.maxTS = t
+	}
+	s.payload += int64(tp.MemSize())
+	for _, ix := range s.indices {
+		ix.addRow(tp, row)
+	}
+}
+
+// indexFor returns (building on first use) the index over the attribute.
+func (s *colSegment) indexFor(attr string) (ix *colIndex, built bool) {
+	if attr == s.lastAttr && s.lastIdx != nil {
+		return s.lastIdx, false
+	}
+	ix = s.indices[attr]
+	if ix == nil {
+		ix = newColIndex(attr)
+		for row := range s.tups {
+			ix.addRow(s.tups[row], int32(row))
+		}
+		if s.indices == nil {
+			s.indices = make(map[string]*colIndex, 2)
+		}
+		s.indices[attr] = ix
+		built = true
+	}
+	s.lastAttr, s.lastIdx = attr, ix
+	return ix, built
+}
+
+// compact drops rows with event time below the cutoff, rebuilding the
+// indices over the surviving rows with their arrays reused.
+func (s *colSegment) compact(cut int64) (removed int) {
+	kept := 0
+	minTS, maxTS := int64(^uint64(0)>>1), int64(-1)<<62
+	for i := 0; i < len(s.tups); i++ {
+		if s.ts[i] < cut {
+			s.payload -= int64(s.tups[i].MemSize())
+			continue
+		}
+		s.tups[kept] = s.tups[i]
+		s.seqs[kept] = s.seqs[i]
+		s.ts[kept] = s.ts[i]
+		if s.ts[kept] < minTS {
+			minTS = s.ts[kept]
+		}
+		if s.ts[kept] > maxTS {
+			maxTS = s.ts[kept]
+		}
+		kept++
+	}
+	removed = len(s.tups) - kept
+	if removed == 0 {
+		return 0
+	}
+	for i := kept; i < len(s.tups); i++ {
+		s.tups[i] = nil // dropped tuples must be collectable
+	}
+	s.tups = s.tups[:kept]
+	s.seqs = s.seqs[:kept]
+	s.ts = s.ts[:kept]
+	s.minTS, s.maxTS = minTS, maxTS
+	for _, ix := range s.indices {
+		ix.reset()
+		for row := range s.tups {
+			ix.addRow(s.tups[row], int32(row))
+		}
+	}
+	return removed
+}
+
+// columnarState implements stateBackend over an epoch-sorted ring of
+// columnar segments (the ring bookkeeping is state.go's epochRing).
+type columnarState struct {
+	ring epochRing[colSegment]
+	n    int64
+}
+
+func newColumnarState() *columnarState {
+	return &columnarState{ring: newEpochRing[colSegment]()}
+}
+
+func (c *columnarState) insert(tp *tuple.Tuple, seq uint64, epoch int64) (delta, idxDelta int64) {
+	// A segment created by this insert is charged in full (before=0).
+	var before, idxBefore int64
+	s, created := c.ring.at(epoch, newColSegment)
+	if !created {
+		before, idxBefore = s.resident(), s.idxResident()
+	}
+	s.add(tp, seq)
+	c.n++
+	return s.resident() - before, s.idxResident() - idxBefore
+}
+
+func (c *columnarState) probeScan(attr string, v tuple.Value, mv matchVisitor) (idxDelta int64) {
+	h := colHash(v)
+	for _, s := range c.ring.vals {
+		ix, built := s.indexFor(attr)
+		if built {
+			idxDelta += ix.resident()
+		}
+		if slot, ok := ix.find(h); ok {
+			for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+				mv.visit(s.tups[row], s.seqs[row])
+			}
+		}
+	}
+	return idxDelta
+}
+
+func (c *columnarState) prune(cut tuple.Time) (removed int, delta, idxDelta int64) {
+	w := int64(cut)
+	dropped := false
+	for i, s := range c.ring.vals {
+		if s.minTS >= w {
+			continue // wholly inside the window: untouched
+		}
+		if s.maxTS < w {
+			// Wholly expired: the segment leaves the ring.
+			removed += len(s.tups)
+			c.n -= int64(len(s.tups))
+			delta -= s.resident()
+			idxDelta -= s.idxResident()
+			c.ring.drop(i)
+			dropped = true
+			continue
+		}
+		// Boundary segment: in-epoch remap.
+		before, idxBefore := s.resident(), s.idxResident()
+		r := s.compact(w)
+		if r == 0 {
+			continue
+		}
+		removed += r
+		c.n -= int64(r)
+		if len(s.tups) == 0 {
+			delta -= before
+			idxDelta -= idxBefore
+			c.ring.drop(i)
+			dropped = true
+			continue
+		}
+		delta += s.resident() - before
+		idxDelta += s.idxResident() - idxBefore
+	}
+	if dropped {
+		c.ring.compact()
+	}
+	return removed, delta, idxDelta
+}
+
+func (c *columnarState) epochs() []int64 { return c.ring.eps }
+
+func (c *columnarState) epochLen(epoch int64) int {
+	if s := c.ring.get(epoch); s != nil {
+		return len(s.tups)
+	}
+	return 0
+}
+
+func (c *columnarState) forEach(epoch int64, fn func(tp *tuple.Tuple, seq uint64)) {
+	s := c.ring.get(epoch)
+	if s == nil {
+		return
+	}
+	for i := range s.tups {
+		fn(s.tups[i], s.seqs[i])
+	}
+}
+
+func (c *columnarState) dropOldest() (epoch int64, removed int, delta, idxDelta int64, ok bool) {
+	ep, s, ok := c.ring.dropHead()
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	removed = len(s.tups)
+	c.n -= int64(removed)
+	return ep, removed, -s.resident(), -s.idxResident(), true
+}
+
+func (c *columnarState) clear() (removed int, delta, idxDelta int64) {
+	for _, s := range c.ring.vals {
+		removed += len(s.tups)
+		delta -= s.resident()
+		idxDelta -= s.idxResident()
+	}
+	c.ring.clear()
+	c.n = 0
+	return removed, delta, idxDelta
+}
+
+func (c *columnarState) bytes() int64 {
+	var b int64
+	for _, s := range c.ring.vals {
+		b += s.resident()
+	}
+	return b
+}
+
+func (c *columnarState) indexBytes() int64 {
+	var b int64
+	for _, s := range c.ring.vals {
+		b += s.idxResident()
+	}
+	return b
+}

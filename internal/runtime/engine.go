@@ -37,6 +37,18 @@ type Config struct {
 	// queued messages exceed it (0 = unlimited). The Fig. 8a static
 	// strategy dies this way.
 	MemoryLimitBytes int64
+	// StateBackend selects the task-store implementation (state.go,
+	// DESIGN.md §10): the seed per-epoch container design (default,
+	// the differential oracle) or the epoch-ring columnar store.
+	StateBackend StateBackendKind
+	// StateLimitBytes bounds materialized state (payload, structure,
+	// and index overhead; 0 = unlimited). What happens at the limit is
+	// StatePolicy's call.
+	StateLimitBytes int64
+	// StatePolicy selects the behaviour when StateLimitBytes is
+	// exceeded: fail the engine (EvictFail, the default) or shed whole
+	// epochs oldest-first with counted drops (EvictOldestEpoch).
+	StatePolicy StatePolicy
 	// StepMode drains the topology after every ingested tuple, giving
 	// deterministic symmetric-join semantics for correctness tests.
 	StepMode bool
@@ -739,9 +751,12 @@ func (e *Engine) send(k taskKey, msg message) {
 // dispatch handles one delivered message on its task — the single
 // per-message execution path shared by every substrate (flow.go).
 func (e *Engine) dispatch(t *task, msg *message) {
-	if msg.kind == kindPrune {
+	switch msg.kind {
+	case kindPrune:
 		t.prune(tuple.Time(msg.epoch))
-	} else {
+	case kindRetire:
+		t.clearState()
+	default:
 		e.queuedBytes.Add(-msg.memSize())
 		t.handle(msg)
 		// Prune housekeeping stays out of the load gauge: Handled
@@ -854,6 +869,47 @@ func (e *Engine) PruneBefore(cut tuple.Time) {
 	})
 	for _, t := range tasks {
 		t.requestPrune(cut)
+	}
+	if e.syncMode {
+		e.Drain()
+	}
+}
+
+// RetireAbsentStores releases the materialized state of every store
+// that is absent from ALL installed configurations — no present or
+// future probe can reach it, so keeping it only burns the state budget.
+// The adaptive controller calls this after each rewiring (query expiry
+// drops stores by reference counting, Sec. VI-B); a store re-introduced
+// later starts cold and warms up like any new store. Retirement runs on
+// each task's own execution context (a kindRetire message), delivered
+// in sorted task order so seeded simulation schedules stay stable.
+func (e *Engine) RetireAbsentStores() {
+	e.mu.RLock()
+	live := map[topology.StoreID]bool{}
+	for _, ec := range e.configs {
+		for id := range ec.topo.Stores {
+			live[id] = true
+		}
+	}
+	var retire []*task
+	for k, t := range e.tasks {
+		if !live[k.store] && t.storedCount.Load() > 0 {
+			retire = append(retire, t)
+		}
+	}
+	e.mu.RUnlock()
+	if len(retire) == 0 {
+		return
+	}
+	sort.Slice(retire, func(i, j int) bool {
+		if retire[i].key.store != retire[j].key.store {
+			return retire[i].key.store < retire[j].key.store
+		}
+		return retire[i].key.part < retire[j].key.part
+	})
+	for _, t := range retire {
+		e.inflight.Add(1)
+		e.sub.send(t, message{kind: kindRetire})
 	}
 	if e.syncMode {
 		e.Drain()

@@ -17,9 +17,16 @@ type Metrics struct {
 	probeSent  atomic.Int64 // tuples sent between tasks (the paper's probe cost)
 	messages   atomic.Int64 // messaging events (broadcast counts once per task)
 	stored     atomic.Int64 // tuples currently materialized across stores
-	storeBytes atomic.Int64 // approximate bytes materialized
+	storeBytes atomic.Int64 // resident state bytes incl. index overhead
+	indexBytes atomic.Int64 // index-overhead portion of storeBytes
 	results    atomic.Int64 // join results emitted across all queries
 	shed       atomic.Int64 // tuples dropped at the flow-control admission gate
+
+	// Bounded-memory policy counters (Config.StateLimitBytes with
+	// EvictOldestEpoch) and store retirement.
+	evictedEpochs atomic.Int64 // whole epochs shed at the state budget
+	evictedTuples atomic.Int64 // tuples those epochs carried
+	retiredTuples atomic.Int64 // tuples released by store retirement
 
 	mu        sync.Mutex
 	byQuery   map[string]int64
@@ -79,16 +86,26 @@ func (m *Metrics) recordResult(queryName string, latency time.Duration) {
 
 // Snapshot is a point-in-time copy of the metrics.
 type Snapshot struct {
-	Ingested   int64
-	ProbeSent  int64
-	Messages   int64
-	Stored     int64
+	Ingested  int64
+	ProbeSent int64
+	Messages  int64
+	Stored    int64
+	// StoreBytes is the resident materialized-state footprint: tuple
+	// payloads plus storage structure plus index overhead (the seed
+	// accounting ignored indices; IndexBytes is that portion).
 	StoreBytes int64
-	Results    int64
-	ByQuery    map[string]int64
-	AvgLatency time.Duration
-	MaxLatency time.Duration
-	LatCount   int64
+	IndexBytes int64
+	// EvictedEpochs/EvictedTuples count bounded-memory drops under
+	// StateLimitBytes with EvictOldestEpoch; RetiredTuples counts state
+	// released when a store left every installed configuration.
+	EvictedEpochs int64
+	EvictedTuples int64
+	RetiredTuples int64
+	Results       int64
+	ByQuery       map[string]int64
+	AvgLatency    time.Duration
+	MaxLatency    time.Duration
+	LatCount      int64
 	// AvgLag is the sampled ingest-to-handling delay of tuple messages,
 	// the per-tuple latency the paper's Fig. 8 plots (it rises with
 	// buffering even when no results are produced).
@@ -114,19 +131,23 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Unlock()
 	avgLag, lagN := m.avgLag()
 	return Snapshot{
-		AvgLag:     avgLag,
-		LagCount:   lagN,
-		ShedTuples: m.shed.Load(),
-		Ingested:   m.ingested.Load(),
-		ProbeSent:  m.probeSent.Load(),
-		Messages:   m.messages.Load(),
-		Stored:     m.stored.Load(),
-		StoreBytes: m.storeBytes.Load(),
-		Results:    m.results.Load(),
-		ByQuery:    byQ,
-		AvgLatency: avg,
-		MaxLatency: latMax,
-		LatCount:   latCount,
+		AvgLag:        avgLag,
+		LagCount:      lagN,
+		ShedTuples:    m.shed.Load(),
+		Ingested:      m.ingested.Load(),
+		ProbeSent:     m.probeSent.Load(),
+		Messages:      m.messages.Load(),
+		Stored:        m.stored.Load(),
+		StoreBytes:    m.storeBytes.Load(),
+		IndexBytes:    m.indexBytes.Load(),
+		EvictedEpochs: m.evictedEpochs.Load(),
+		EvictedTuples: m.evictedTuples.Load(),
+		RetiredTuples: m.retiredTuples.Load(),
+		Results:       m.results.Load(),
+		ByQuery:       byQ,
+		AvgLatency:    avg,
+		MaxLatency:    latMax,
+		LatCount:      latCount,
 	}
 }
 
@@ -159,10 +180,13 @@ func (s Snapshot) String() string {
 type TaskGauge struct {
 	Store      topology.StoreID
 	Part       int
-	QueueDepth int   // messages waiting in the task's mailbox
-	Stored     int64 // tuples materialized in the task
-	Handled    int64 // messages handled since spawn
-	BusyNanos  int64 // time spent handling batches (async substrates)
+	QueueDepth int    // messages waiting in the task's mailbox
+	Stored     int64  // tuples materialized in the task
+	StateBytes int64  // resident state bytes incl. index overhead
+	IndexBytes int64  // index-overhead portion of StateBytes
+	Backend    string // state backend serving this task
+	Handled    int64  // messages handled since spawn
+	BusyNanos  int64  // time spent handling batches (async substrates)
 }
 
 // TaskGauges returns a pressure reading per task, sorted by store and
@@ -181,6 +205,9 @@ func (e *Engine) TaskGauges() []TaskGauge {
 			Part:       k.part,
 			QueueDepth: depth,
 			Stored:     t.storedCount.Load(),
+			StateBytes: t.stateBytes.Load(),
+			IndexBytes: t.stateIdxBytes.Load(),
+			Backend:    e.cfg.StateBackend.String(),
 			Handled:    t.handled.Load(),
 			BusyNanos:  t.busyNanos.Load(),
 		})

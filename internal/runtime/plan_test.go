@@ -56,9 +56,11 @@ func runWorkload(t *testing.T, cfg Config, topo *topology.Config, queries []*que
 // produces byte-identical join results to the legacy string-resolved
 // path on the TPC-H multi-query workload (the Fig. 7 setting) — and
 // that the result bytes are identical on every execution substrate
-// (synchronous, unbounded-async, flow-controlled): same topology, same
-// records, engines differing only in probe implementation or
-// scheduling/flow-control layer (DESIGN.md §3, §8).
+// (synchronous, unbounded-async, flow-controlled, simulated) and on
+// both state backends (container, columnar): same topology, same
+// records, engines differing only in probe implementation, in
+// scheduling/flow-control layer, or in store layout (DESIGN.md §3,
+// §8, §10).
 func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
 	queries := tpch.Fig7Queries()
 	cat := tpch.Catalog()
@@ -93,25 +95,31 @@ func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
 	}
 
 	legacy := runWorkload(t, Config{Catalog: cat, Synchronous: true, legacyProbe: true}, topo, queries, records)
-	runs := map[string]Config{
-		"compiled-synchronous": {Catalog: cat, Synchronous: true},
-		"compiled-unbounded":   {Catalog: cat, Substrate: SubstrateUnbounded, StepMode: true},
-		"compiled-flow":        {Catalog: cat, Substrate: SubstrateFlow, StepMode: true, Flow: FlowConfig{MailboxCredits: 64}},
+	substrates := map[string]Config{
+		"synchronous": {Catalog: cat, Synchronous: true},
+		"unbounded":   {Catalog: cat, Substrate: SubstrateUnbounded, StepMode: true},
+		"flow":        {Catalog: cat, Substrate: SubstrateFlow, StepMode: true, Flow: FlowConfig{MailboxCredits: 64}},
+		"sim":         {Catalog: cat, Substrate: SubstrateSim, StepMode: true, Sim: SimConfig{Seed: 7}},
 	}
-	for name, cfg := range runs {
-		compiled := runWorkload(t, cfg, topo, queries, records)
-		for _, q := range queries {
-			c, l := compiled[q.Name], legacy[q.Name]
-			if len(c) != len(l) {
-				t.Fatalf("%s/%s: compiled %d results, legacy %d", name, q.Name, len(c), len(l))
-			}
-			for i := range c {
-				if c[i] != l[i] {
-					t.Fatalf("%s/%s: result %d differs:\ncompiled: %s\nlegacy:   %s", name, q.Name, i, c[i], l[i])
+	for subName, base := range substrates {
+		for _, backend := range []StateBackendKind{BackendContainer, BackendColumnar} {
+			name := fmt.Sprintf("compiled-%s-%s", subName, backend)
+			cfg := base
+			cfg.StateBackend = backend
+			compiled := runWorkload(t, cfg, topo, queries, records)
+			for _, q := range queries {
+				c, l := compiled[q.Name], legacy[q.Name]
+				if len(c) != len(l) {
+					t.Fatalf("%s/%s: compiled %d results, legacy %d", name, q.Name, len(c), len(l))
 				}
-			}
-			if len(c) == 0 {
-				t.Errorf("%s/%s: zero results — equivalence vacuous", name, q.Name)
+				for i := range c {
+					if c[i] != l[i] {
+						t.Fatalf("%s/%s: result %d differs:\ncompiled: %s\nlegacy:   %s", name, q.Name, i, c[i], l[i])
+					}
+				}
+				if len(c) == 0 {
+					t.Errorf("%s/%s: zero results — equivalence vacuous", name, q.Name)
+				}
 			}
 		}
 	}
@@ -154,10 +162,10 @@ func TestCompiledPlanEquivalenceWindowed(t *testing.T) {
 	}
 }
 
-// probeFixture builds a synchronous two-way join engine, preloads the
-// probed store, and returns the task, compiled probe plan, and a probe
-// message aimed at it.
-func probeFixture(t testing.TB, matches int) (*task, *rulePlan, *planState, *tuple.Tuple, *message) {
+// probeFixture builds a synchronous two-way join engine on the given
+// state backend, preloads the probed store, and returns the task,
+// compiled probe plan, and a probe message aimed at it.
+func probeFixture(t testing.TB, matches int, backend StateBackendKind) (*task, *rulePlan, *planState, *tuple.Tuple, *message) {
 	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)")
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +179,7 @@ func probeFixture(t testing.TB, matches int) (*task, *rulePlan, *planState, *tup
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := New(Config{Catalog: cat, Synchronous: true})
+	eng := New(Config{Catalog: cat, Synchronous: true, StateBackend: backend})
 	if err := eng.Install(topo, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +218,7 @@ func probeFixture(t testing.TB, matches int) (*task, *rulePlan, *planState, *tup
 // chunks and batch copies amortize across calls; the legacy path cost
 // 2+ allocations per result).
 func TestProbeAllocs(t *testing.T) {
-	tk, rp, st, probe, msg := probeFixture(t, 8)
+	tk, rp, st, probe, msg := probeFixture(t, 8, BackendContainer)
 	// Warm the schema-position and index caches.
 	tk.probe(probe, msg, rp, st)
 	avg := testing.AllocsPerRun(200, func() {

@@ -1,0 +1,341 @@
+package runtime
+
+// State-backend tests (DESIGN.md §10): cross-backend result
+// equivalence, the byte-accounting contract (deltas telescope to zero,
+// index overhead included — the seed accounting ignored it), the
+// bounded-memory eviction policy, store retirement on rewiring, and
+// the columnar hot-path allocation budgets.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/stats"
+	"clash/internal/tuple"
+)
+
+func backendKinds() []StateBackendKind {
+	return []StateBackendKind{BackendContainer, BackendColumnar}
+}
+
+// TestBackendEquivalenceWindowed runs the same windowed, partitioned,
+// multi-epoch stream with interleaved prunes on both backends and
+// byte-compares the result multisets (and both against the oracle).
+func TestBackendEquivalenceWindowed(t *testing.T) {
+	var ref, refName string
+	for _, backend := range backendKinds() {
+		h := newHarness(t, "q1: R(a) S(a,b) T(b)\nq2: S(b) T(b,c) U(c)",
+			core.Options{StoreParallelism: 3},
+			flatEstimates([]string{"R", "S", "T", "U"}, 100),
+			Config{Synchronous: true, DefaultWindow: 40, EpochLength: 32, StateBackend: backend})
+		ins := randomStream(h.cat, 400, 5, 91)
+		for i, in := range ins {
+			if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+				t.Fatal(err)
+			}
+			if i%60 == 59 {
+				h.eng.PruneBefore(h.eng.Watermark() - 40)
+			}
+		}
+		h.eng.Drain()
+		h.checkAgainstOracle(t, ins)
+		got := fmt.Sprint(sortedResults(h.sinks["q1"])) + fmt.Sprint(sortedResults(h.sinks["q2"]))
+		h.eng.Stop()
+		if h.sinks["q1"].Count() == 0 || h.sinks["q2"].Count() == 0 {
+			t.Fatalf("%v: a query produced nothing — test vacuous", backend)
+		}
+		if ref == "" {
+			ref, refName = got, backend.String()
+			continue
+		}
+		if got != ref {
+			t.Errorf("backend %v produced different results than %s", backend, refName)
+		}
+	}
+}
+
+// TestBackendAccountingTelescopes drives each backend directly through
+// inserts, index-building probes, prunes, and evictions, asserting
+// after every operation that the accumulated deltas equal the
+// backend's resident bytes — and reach exactly zero when drained.
+func TestBackendAccountingTelescopes(t *testing.T) {
+	schema := tuple.NewSchema("R.a", "R.b", "R.τ")
+	mk := func(ts int64, key int64) *tuple.Tuple {
+		return tuple.New(schema, tuple.Time(ts), tuple.IntValue(key), tuple.IntValue(ts), tuple.IntValue(ts))
+	}
+	var sink countVisitor
+	for _, backend := range backendKinds() {
+		t.Run(backend.String(), func(t *testing.T) {
+			b := newStateBackend(backend)
+			var sum, idxSum int64
+			check := func(op string) {
+				t.Helper()
+				if got := b.bytes(); got != sum {
+					t.Fatalf("%s: bytes() = %d, accumulated deltas %d", op, got, sum)
+				}
+				if got := b.indexBytes(); got != idxSum {
+					t.Fatalf("%s: indexBytes() = %d, accumulated idx deltas %d", op, got, idxSum)
+				}
+			}
+			seq := uint64(1)
+			for ts := int64(1); ts <= 300; ts++ {
+				d, xd := b.insert(mk(ts, ts%7), seq, ts/64)
+				sum += d
+				idxSum += xd
+				seq++
+				check("insert")
+				if ts%10 == 0 {
+					xd := b.probeScan("R.a", tuple.IntValue(ts%7), &sink)
+					sum += xd // index growth is part of the total footprint
+					idxSum += xd
+					check("probeScan")
+				}
+				if ts%50 == 0 {
+					_, d, xd := b.prune(tuple.Time(ts - 120))
+					sum += d
+					idxSum += xd
+					check("prune")
+				}
+			}
+			if _, removed, d, xd, ok := b.dropOldest(); ok {
+				if removed == 0 {
+					t.Error("dropOldest removed nothing")
+				}
+				sum += d
+				idxSum += xd
+				check("dropOldest")
+			} else {
+				t.Error("dropOldest refused with multiple epochs resident")
+			}
+			_, d, xd := b.clear()
+			sum += d
+			idxSum += xd
+			if sum != 0 || idxSum != 0 {
+				t.Errorf("deltas do not telescope: bytes %d, index %d after clear", sum, idxSum)
+			}
+			check("clear")
+			if sink.n == 0 {
+				t.Error("probe scans visited nothing — accounting test vacuous")
+			}
+		})
+	}
+}
+
+type countVisitor struct{ n int }
+
+func (c *countVisitor) visit(*tuple.Tuple, uint64) { c.n++ }
+
+// TestIndexMemoryAccounted is the regression test for the seed
+// accounting gap: StoreBytes must include index overhead, report it in
+// IndexBytes, and return exactly to zero once the state is pruned away.
+func TestIndexMemoryAccounted(t *testing.T) {
+	for _, backend := range backendKinds() {
+		t.Run(backend.String(), func(t *testing.T) {
+			h := newHarness(t, "q1: R(a) S(a)",
+				core.Options{StoreParallelism: 2},
+				flatEstimates([]string{"R", "S"}, 100),
+				Config{Synchronous: true, StateBackend: backend})
+			defer h.eng.Stop()
+			ins := randomStream(h.cat, 300, 6, 17)
+			h.ingestAll(t, ins)
+			m := h.eng.Metrics().Snapshot()
+			if m.IndexBytes <= 0 {
+				t.Fatalf("IndexBytes = %d after an indexed workload", m.IndexBytes)
+			}
+			if m.StoreBytes <= m.IndexBytes {
+				t.Fatalf("StoreBytes %d does not cover payload beyond IndexBytes %d", m.StoreBytes, m.IndexBytes)
+			}
+			var payload int64
+			for _, g := range h.eng.TaskGauges() {
+				if g.StateBytes < g.IndexBytes {
+					t.Errorf("task %s/%d: StateBytes %d < IndexBytes %d", g.Store, g.Part, g.StateBytes, g.IndexBytes)
+				}
+				payload += g.StateBytes
+			}
+			if payload != m.StoreBytes {
+				t.Errorf("Σ task StateBytes %d != StoreBytes %d", payload, m.StoreBytes)
+			}
+			// Drain the window: accounting must return exactly to zero —
+			// any drift means the limit checks slowly rot.
+			h.eng.PruneBefore(h.eng.Watermark() + 1)
+			h.eng.Drain()
+			m = h.eng.Metrics().Snapshot()
+			if m.Stored != 0 || m.StoreBytes != 0 || m.IndexBytes != 0 {
+				t.Errorf("after full prune: stored=%d storeBytes=%d indexBytes=%d, want all 0",
+					m.Stored, m.StoreBytes, m.IndexBytes)
+			}
+		})
+	}
+}
+
+// evictionFixture drives a long-state stream (unbounded window — state
+// only grows) into an engine with the given state policy.
+func evictionFixture(t *testing.T, backend StateBackendKind, limit int64, policy StatePolicy) (*Engine, error) {
+	t.Helper()
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 2},
+		flatEstimates([]string{"R", "S"}, 100),
+		Config{Synchronous: true, EpochLength: 64, StateBackend: backend,
+			StateLimitBytes: limit, StatePolicy: policy})
+	t.Cleanup(h.eng.Stop)
+	ins := randomStream(h.cat, 3000, 8, 29)
+	for _, in := range ins {
+		if err := h.eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			return h.eng, err
+		}
+	}
+	h.eng.Drain()
+	return h.eng, nil
+}
+
+// TestEvictOldestEpochBoundsState: under EvictOldestEpoch the engine
+// survives a stream that grows state far past the budget, sheds whole
+// epochs with counted drops, and keeps resident state near the limit.
+func TestEvictOldestEpochBoundsState(t *testing.T) {
+	const limit = 96 << 10
+	for _, backend := range backendKinds() {
+		t.Run(backend.String(), func(t *testing.T) {
+			// The same stream under EvictFail must die at the budget —
+			// otherwise the eviction scenario is too weak to mean anything.
+			if _, err := evictionFixture(t, backend, limit, EvictFail); !errors.Is(err, ErrMemoryLimit) {
+				t.Fatalf("EvictFail survived the %d-byte budget (err=%v) — scenario too weak", limit, err)
+			}
+			eng, err := evictionFixture(t, backend, limit, EvictOldestEpoch)
+			if err != nil {
+				t.Fatalf("EvictOldestEpoch died: %v", err)
+			}
+			m := eng.Metrics().Snapshot()
+			if m.EvictedEpochs == 0 || m.EvictedTuples == 0 {
+				t.Fatalf("no evictions counted (epochs=%d tuples=%d)", m.EvictedEpochs, m.EvictedTuples)
+			}
+			// Every task sheds down to its arrival epoch, so resident state
+			// stays within the budget plus one epoch's worth of slack.
+			if m.StoreBytes > 2*limit {
+				t.Errorf("resident state %d far exceeds the %d budget", m.StoreBytes, limit)
+			}
+			if m.Results == 0 {
+				t.Error("eviction run produced no results — vacuous")
+			}
+			t.Logf("evicted %d epochs / %d tuples, resident %d bytes, %d results",
+				m.EvictedEpochs, m.EvictedTuples, m.StoreBytes, m.Results)
+		})
+	}
+}
+
+// TestRetireAbsentStores: removing a query retires the stores that only
+// it used — their state is released on the next rewiring, and the
+// shared query keeps answering.
+func TestRetireAbsentStores(t *testing.T) {
+	qs, cat, err := query.ParseWorkload("q1: R(a) S(a)\nq2: T(b) U(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Catalog: cat, Synchronous: true})
+	defer eng.Stop()
+	ctl, err := NewController(eng, ControllerConfig{
+		Optimizer: core.NewOptimizer(core.Options{StoreParallelism: 2}),
+		Collector: stats.NewCollector(64, 32, 1),
+		Shared:    true,
+		Static:    true,
+	}, qs, flatEstimates([]string{"R", "S", "T", "U"}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		eng.OnResult(q.Name, func(*tuple.Tuple) {})
+	}
+	ins := randomStream(cat, 400, 6, 41)
+	for _, in := range ins {
+		if err := eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	before := eng.Metrics().Snapshot()
+	if before.Stored == 0 {
+		t.Fatal("nothing materialized — test vacuous")
+	}
+	if err := ctl.RemoveQuery("q2"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	after := eng.Metrics().Snapshot()
+	if after.RetiredTuples == 0 {
+		t.Fatal("removing q2 retired no state")
+	}
+	if after.Stored >= before.Stored || after.StoreBytes >= before.StoreBytes {
+		t.Errorf("retirement did not shrink state: stored %d→%d bytes %d→%d",
+			before.Stored, after.Stored, before.StoreBytes, after.StoreBytes)
+	}
+	for id, n := range eng.StoreSizes() {
+		topo := eng.ConfigFor(eng.Epoch(eng.Watermark()))
+		if topo.Stores[id] == nil && n != 0 {
+			t.Errorf("retired store %s still holds %d tuples", id, n)
+		}
+	}
+	// The surviving query still answers over its retained state.
+	preResults := after.Results
+	for i := 0; i < 50; i++ {
+		ts := eng.Watermark() + tuple.Time(1+i)
+		if err := eng.Ingest("R", ts, tuple.IntValue(int64(i%6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	if eng.Metrics().Snapshot().Results == preResults {
+		t.Error("q1 stopped producing after q2's retirement")
+	}
+}
+
+// TestColumnarProbeAllocs pins the columnar probe budget to the
+// container baseline: joining and forwarding 8 results costs amortized
+// ≤1 allocation per probe.
+func TestColumnarProbeAllocs(t *testing.T) {
+	tk, rp, st, probe, msg := probeFixture(t, 8, BackendColumnar)
+	tk.probe(probe, msg, rp, st) // warm schema-position and index caches
+	avg := testing.AllocsPerRun(200, func() {
+		tk.probe(probe, msg, rp, st)
+	})
+	if avg > 1.0 {
+		t.Errorf("columnar probe allocates %.2f objects/run, want ≤ 1 (8 results forwarded)", avg)
+	}
+}
+
+// TestColumnarPruneAllocs pins the columnar prune budget: steady-state
+// insert+prune cycles over a live index reuse every backing array —
+// amortized ≤2 allocations per cycle (the container baseline).
+func TestColumnarPruneAllocs(t *testing.T) {
+	schema := tuple.NewSchema("S.a", "S.τ")
+	cs := newColumnarState()
+	var sink countVisitor
+	tuples := make([]*tuple.Tuple, 4096)
+	for i := range tuples {
+		ts := int64(i + 1)
+		tuples[i] = tuple.New(schema, tuple.Time(ts), tuple.IntValue(ts%64), tuple.IntValue(ts))
+	}
+	next := 0
+	for ; next < 1024; next++ {
+		cs.insert(tuples[next], uint64(next), 0)
+	}
+	cs.probeScan("S.a", tuple.IntValue(1), &sink) // build the index
+	// Warm the high-water marks.
+	for i := 0; i < 256; i++ {
+		cs.insert(tuples[next], uint64(next), 0)
+		cs.prune(tuple.Time(int64(next) - 1024))
+		next++
+	}
+	avg := testing.AllocsPerRun(1024, func() {
+		cs.insert(tuples[next], uint64(next), 0)
+		cs.prune(tuple.Time(int64(next) - 1024))
+		next++
+	})
+	if avg > 2.0 {
+		t.Errorf("columnar insert+prune cycle allocates %.2f objects/run, want ≤ 2", avg)
+	}
+	if cs.n == 0 || sink.n == 0 {
+		t.Fatal("vacuous: no resident tuples or no index candidates")
+	}
+}

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"clash/internal/topology"
@@ -11,101 +10,8 @@ import (
 const (
 	kindData int8 = iota
 	kindPrune
+	kindRetire
 )
-
-// entry is one stored tuple with the sequence number that orders it
-// against probes (the "arrived earlier" condition of the probe-order
-// decomposition).
-type entry struct {
-	t   *tuple.Tuple
-	seq uint64
-}
-
-// container holds one epoch's stored tuples with hash indices per
-// probed attribute (Sec. V-B: "for each distinct attribute access in a
-// store, indices are created locally"). Indices build lazily on first
-// probe and are maintained incrementally by add and prune thereafter.
-type container struct {
-	entries []entry
-	indices map[string]map[tuple.Value][]int
-}
-
-func newContainer() *container {
-	return &container{indices: map[string]map[tuple.Value][]int{}}
-}
-
-func (c *container) add(e entry) {
-	idx := len(c.entries)
-	c.entries = append(c.entries, e)
-	for attr, ix := range c.indices {
-		if v, ok := e.t.Get(attr); ok {
-			ix[v] = append(ix[v], idx)
-		}
-	}
-}
-
-// index returns (building on first use) the hash index over the given
-// qualified attribute.
-func (c *container) index(attr string) map[tuple.Value][]int {
-	if ix, ok := c.indices[attr]; ok {
-		return ix
-	}
-	ix := make(map[tuple.Value][]int)
-	for i, e := range c.entries {
-		if v, ok := e.t.Get(attr); ok {
-			ix[v] = append(ix[v], i)
-		}
-	}
-	c.indices[attr] = ix
-	return ix
-}
-
-// prune drops entries whose event time precedes the cutoff, rewriting
-// the index posting lists through a position remap instead of
-// discarding the indices: the next probe after a window expiry pays no
-// rebuild. remap is caller-owned scratch, returned for reuse.
-func (c *container) prune(cut tuple.Time, remap []int32) (removed int, removedBytes int64, scratch []int32) {
-	if cap(remap) < len(c.entries) {
-		remap = make([]int32, len(c.entries))
-	}
-	remap = remap[:len(c.entries)]
-	kept := c.entries[:0]
-	for i := range c.entries {
-		en := c.entries[i]
-		if en.t.TS < cut {
-			remap[i] = -1
-			removed++
-			removedBytes += int64(en.t.MemSize())
-			continue
-		}
-		remap[i] = int32(len(kept))
-		kept = append(kept, en)
-	}
-	if removed == 0 {
-		return 0, 0, remap
-	}
-	// Zero the tail so dropped tuples are collectable.
-	for i := len(kept); i < len(c.entries); i++ {
-		c.entries[i] = entry{}
-	}
-	c.entries = kept
-	for _, ix := range c.indices {
-		for v, list := range ix {
-			nl := list[:0]
-			for _, old := range list {
-				if n := remap[old]; n >= 0 {
-					nl = append(nl, int(n))
-				}
-			}
-			if len(nl) == 0 {
-				delete(ix, v)
-			} else {
-				ix[v] = nl
-			}
-		}
-	}
-	return removed, removedBytes, remap
-}
 
 // task is one partition worker of a store: it applies the epoch's
 // compiled ruleset to each delivered message (Alg. 3/4). Which
@@ -115,15 +21,19 @@ func (c *container) prune(cut tuple.Time, remap []int32) (removed int, removedBy
 // task at a time on every substrate, so all non-atomic task state is
 // effectively single-threaded.
 type task struct {
-	e           *Engine
-	key         taskKey
-	store       *topology.Store
-	mailbox     *mailbox // created by the substrate; nil on syncSubstrate
-	containers  map[int64]*container
-	conts       []*container // containers' values ordered by ascending epoch
-	contEps     []int64      // epochs matching conts, same order
-	storedCount atomic.Int64
-	spin        uint64 // overhead-emulation sink
+	e       *Engine
+	key     taskKey
+	store   *topology.Store
+	mailbox *mailbox // created by the substrate; nil on syncSubstrate
+	// state is the task's materialized store behind the pluggable
+	// backend interface (state.go, columnar.go). Only the goroutine
+	// executing the task touches it; the atomics below mirror its
+	// tuple count and byte footprint for cross-goroutine gauges.
+	state         stateBackend
+	storedCount   atomic.Int64
+	stateBytes    atomic.Int64 // resident bytes incl. index overhead
+	stateIdxBytes atomic.Int64 // index-overhead portion of stateBytes
+	spin          uint64       // overhead-emulation sink
 
 	// Scheduling and pressure state. sched is the worker-pool claim
 	// flag (scheduler.go): 0 parked, 1 queued-or-running. handled and
@@ -157,10 +67,13 @@ type task struct {
 	// form a free-list stack rather than a single slice: in Synchronous
 	// mode a sink callback may re-enter this task's probe (feedback
 	// ingestion) while the outer probe's forward is still iterating its
-	// results, so each nesting level needs its own buffer.
+	// results, so each nesting level needs its own buffer. visit is the
+	// reused probe visitor — safe to share across nesting levels because
+	// a backend scan completes before forward (the only re-entry point)
+	// runs.
 	resultsFree [][]*tuple.Tuple
 	rs          routeScratch // batch-routing scratch
-	pruneRemap  []int32      // container prune remap scratch
+	visit       probeVisit   // compiled-probe candidate visitor
 	schemaCache map[[2]*tuple.Schema]*tuple.Schema
 	lastJoinKey [2]*tuple.Schema
 	lastJoined  *tuple.Schema
@@ -172,7 +85,7 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 		e:           e,
 		key:         k,
 		store:       s,
-		containers:  map[int64]*container{},
+		state:       newStateBackend(e.cfg.StateBackend),
 		states:      map[*rulePlan]*planState{},
 		schemaCache: map[[2]*tuple.Schema]*tuple.Schema{},
 	}
@@ -185,24 +98,15 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 	return t
 }
 
-// containerFor returns (creating if needed) the container of the epoch,
-// keeping the iteration slice in sync with the map. conts stays sorted
-// by epoch: probe iteration order must be a function of the data alone,
-// never of Go's randomized map iteration, or identically seeded
-// simulation runs (and their result byte order) would diverge.
-func (t *task) containerFor(ep int64) *container {
-	c := t.containers[ep]
-	if c == nil {
-		c = newContainer()
-		t.containers[ep] = c
-		i := sort.Search(len(t.contEps), func(i int) bool { return t.contEps[i] >= ep })
-		t.conts = append(t.conts, nil)
-		t.contEps = append(t.contEps, 0)
-		copy(t.conts[i+1:], t.conts[i:])
-		copy(t.contEps[i+1:], t.contEps[i:])
-		t.conts[i], t.contEps[i] = c, ep
+// accountState applies a backend byte delta to the task gauges and the
+// engine-wide store accounting, returning the new global store total.
+func (t *task) accountState(delta, idxDelta int64) int64 {
+	t.stateBytes.Add(delta)
+	if idxDelta != 0 {
+		t.stateIdxBytes.Add(idxDelta)
+		t.e.metrics.indexBytes.Add(idxDelta)
 	}
-	return c
+	return t.e.metrics.storeBytes.Add(delta)
 }
 
 func (t *task) requestPrune(cut tuple.Time) {
@@ -292,62 +196,113 @@ func (t *task) stateFor(rp *rulePlan) *planState {
 }
 
 func (t *task) insert(tp *tuple.Tuple, seq uint64) {
-	// Containers are keyed by the tuple's arrival epoch: each tuple is
-	// materialized exactly once, and probes scan all containers within
+	// State is keyed by the tuple's arrival epoch: each tuple is
+	// materialized exactly once, and probes scan all epochs within
 	// their window.
 	ep := t.e.Epoch(tp.TS)
-	t.containerFor(ep).add(entry{t: tp, seq: seq})
+	delta, idxDelta := t.state.insert(tp, seq, ep)
 	t.storedCount.Add(1)
 	t.e.metrics.stored.Add(1)
-	bytes := t.e.metrics.storeBytes.Add(int64(tp.MemSize()))
+	bytes := t.accountState(delta, idxDelta)
+	// Bounded-memory policy layer: the state budget is enforced against
+	// real resident state (payload + structure + index overhead).
+	// EvictOldestEpoch sheds whole epochs from this task instead of
+	// killing the engine; other tasks shed on their own next insert.
+	if lim := t.e.cfg.StateLimitBytes; lim > 0 && bytes > lim {
+		if t.e.cfg.StatePolicy == EvictOldestEpoch {
+			bytes = t.evictToLimit(lim)
+		} else {
+			t.e.fail(ErrMemoryLimit)
+		}
+	}
 	if lim := t.e.cfg.MemoryLimitBytes; lim > 0 && bytes > lim {
 		t.e.fail(ErrMemoryLimit)
 	}
 }
 
-// probe joins the arriving tuple against all stored containers within
-// reach using the rule's compiled predicates, then forwards the join
-// results along the rule's emissions as one batch per target
-// (Sec. III). Each stored tuple lives in exactly one container, so no
-// result is produced twice.
+// evictToLimit sheds this task's oldest epochs until global state fits
+// the budget again or only the arrival epoch remains, counting every
+// drop. Deterministic: eviction happens on the task's own execution
+// context, ordered by the schedule like any other state mutation.
+func (t *task) evictToLimit(lim int64) (bytes int64) {
+	bytes = t.e.metrics.storeBytes.Load()
+	for bytes > lim {
+		_, removed, delta, idxDelta, ok := t.state.dropOldest()
+		if !ok {
+			return bytes
+		}
+		t.storedCount.Add(int64(-removed))
+		t.e.metrics.stored.Add(int64(-removed))
+		t.e.metrics.evictedEpochs.Add(1)
+		t.e.metrics.evictedTuples.Add(int64(removed))
+		bytes = t.accountState(delta, idxDelta)
+	}
+	return bytes
+}
+
+// probeVisit is the compiled probe's per-candidate state: the backend
+// scan calls visit for every index candidate, which re-checks all
+// predicates positionally (including the indexed one — backends may
+// bucket by hash), applies the window checks, and joins. One reused
+// instance per task suffices: a scan completes before forward (the
+// only re-entry point into the task) runs.
+type probeVisit struct {
+	t       *task
+	rp      *rulePlan
+	st      *planState
+	probe   *tuple.Tuple
+	ppos    []int
+	maxSeq  uint64
+	results []*tuple.Tuple
+}
+
+func (pv *probeVisit) visit(en *tuple.Tuple, seq uint64) {
+	if seq >= pv.maxSeq {
+		return // only earlier-arrived tuples are join partners
+	}
+	t := pv.t
+	sh := pv.st.storedShapeFor(en.Schema, pv.rp, t.tauNames)
+	for k := 0; k < len(pv.ppos); k++ {
+		sp := sh.predPos[k]
+		if sp < 0 || en.At(sp) != pv.probe.At(pv.ppos[k]) {
+			return
+		}
+	}
+	if !t.windowOK(pv.probe, en, sh) {
+		return
+	}
+	pv.results = append(pv.results, t.join(pv.probe, en))
+}
+
+// probe joins the arriving tuple against all stored epochs within reach
+// using the rule's compiled predicates, then forwards the join results
+// along the rule's emissions as one batch per target (Sec. III). Each
+// stored tuple lives in exactly one epoch, so no result is produced
+// twice.
 //
-// The first predicate goes through the container's hash index; the rest
-// filter by precomputed column positions — no attribute names are
-// resolved per tuple.
+// The first predicate drives the backend's local index; every
+// predicate filters by precomputed column positions — no attribute
+// names are resolved per tuple.
 func (t *task) probe(tp *tuple.Tuple, msg *message, rp *rulePlan, st *planState) {
 	if len(rp.preds) == 0 {
 		return // the optimizer never emits cross-product probes
 	}
-	if len(t.conts) == 0 {
+	if t.storedCount.Load() == 0 {
 		return
 	}
 	ppos := st.probePos(tp.Schema, rp)
 	if ppos == nil {
 		return // a probe attribute is absent: nothing can match
 	}
-	v0 := tp.At(ppos[0])
-	results := t.getResultsBuf()
-	for _, c := range t.conts {
-		for _, ci := range c.index(rp.preds[0].storedAttr)[v0] {
-			en := &c.entries[ci]
-			if en.seq >= msg.seq {
-				continue // only earlier-arrived tuples are join partners
-			}
-			sh := st.storedShapeFor(en.t.Schema, rp, t.tauNames)
-			match := true
-			for k := 1; k < len(ppos); k++ {
-				sp := sh.predPos[k]
-				if sp < 0 || en.t.At(sp) != tp.At(ppos[k]) {
-					match = false
-					break
-				}
-			}
-			if !match || !t.windowOK(tp, en.t, sh) {
-				continue
-			}
-			results = append(results, t.join(tp, en.t))
-		}
+	pv := &t.visit
+	pv.t, pv.rp, pv.st = t, rp, st
+	pv.probe, pv.ppos, pv.maxSeq = tp, ppos, msg.seq
+	pv.results = t.getResultsBuf()
+	if d := t.state.probeScan(rp.preds[0].storedAttr, tp.At(ppos[0]), pv); d != 0 {
+		t.accountState(d, d) // lazily built index structures
 	}
+	results := pv.results
+	pv.results, pv.probe = nil, nil
 	if len(results) != 0 {
 		t.forward(rp.out, msg, results)
 	}
@@ -389,20 +344,48 @@ func (t *task) windowOK(probe, stored *tuple.Tuple, sh *storedShape) bool {
 	return true
 }
 
+// legacyVisit is the string-resolved candidate visitor of the legacy
+// probe path. It re-checks the indexed predicate by value first: the
+// backend index is a candidate filter, not a guarantee.
+type legacyVisit struct {
+	t       *task
+	pps     []predPlan
+	probe   *tuple.Tuple
+	v0      tuple.Value
+	maxSeq  uint64
+	results []*tuple.Tuple
+}
+
+func (lv *legacyVisit) visit(en *tuple.Tuple, seq uint64) {
+	if seq >= lv.maxSeq {
+		return
+	}
+	if sv, ok := en.Get(lv.pps[0].storedAttr); !ok || sv != lv.v0 {
+		return
+	}
+	for _, pp := range lv.pps[1:] {
+		pv, ok1 := lv.probe.Get(pp.probeAttr)
+		sv, ok2 := en.Get(pp.storedAttr)
+		if !ok1 || !ok2 || pv != sv {
+			return
+		}
+	}
+	if !lv.t.withinWindowsLegacy(lv.probe, en) {
+		return
+	}
+	lv.results = append(lv.results, lv.t.join(lv.probe, en))
+}
+
 // probeLegacy is the pre-compilation probe path: predicates are
 // re-resolved per tuple through string-keyed schema lookups. It is kept
 // as the differential-testing oracle for the compiled path (engine
 // Config.legacyProbe) and must not be used on the hot path.
 func (t *task) probeLegacy(tp *tuple.Tuple, msg *message, rp *rulePlan) {
 	rule := rp.rule
-	if len(rule.Preds) == 0 || len(t.containers) == 0 {
+	if len(rule.Preds) == 0 || t.storedCount.Load() == 0 {
 		return
 	}
-	type probePred struct {
-		storedAttr string
-		probeAttr  string
-	}
-	pps := make([]probePred, 0, len(rule.Preds))
+	pps := make([]predPlan, 0, len(rule.Preds))
 	inStore := map[string]bool{}
 	for _, r := range t.store.Rels {
 		inStore[r] = true
@@ -412,38 +395,20 @@ func (t *task) probeLegacy(tp *tuple.Tuple, msg *message, rp *rulePlan) {
 		if !inStore[p.Left.Rel] {
 			stored, probe = p.Right, p.Left
 		}
-		pps = append(pps, probePred{storedAttr: stored.Qualified(), probeAttr: probe.Qualified()})
+		pps = append(pps, predPlan{storedAttr: stored.Qualified(), probeAttr: probe.Qualified()})
 	}
 	v0, ok := tp.Get(pps[0].probeAttr)
 	if !ok {
 		return
 	}
-	var results []*tuple.Tuple
-	for _, c := range t.containers {
-		for _, ci := range c.index(pps[0].storedAttr)[v0] {
-			en := c.entries[ci]
-			if en.seq >= msg.seq {
-				continue
-			}
-			match := true
-			for _, pp := range pps[1:] {
-				pv, ok1 := tp.Get(pp.probeAttr)
-				sv, ok2 := en.t.Get(pp.storedAttr)
-				if !ok1 || !ok2 || pv != sv {
-					match = false
-					break
-				}
-			}
-			if !match || !t.withinWindowsLegacy(tp, en.t) {
-				continue
-			}
-			results = append(results, t.join(tp, en.t))
-		}
+	lv := &legacyVisit{t: t, pps: pps, probe: tp, v0: v0, maxSeq: msg.seq}
+	if d := t.state.probeScan(pps[0].storedAttr, v0, lv); d != 0 {
+		t.accountState(d, d)
 	}
-	if len(results) == 0 {
+	if len(lv.results) == 0 {
 		return
 	}
-	t.forward(rp.out, msg, results)
+	t.forward(rp.out, msg, lv.results)
 }
 
 // withinWindowsLegacy is the string-resolved window check of the legacy
@@ -493,37 +458,29 @@ func (t *task) forward(out []emitStep, msg *message, results []*tuple.Tuple) {
 	}
 }
 
-// prune drops entries whose event time precedes the cutoff, maintaining
-// the containers' indices incrementally; emptied containers are removed
-// entirely.
+// prune drops stored tuples whose event time precedes the cutoff. The
+// backend maintains its indices across the prune (no rebuild on the
+// next probe) and releases emptied epochs entirely.
 func (t *task) prune(cut tuple.Time) {
-	dropped := false
-	for i, c := range t.conts {
-		removed, removedBytes, remap := c.prune(cut, t.pruneRemap)
-		t.pruneRemap = remap
-		if removed == 0 {
-			continue
-		}
-		t.storedCount.Add(int64(-removed))
-		t.e.metrics.stored.Add(int64(-removed))
-		t.e.metrics.storeBytes.Add(-removedBytes)
-		if len(c.entries) == 0 {
-			delete(t.containers, t.contEps[i])
-			dropped = true
-		}
+	removed, delta, idxDelta := t.state.prune(cut)
+	if removed == 0 && delta == 0 {
+		return
 	}
-	if dropped {
-		// Compact in place: the epoch-sorted order survives removal.
-		keptC, keptE := t.conts[:0], t.contEps[:0]
-		for i, c := range t.conts {
-			if len(c.entries) != 0 {
-				keptC = append(keptC, c)
-				keptE = append(keptE, t.contEps[i])
-			}
-		}
-		for i := len(keptC); i < len(t.conts); i++ {
-			t.conts[i] = nil
-		}
-		t.conts, t.contEps = keptC, keptE
+	t.storedCount.Add(int64(-removed))
+	t.e.metrics.stored.Add(int64(-removed))
+	t.accountState(delta, idxDelta)
+}
+
+// clearState drops the task's entire materialized state (store
+// retirement: the store is absent from every installed configuration,
+// so no probe can ever reach this state again).
+func (t *task) clearState() {
+	removed, delta, idxDelta := t.state.clear()
+	if removed == 0 && delta == 0 {
+		return
 	}
+	t.storedCount.Add(int64(-removed))
+	t.e.metrics.stored.Add(int64(-removed))
+	t.e.metrics.retiredTuples.Add(int64(removed))
+	t.accountState(delta, idxDelta)
 }

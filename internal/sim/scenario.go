@@ -50,6 +50,11 @@ type Scenario struct {
 	// StepMode drains between source tuples: exact symmetric-join
 	// semantics (required for VerifyExact on multi-hop plans).
 	StepMode bool
+	// Backend selects the state backend serving the simulated run
+	// (container or columnar). The verification oracles always run on
+	// the default container backend, so a columnar scenario is also a
+	// cross-backend equivalence check.
+	Backend runtime.StateBackendKind
 	// Faults are applied in order; CreditStarvation overrides Credits.
 	Faults []Fault
 }
@@ -128,6 +133,7 @@ func (sc *Scenario) Run() (*Result, error) {
 		Catalog:       cat,
 		DefaultWindow: sc.Window,
 		StepMode:      sc.StepMode,
+		StateBackend:  sc.Backend,
 		Substrate:     runtime.SubstrateSim,
 		Sim: runtime.SimConfig{
 			Seed:           sc.Seed,
