@@ -31,10 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"clash/internal/core"
 	"clash/internal/query"
+	"clash/internal/recovery"
 	"clash/internal/runtime"
 	"clash/internal/stats"
 	"clash/internal/topology"
@@ -100,6 +102,23 @@ type (
 	Pressure = runtime.Pressure
 	// TaskGauge is one store task's pressure reading.
 	TaskGauge = runtime.TaskGauge
+	// SupervisionConfig tunes the task panic supervisor: restart budget
+	// and backoff (see Config.Supervision).
+	SupervisionConfig = runtime.SupervisionConfig
+	// WALStorage is the append-only two-stream storage the durability
+	// layer writes to (see WALConfig).
+	WALStorage = recovery.Storage
+	// MemWALStorage is an in-memory WALStorage for tests and examples.
+	MemWALStorage = recovery.MemStorage
+	// DirWALStorage is a directory-backed WALStorage (one append-only
+	// file per stream, optionally fsynced per append).
+	DirWALStorage = recovery.DirStorage
+	// RecoveryStats summarizes what Recover did: checkpoint records
+	// composed, tuples restored, WAL records replayed and deduplicated,
+	// torn bytes truncated.
+	RecoveryStats = recovery.Stats
+	// WALStats is a snapshot of the durability layer's counters.
+	WALStats = recovery.ManagerStats
 )
 
 // Execution substrates and overload policies (runtime/flow.go).
@@ -148,6 +167,36 @@ const (
 // its MemoryLimitBytes budget (state plus queued messages).
 var ErrMemoryLimit = runtime.ErrMemoryLimit
 
+// ErrTaskFailed is the terminal failure of an engine with a task that
+// exhausted its supervisor restart budget (Config.Supervision).
+var ErrTaskFailed = runtime.ErrTaskFailed
+
+// ErrCorruptSnapshot is reported (wrapped) by Restore for truncated or
+// corrupt snapshot bytes.
+var ErrCorruptSnapshot = runtime.ErrCorruptSnapshot
+
+// ErrCorruptWAL is reported (wrapped) by Recover when a CRC-valid WAL
+// record fails to decode — real corruption, as opposed to a torn tail,
+// which recovery silently truncates away.
+var ErrCorruptWAL = recovery.ErrCorruptWAL
+
+// ErrWALNotEmpty is reported by Start when Config.WAL points at
+// storage that already holds history — restarting over it is Recover's
+// job; overwriting it would lose the one copy of the state.
+var ErrWALNotEmpty = recovery.ErrStorageNotEmpty
+
+// NewMemWALStorage returns an empty in-memory WALStorage. State written
+// to it dies with the process — use it for tests, examples, and
+// overhead measurement, not durability.
+func NewMemWALStorage() *MemWALStorage { return recovery.NewMemStorage() }
+
+// NewDirWALStorage opens (or creates) a directory-backed WALStorage:
+// one append-only file per stream. With syncEachAppend, every record is
+// fsynced before Ingest returns — the durable configuration.
+func NewDirWALStorage(dir string, syncEachAppend bool) (*DirWALStorage, error) {
+	return recovery.NewDirStorage(dir, syncEachAppend)
+}
+
 // Int wraps an int64 as a Value.
 func Int(v int64) Value { return tuple.IntValue(v) }
 
@@ -189,6 +238,48 @@ func OptimizeIndividually(queries []*Query, est *Estimates, opts OptimizerOption
 // true, equal stores and probe-tree prefixes merge across plans.
 func CompilePlans(plans []*Plan, shared bool) (*Topology, error) {
 	return core.Compile(plans, core.CompileOptions{Shared: shared})
+}
+
+// WALConfig enables durable crash recovery (DESIGN.md §11): every
+// ingest is written ahead to a CRC-framed log, materialized state is
+// checkpointed incrementally every CheckpointEvery ingests, and a
+// crashed process resumes via Recover — checkpoint chain plus WAL
+// replay, deduplicated by sequence number, exactly once.
+type WALConfig struct {
+	// Dir is the directory holding the log files. The engine opens it
+	// with NewDirWALStorage and owns the handle (Close releases it).
+	// Ignored when Storage is set.
+	Dir string
+	// NoSync skips the per-append fsync on Dir storage: faster, but a
+	// machine crash (not just a process crash) can tear the log tail.
+	// Recovery still handles torn tails by truncation; the cost is the
+	// unsynced suffix, re-ingested from the source.
+	NoSync bool
+	// Storage overrides Dir with a caller-provided WALStorage. The
+	// caller keeps ownership: Close does not release it.
+	Storage WALStorage
+	// CheckpointEvery is the incremental-checkpoint cadence in ingested
+	// tuples (0 = the default, 64). Smaller means shorter replay after
+	// a crash; larger means less checkpoint traffic.
+	CheckpointEvery int
+}
+
+func (w *WALConfig) open() (st WALStorage, owned io.Closer, err error) {
+	if w.Storage != nil {
+		return w.Storage, nil, nil
+	}
+	if w.Dir == "" {
+		return nil, nil, errors.New("clash: WALConfig needs Dir or Storage")
+	}
+	ds, err := recovery.NewDirStorage(w.Dir, !w.NoSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, ds, nil
+}
+
+func (w *WALConfig) recoveryConfig() recovery.Config {
+	return recovery.Config{CheckpointEvery: w.CheckpointEvery}
 }
 
 // Config configures a CLASH engine.
@@ -261,6 +352,23 @@ type Config struct {
 	// the schedule seed of a simulated run. Same seed, same inputs —
 	// same interleaving, byte for byte.
 	SimSeed uint64
+	// Supervision tunes the task panic supervisor: a panicking store
+	// task is isolated and restarted with exponential backoff up to
+	// MaxRestarts consecutive times before the engine fails with
+	// ErrTaskFailed. The zero value enables supervision with the
+	// default budget; MaxRestarts < 0 fails fast on the first panic.
+	Supervision SupervisionConfig
+	// WAL, when set, makes the engine durable: write-ahead logging,
+	// incremental checkpoints, and crash recovery via Recover. Start
+	// requires empty storage (it refuses to orphan existing history);
+	// Recover requires the history Start (or a prior Recover) wrote.
+	WAL *WALConfig
+	// OnResult registers per-query result callbacks before the first
+	// tuple flows — equivalent to calling Engine.OnResult right after
+	// Start. Recover requires this form: its WAL replay runs before
+	// Recover returns, and callbacks registered afterwards would miss
+	// the replayed results.
+	OnResult map[string]func(*Tuple)
 	// SampleSize is the per-relation, per-epoch statistics sample
 	// (default 256).
 	SampleSize int
@@ -280,10 +388,84 @@ type Engine struct {
 	ctl     *runtime.Controller
 	col     *stats.Collector
 	queries []*Query
+
+	mgr        *recovery.Manager // non-nil iff Config.WAL is set
+	ownedStore io.Closer         // Dir-backed storage the engine opened
+	closeOnce  sync.Once
+	closeErr   error
 }
 
-// Start optimizes the workload and launches the engine.
+// Start optimizes the workload and launches the engine. With Config.WAL
+// set, the storage must be empty — restarting over existing history is
+// Recover's job, and silently orphaning it would lose the one copy of
+// the state.
 func Start(cfg Config) (*Engine, error) {
+	if cfg.WAL == nil {
+		return start(cfg, nil)
+	}
+	st, owned, err := cfg.WAL.open()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := recovery.NewManager(st, cfg.WAL.recoveryConfig())
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, err
+	}
+	e, err := start(cfg, mgr)
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, err
+	}
+	mgr.Bind(e.eng)
+	e.mgr, e.ownedStore = mgr, owned
+	return e, nil
+}
+
+// Recover rebuilds a durable engine from its WAL directory after a
+// crash: the newest intact incremental-checkpoint chain restores the
+// bulk of the state, the WAL suffix past the checkpoint anchor is
+// replayed through the normal ingest path (deduplicated by sequence
+// number), and the returned engine resumes exactly where the crashed
+// one durably left off. Torn log tails — the expected artifact of a
+// crash mid-write — are truncated, costing only the unflushed suffix.
+//
+// The configuration must match the crashed engine's (same workload,
+// estimates, and optimizer options, so the compiled topology contains
+// the logged stores). Replay happens below the adaptive controller:
+// recover adaptive engines before their first epoch boundary.
+func Recover(cfg Config) (*Engine, *RecoveryStats, error) {
+	if cfg.WAL == nil {
+		return nil, nil, errors.New("clash: Recover requires Config.WAL")
+	}
+	st, owned, err := cfg.WAL.open()
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := start(cfg, nil)
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, nil, err
+	}
+	mgr, rstats, err := recovery.Recover(st, e.eng, cfg.WAL.recoveryConfig())
+	if err != nil {
+		e.eng.Stop()
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, nil, err
+	}
+	e.mgr, e.ownedStore = mgr, owned
+	return e, rstats, nil
+}
+
+func start(cfg Config, journal runtime.Journal) (*Engine, error) {
 	qs, cat := cfg.Queries, cfg.Catalog
 	if qs == nil {
 		if cfg.Workload == "" {
@@ -335,6 +517,8 @@ func Start(cfg Config) (*Engine, error) {
 		Substrate:        cfg.Substrate,
 		Flow:             cfg.Flow,
 		Sim:              sim,
+		Supervision:      cfg.Supervision,
+		Journal:          journal,
 		TwoChoiceRouting: cfg.TwoChoiceRouting,
 		Observer:         func(rel string, t *tuple.Tuple) { col.Observe(rel, t) },
 	})
@@ -347,17 +531,27 @@ func Start(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	for name, fn := range cfg.OnResult {
+		eng.OnResult(name, fn)
+	}
 	return &Engine{cfg: cfg, eng: eng, ctl: ctl, col: col, queries: qs}, nil
 }
 
 // Ingest feeds one tuple of the relation into the engine. In adaptive
-// mode it also advances the epoch controller.
+// mode it also advances the epoch controller; with WAL durability on,
+// the tuple is logged before it is applied and an incremental
+// checkpoint is taken when the cadence comes due.
 func (e *Engine) Ingest(rel string, ts Time, vals ...Value) error {
 	if err := e.eng.Ingest(rel, ts, vals...); err != nil {
 		return err
 	}
 	if e.cfg.EpochLength > 0 {
-		return e.ctl.Tick()
+		if err := e.ctl.Tick(); err != nil {
+			return err
+		}
+	}
+	if e.mgr != nil {
+		return e.mgr.MaybeCheckpoint()
 	}
 	return nil
 }
@@ -429,5 +623,54 @@ func (e *Engine) Checkpoint(w io.Writer) error { return e.eng.Checkpoint(w) }
 // boundary.
 func (e *Engine) Restore(r io.Reader) error { return e.eng.Restore(r) }
 
-// Stop drains and terminates the engine.
+// OnCommit registers a hook that runs after every durable checkpoint —
+// the output-commit point for exactly-once sinks: buffer results as
+// they arrive, release them on commit, and a crash can neither lose an
+// acknowledged result nor acknowledge one twice (replay regenerates
+// exactly the unreleased suffix). No-op without Config.WAL.
+func (e *Engine) OnCommit(fn func()) {
+	if e.mgr != nil {
+		e.mgr.OnCommit(fn)
+	}
+}
+
+// CommitCheckpoint forces an incremental checkpoint now, regardless of
+// cadence — e.g. before a planned shutdown. No-op without Config.WAL.
+func (e *Engine) CommitCheckpoint() error {
+	if e.mgr == nil {
+		return nil
+	}
+	return e.mgr.Checkpoint()
+}
+
+// WALStats reports the durability layer's counters (zero value without
+// Config.WAL): bytes logged, bytes checkpointed, checkpoints taken.
+func (e *Engine) WALStats() WALStats {
+	if e.mgr == nil {
+		return WALStats{}
+	}
+	return e.mgr.Stats()
+}
+
+// Stop drains and terminates the engine. A durable engine should
+// prefer Close, which also flushes a final checkpoint and releases the
+// WAL directory; Stop leaves the tail to be replayed by Recover.
 func (e *Engine) Stop() { e.eng.Stop() }
+
+// Close flushes a final incremental checkpoint (when WAL durability is
+// on), stops the engine, and releases the engine-owned WAL storage.
+// Idempotent and safe to call after Stop.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		if e.mgr != nil {
+			e.closeErr = e.mgr.Close()
+		}
+		e.eng.Stop()
+		if e.ownedStore != nil {
+			if err := e.ownedStore.Close(); err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
+		}
+	})
+	return e.closeErr
+}

@@ -19,6 +19,11 @@
 //	             per-backend probe/prune ns+allocs, resident/heap
 //	             bytes, and the bounded-memory eviction stage
 //	             (EvictFail dies, EvictOldestEpoch survives)
+//	chaos      — crash-recovery chaos suite: -seeds crash-restart-replay
+//	             runs per state backend (task panics + torn WAL tails
+//	             active), each byte-compared against an uninterrupted
+//	             oracle, plus the durability tax (WAL + incremental
+//	             checkpoints vs baseline, gated at <10%)
 //	all        — everything (the default)
 //
 // Scale knobs (-sf, -rate, -quick) trade fidelity for wall time; the
@@ -46,7 +51,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,all)")
+		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,chaos,all)")
 		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
@@ -127,6 +132,9 @@ func main() {
 	}
 	if want("simsweep") {
 		runSimSweep(*seeds, *quick, *seed, backend)
+	}
+	if want("chaos") {
+		runChaos(*seeds, *quick, *seed)
 	}
 	if want("8a") {
 		runFig8('a', *quick, *seed)
@@ -298,6 +306,32 @@ func runSimSweep(seeds int, quick bool, seed uint64, backend bench.StateBackendK
 	}
 	fmt.Print(bench.FormatSimSweep(res))
 	fmt.Println()
+}
+
+// chaosOverheadLimitPct is the CI gate on the write-ahead-logging tax:
+// journaling every ingest may cost at most this much steady-state
+// throughput over the undurable baseline. Checkpoint cost is reported
+// alongside but not gated — it is a tunable durability-vs-replay-time
+// tradeoff (cadence, epoch granularity), not a fixed ingest-path tax.
+const chaosOverheadLimitPct = 10
+
+// runChaos drives the crash-recovery chaos suite (DESIGN.md §11): the
+// seeded crash-restart-replay sweep across both state backends with
+// task panics and torn WAL tails, plus the WAL-overhead measurement.
+// Exits non-zero on any run that is not exactly-once or when the
+// durability tax exceeds the gate.
+func runChaos(seeds int, quick bool, seed uint64) {
+	cfg := bench.ChaosConfig{Seeds: seeds, Seed: seed, Quick: quick}
+	fmt.Printf("=== Chaos — crash-restart-replay sweep + durability tax ===\n")
+	res, err := bench.Chaos(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatChaos(res))
+	fmt.Println()
+	if res.OverheadPct > chaosOverheadLimitPct {
+		log.Fatalf("write-ahead-logging tax %.1f%% exceeds the %d%% gate", res.OverheadPct, chaosOverheadLimitPct)
+	}
 }
 
 // readFig7JSON loads a baseline written by -json.

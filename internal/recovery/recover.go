@@ -1,0 +1,215 @@
+package recovery
+
+import (
+	"fmt"
+
+	"clash/internal/runtime"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// Stats describes one recovery: what the checkpoint chain restored,
+// what the WAL suffix replayed, and what a crash tore off.
+type Stats struct {
+	CheckpointRecords int // usable incremental checkpoint records composed
+	RestoredTuples    int // tuples loaded from the composed checkpoint state
+	ReplayedIngests   int // ingest records re-executed past the anchor
+	SkippedIngests    int // ingest records already covered by the checkpoint
+	ReplayedPrunes    int // prune records re-executed past the anchor
+	// EvictMismatches counts logged post-anchor evictions the replay did
+	// not re-make identically (and vice versa). Deterministic replays
+	// re-make every eviction; a nonzero count flags a drifting replay.
+	EvictMismatches     int
+	TornWALBytes        int64 // torn tail truncated off the WAL
+	TornCheckpointBytes int64 // torn/unusable tail truncated off the checkpoint log
+	AnchorSeq           uint64
+	LastSeq             uint64 // engine sequence number after replay
+}
+
+// captureJournal is attached during replay: ingests and prunes being
+// replayed are already in the log (re-appending would double them), and
+// re-made evictions are captured for verification against the log.
+type captureJournal struct {
+	evicts []walRecord
+}
+
+func (c *captureJournal) LogIngest(string, tuple.Time, []tuple.Value, uint64) error { return nil }
+func (c *captureJournal) LogPrune(tuple.Time) error                                 { return nil }
+func (c *captureJournal) LogEvict(store topology.StoreID, part int, epoch int64, tuples int, seq uint64) error {
+	c.evicts = append(c.evicts, walRecord{store: string(store), part: part, epoch: epoch, tuples: tuples, seq: seq})
+	return nil
+}
+
+// Recover rebuilds a freshly configured engine from the storage left by
+// a crashed (or cleanly closed) run: truncate torn tails, compose the
+// newest usable checkpoint chain into the engine's stores, replay the
+// WAL suffix past the chain's anchor, and return a Manager already
+// attached as the engine's journal so the run continues under the same
+// log. The engine must have the crashed run's topology installed and
+// must not have ingested anything yet.
+func Recover(st Storage, eng *runtime.Engine, cfg Config) (*Manager, *Stats, error) {
+	stats := &Stats{}
+
+	walBytes, err := st.Load(StreamWAL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovery: reading WAL: %w", err)
+	}
+	walFrames, validWAL := scanFrames(walBytes)
+	stats.TornWALBytes = int64(len(walBytes)) - validWAL
+	walRecords := make([]walRecord, len(walFrames))
+	for i, fr := range walFrames {
+		rec, err := decodeWALRecord(fr.payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery: WAL record %d: %w", i, err)
+		}
+		rec.end = fr.end
+		walRecords[i] = rec
+	}
+
+	ckptBytes, err := st.Load(StreamCheckpoint)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovery: reading checkpoint log: %w", err)
+	}
+	ckptFrames, _ := scanFrames(ckptBytes)
+	// Usable prefix: decodable records anchored within the surviving WAL.
+	// A checkpoint that outlived its WAL tail (the streams are separate
+	// files; a crash can tear them independently) references replay state
+	// that no longer exists, so it and everything after it are discarded.
+	var records []*ckptRecord
+	usableCkpt := int64(0)
+	for i, fr := range ckptFrames {
+		rec, err := decodeCkptRecord(fr.payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery: checkpoint record %d: %w", i, err)
+		}
+		if rec.walPos > validWAL {
+			break
+		}
+		rec.end = fr.end
+		records = append(records, rec)
+		usableCkpt = fr.end
+	}
+	stats.TornCheckpointBytes = int64(len(ckptBytes)) - usableCkpt
+	stats.CheckpointRecords = len(records)
+
+	// Make the surviving prefixes the whole truth before touching the
+	// engine: once truncated, a second crash during recovery replays the
+	// exact same state.
+	if err := st.Truncate(StreamWAL, validWAL); err != nil {
+		return nil, nil, fmt.Errorf("recovery: truncating WAL: %w", err)
+	}
+	if err := st.Truncate(StreamCheckpoint, usableCkpt); err != nil {
+		return nil, nil, fmt.Errorf("recovery: truncating checkpoint log: %w", err)
+	}
+
+	// Load the composed checkpoint state and fast-forward progress to
+	// the anchor.
+	segs := composeChain(records)
+	lastFPs := make(map[segKey]uint64, len(segs))
+	for i := range segs {
+		sg := &segs[i]
+		if err := eng.LoadTaskEpoch(topology.StoreID(sg.key.store), sg.key.part, sg.key.epoch, sg.tps, sg.seqs); err != nil {
+			return nil, nil, fmt.Errorf("recovery: loading segment %s: %w", sg.key, err)
+		}
+		stats.RestoredTuples += len(sg.tps)
+		lastFPs[sg.key] = sg.fingerprint()
+	}
+	var anchor *ckptRecord
+	if len(records) > 0 {
+		anchor = records[len(records)-1]
+		eng.RestoreProgress(anchor.seq, anchor.watermark)
+		stats.AnchorSeq = anchor.seq
+	}
+	anchorPos := int64(0)
+	if anchor != nil {
+		anchorPos = anchor.walPos
+	}
+
+	// Replay the WAL suffix past the anchor. Position-based skipping is
+	// the sequence-number dedup: every record at or before the anchor
+	// position is already reflected in the restored state, and replaying
+	// the rest regenerates the exact sequence numbers the log recorded
+	// (asserted per record) because WAL order is seq order.
+	capture := &captureJournal{}
+	eng.SetJournal(capture)
+	var loggedEvicts []walRecord
+	for _, rec := range walRecords {
+		if rec.end <= anchorPos {
+			if rec.kind == walIngest {
+				stats.SkippedIngests++
+			}
+			continue
+		}
+		switch rec.kind {
+		case walIngest:
+			if err := eng.Ingest(rec.rel, rec.ts, rec.vals...); err != nil {
+				eng.SetJournal(nil)
+				return nil, nil, fmt.Errorf("recovery: replaying seq %d: %w", rec.seq, err)
+			}
+			if got := eng.Seq(); got != rec.seq {
+				eng.SetJournal(nil)
+				return nil, nil, fmt.Errorf("%w: replay produced seq %d for logged seq %d (lossy admission cannot replay)",
+					ErrCorruptWAL, got, rec.seq)
+			}
+			stats.ReplayedIngests++
+		case walPrune:
+			eng.PruneBefore(rec.cut)
+			stats.ReplayedPrunes++
+		case walEvict:
+			loggedEvicts = append(loggedEvicts, rec)
+		}
+	}
+	eng.Drain()
+	eng.SetJournal(nil)
+	if err := eng.Failure(); err != nil {
+		return nil, nil, fmt.Errorf("recovery: engine failed during replay: %w", err)
+	}
+	stats.EvictMismatches = diffEvicts(loggedEvicts, capture.evicts)
+	stats.LastSeq = eng.Seq()
+
+	// Continue the run under the same log: the Manager picks up at the
+	// surviving WAL position, diffing future checkpoints against the
+	// restored chain's segments.
+	mgr := &Manager{
+		st:        st,
+		cfg:       cfg,
+		eng:       eng,
+		walPos:    validWAL,
+		anchorPos: anchorPos,
+		lastFPs:   lastFPs,
+		sinceCkpt: stats.ReplayedIngests,
+	}
+	eng.SetJournal(mgr)
+	return mgr, stats, nil
+}
+
+// diffEvicts compares logged and re-made evictions as multisets over
+// (store, partition, epoch, tuples) — the sequence number at eviction
+// time is schedule-dependent bookkeeping, not part of the decision.
+func diffEvicts(logged, remade []walRecord) int {
+	counts := map[segKey]map[int]int{}
+	bump := func(r walRecord, d int) {
+		k := segKey{store: r.store, part: r.part, epoch: r.epoch}
+		if counts[k] == nil {
+			counts[k] = map[int]int{}
+		}
+		counts[k][r.tuples] += d
+	}
+	for _, r := range logged {
+		bump(r, 1)
+	}
+	for _, r := range remade {
+		bump(r, -1)
+	}
+	mismatches := 0
+	for _, byTuples := range counts {
+		for _, n := range byTuples {
+			if n > 0 {
+				mismatches += n
+			} else {
+				mismatches -= n
+			}
+		}
+	}
+	return mismatches
+}

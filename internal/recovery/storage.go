@@ -1,0 +1,180 @@
+// Package recovery gives a CLASH engine durable crash recovery
+// (DESIGN.md §11): a write-ahead log of every ingested source tuple and
+// every prune/evict decision, periodic incremental checkpoints of
+// materialized state anchored to WAL positions, and a Recover path that
+// composes the newest usable checkpoint chain and replays the WAL
+// suffix with sequence-number deduplication — exactly-once results
+// across a crash when paired with CommittedSink's output commit.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Stream names within a Storage. The WAL and the checkpoint log are
+// separate append-only streams so a torn tail on one never corrupts
+// the other.
+const (
+	StreamWAL        = "wal"
+	StreamCheckpoint = "checkpoint"
+)
+
+// Storage is the durability substrate behind the recovery layer: a set
+// of named append-only byte streams. Appends must be atomic with
+// respect to concurrent Append calls on the same Storage (the Manager
+// serializes its own appends; the contract matters for torn-write
+// semantics: a crash may truncate the tail of a stream but never
+// reorder or interleave records).
+type Storage interface {
+	// Append appends b to the named stream, creating it if absent.
+	Append(stream string, b []byte) error
+	// Load returns the entire current content of the stream (empty,
+	// nil error for an absent stream).
+	Load(stream string) ([]byte, error)
+	// Truncate shortens the stream to n bytes — recovery discards torn
+	// tails with it, and fault injection (sim.TornWrite) abuses it to
+	// model a crash mid-write.
+	Truncate(stream string, n int64) error
+}
+
+// MemStorage is an in-memory Storage: the deterministic-simulation
+// crash harness's substrate (a "crash" abandons the engine but keeps
+// the storage, exactly like a real process losing its memory but not
+// its disk).
+type MemStorage struct {
+	mu      sync.Mutex
+	streams map[string][]byte
+}
+
+// NewMemStorage returns an empty in-memory storage.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{streams: map[string][]byte{}}
+}
+
+func (s *MemStorage) Append(stream string, b []byte) error {
+	s.mu.Lock()
+	s.streams[stream] = append(s.streams[stream], b...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *MemStorage) Load(stream string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(s.streams[stream]))
+	copy(cp, s.streams[stream])
+	return cp, nil
+}
+
+func (s *MemStorage) Truncate(stream string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.streams[stream]
+	if n < 0 || n > int64(len(cur)) {
+		return fmt.Errorf("recovery: truncate %s to %d: stream has %d bytes", stream, n, len(cur))
+	}
+	s.streams[stream] = cur[:n:n]
+	return nil
+}
+
+// Size returns the stream's current length (test and harness helper).
+func (s *MemStorage) Size(stream string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.streams[stream]))
+}
+
+// DirStorage stores each stream as a file in one directory. Appends go
+// through an O_APPEND descriptor; Sync forces an fsync per append —
+// without it a crash can tear the last record(s), which is precisely
+// the torn tail the frame scanner recovers from.
+type DirStorage struct {
+	dir  string
+	sync bool
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewDirStorage opens (creating if needed) a directory-backed storage.
+// syncEachAppend trades throughput for the strongest durability.
+func NewDirStorage(dir string, syncEachAppend bool) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: storage dir: %w", err)
+	}
+	return &DirStorage{dir: dir, sync: syncEachAppend, files: map[string]*os.File{}}, nil
+}
+
+func (s *DirStorage) path(stream string) string {
+	return filepath.Join(s.dir, stream+".log")
+}
+
+func (s *DirStorage) file(stream string) (*os.File, error) {
+	if f := s.files[stream]; f != nil {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.path(stream), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.files[stream] = f
+	return f, nil
+}
+
+func (s *DirStorage) Append(stream string, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(stream)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if s.sync {
+		return f.Sync()
+	}
+	return nil
+}
+
+func (s *DirStorage) Load(stream string) ([]byte, error) {
+	b, err := os.ReadFile(s.path(stream))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return b, err
+}
+
+func (s *DirStorage) Truncate(stream string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Drop the cached append handle: O_APPEND descriptors and truncation
+	// interact per-write, and reopening is cheap on this cold path.
+	if f := s.files[stream]; f != nil {
+		f.Close()
+		delete(s.files, stream)
+	}
+	err := os.Truncate(s.path(stream), n)
+	if errors.Is(err, os.ErrNotExist) && n == 0 {
+		return nil
+	}
+	return err
+}
+
+// Close releases the storage's open file handles.
+func (s *DirStorage) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, name)
+	}
+	return first
+}

@@ -1,0 +1,271 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"clash/internal/tuple"
+)
+
+func ingestFrame(t *testing.T, rel string, ts tuple.Time, seq uint64, vals ...tuple.Value) []byte {
+	t.Helper()
+	return appendFrame(nil, appendIngestRecord(nil, rel, ts, vals, seq))
+}
+
+// TestWALRecordRoundTrip: every record kind encodes and decodes to
+// itself through the frame layer.
+func TestWALRecordRoundTrip(t *testing.T) {
+	var log []byte
+	log = append(log, ingestFrame(t, "R", 7, 1, tuple.IntValue(42), tuple.StringValue("x"))...)
+	log = append(log, appendFrame(nil, appendPruneRecord(nil, -3))...)
+	log = append(log, appendFrame(nil, appendEvictRecord(nil, "store-S", 2, 5, 17, 9))...)
+
+	frames, valid := scanFrames(log)
+	if valid != int64(len(log)) {
+		t.Fatalf("valid prefix %d, want %d", valid, len(log))
+	}
+	if len(frames) != 3 {
+		t.Fatalf("%d frames, want 3", len(frames))
+	}
+	recs := make([]walRecord, len(frames))
+	for i, fr := range frames {
+		rec, err := decodeWALRecord(fr.payload)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		recs[i] = rec
+	}
+	if recs[0].kind != walIngest || recs[0].rel != "R" || recs[0].ts != 7 || recs[0].seq != 1 {
+		t.Errorf("ingest decoded as %+v", recs[0])
+	}
+	if len(recs[0].vals) != 2 || recs[0].vals[0] != tuple.IntValue(42) || recs[0].vals[1] != tuple.StringValue("x") {
+		t.Errorf("ingest values decoded as %v", recs[0].vals)
+	}
+	if recs[1].kind != walPrune || recs[1].cut != -3 {
+		t.Errorf("prune decoded as %+v", recs[1])
+	}
+	if recs[2].kind != walEvict || recs[2].store != "store-S" || recs[2].part != 2 ||
+		recs[2].epoch != 5 || recs[2].tuples != 17 || recs[2].seq != 9 {
+		t.Errorf("evict decoded as %+v", recs[2])
+	}
+	if frames[2].end != int64(len(log)) {
+		t.Errorf("last frame end %d, want %d", frames[2].end, len(log))
+	}
+}
+
+// TestScanFramesTornTail: truncating a valid log at EVERY byte offset
+// must yield the longest record prefix that fits — never a panic, never
+// a partial record, never a lost complete record.
+func TestScanFramesTornTail(t *testing.T) {
+	var log []byte
+	var ends []int64
+	for seq := uint64(1); seq <= 8; seq++ {
+		log = append(log, ingestFrame(t, "R", tuple.Time(seq), seq, tuple.IntValue(int64(seq)))...)
+		ends = append(ends, int64(len(log)))
+	}
+	for cut := 0; cut <= len(log); cut++ {
+		frames, valid := scanFrames(log[:cut])
+		wantRecs := 0
+		for _, e := range ends {
+			if e <= int64(cut) {
+				wantRecs++
+			}
+		}
+		if len(frames) != wantRecs {
+			t.Fatalf("cut %d: %d frames, want %d", cut, len(frames), wantRecs)
+		}
+		if wantRecs > 0 && valid != ends[wantRecs-1] {
+			t.Fatalf("cut %d: valid prefix %d, want %d", cut, valid, ends[wantRecs-1])
+		}
+	}
+}
+
+// TestScanFramesStopsAtCorruption: a bit flip inside a frame stops the
+// scan at the preceding boundary (the corrupted frame and everything
+// after it are treated as torn).
+func TestScanFramesStopsAtCorruption(t *testing.T) {
+	a := ingestFrame(t, "R", 1, 1, tuple.IntValue(1))
+	b := ingestFrame(t, "S", 2, 2, tuple.IntValue(2))
+	log := append(append([]byte{}, a...), b...)
+	log[len(a)+len(b)/2] ^= 0x40
+
+	frames, valid := scanFrames(log)
+	if len(frames) != 1 || valid != int64(len(a)) {
+		t.Fatalf("got %d frames / %d valid bytes, want 1 / %d", len(frames), valid, len(a))
+	}
+}
+
+// TestDecodeWALRecordRejectsTruncation: a CRC-valid but truncated
+// payload is structural corruption, reported as wrapped ErrCorruptWAL
+// for every truncation point — never a panic, never a silent success.
+func TestDecodeWALRecordRejectsTruncation(t *testing.T) {
+	payloads := [][]byte{
+		appendIngestRecord(nil, "Rel", 12, []tuple.Value{tuple.IntValue(3), tuple.StringValue("abc")}, 4),
+		appendPruneRecord(nil, 99),
+		appendEvictRecord(nil, "store", 1, 2, 3, 4),
+	}
+	for pi, payload := range payloads {
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := decodeWALRecord(payload[:cut]); err == nil {
+				t.Errorf("payload %d truncated to %d bytes decoded successfully", pi, cut)
+			} else if !errors.Is(err, ErrCorruptWAL) {
+				t.Errorf("payload %d cut %d: error %v does not wrap ErrCorruptWAL", pi, cut, err)
+			}
+		}
+		if _, err := decodeWALRecord(append(append([]byte{}, payload...), 0)); !errors.Is(err, ErrCorruptWAL) {
+			t.Errorf("payload %d with trailing byte: %v", pi, err)
+		}
+	}
+	if _, err := decodeWALRecord([]byte{99}); !errors.Is(err, ErrCorruptWAL) {
+		t.Errorf("unknown kind: %v", err)
+	}
+}
+
+// TestFrameEnds: exported boundary helper matches the scanner.
+func TestFrameEnds(t *testing.T) {
+	var log []byte
+	var want []int64
+	for seq := uint64(1); seq <= 3; seq++ {
+		log = append(log, ingestFrame(t, "R", tuple.Time(seq), seq)...)
+		want = append(want, int64(len(log)))
+	}
+	got := FrameEnds(append(log, 0xFF, 0xFF)) // torn garbage tail
+	if len(got) != len(want) {
+		t.Fatalf("%d boundaries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("boundary %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCkptRecordRoundTrip: checkpoint records survive encode/decode
+// with schema table, drops, and anchored positions intact.
+func TestCkptRecordRoundTrip(t *testing.T) {
+	s := tuple.NewSchema("a", "ts")
+	tp1 := tuple.New(s, 5, tuple.IntValue(1), tuple.IntValue(5))
+	tp2 := tuple.New(s, 6, tuple.IntValue(2), tuple.IntValue(6))
+	segs := []segment{{
+		key:  segKey{store: "st", part: 1, epoch: 2},
+		tps:  []*tuple.Tuple{tp1, tp2},
+		seqs: []uint64{10, 11},
+	}}
+	drops := []segKey{{store: "st", part: 0, epoch: 1}}
+	payload := appendCkptRecord(nil, 1234, 11, 6, drops, segs)
+
+	rec, err := decodeCkptRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.walPos != 1234 || rec.seq != 11 || rec.watermark != 6 {
+		t.Errorf("anchor decoded as pos=%d seq=%d wm=%d", rec.walPos, rec.seq, rec.watermark)
+	}
+	if len(rec.drops) != 1 || rec.drops[0] != drops[0] {
+		t.Errorf("drops decoded as %v", rec.drops)
+	}
+	if len(rec.segs) != 1 || rec.segs[0].key != segs[0].key || len(rec.segs[0].tps) != 2 {
+		t.Fatalf("segments decoded as %+v", rec.segs)
+	}
+	if rec.segs[0].seqs[0] != 10 || rec.segs[0].seqs[1] != 11 {
+		t.Errorf("entry seqs decoded as %v", rec.segs[0].seqs)
+	}
+	if rec.segs[0].fingerprint() != segs[0].fingerprint() {
+		t.Error("fingerprint changed across round trip")
+	}
+
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeCkptRecord(payload[:cut]); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("cut %d: error %v does not wrap ErrCorruptCheckpoint", cut, err)
+		}
+	}
+}
+
+// TestComposeChain: later records override earlier segments, drops
+// remove them, and the composed set comes out sorted.
+func TestComposeChain(t *testing.T) {
+	s := tuple.NewSchema("a", "ts")
+	mk := func(store string, part int, epoch int64, seqs ...uint64) segment {
+		sg := segment{key: segKey{store: store, part: part, epoch: epoch}}
+		for _, q := range seqs {
+			sg.tps = append(sg.tps, tuple.New(s, tuple.Time(q), tuple.IntValue(int64(q)), tuple.IntValue(int64(q))))
+			sg.seqs = append(sg.seqs, q)
+		}
+		return sg
+	}
+	recs := []*ckptRecord{
+		{segs: []segment{mk("b", 0, 0, 1), mk("a", 1, 0, 2)}},
+		{segs: []segment{mk("b", 0, 0, 1, 3), mk("a", 0, 5, 4)}},
+		{drops: []segKey{{store: "a", part: 1, epoch: 0}}},
+	}
+	got := composeChain(recs)
+	if len(got) != 2 {
+		t.Fatalf("composed %d segments, want 2", len(got))
+	}
+	if got[0].key != (segKey{store: "a", part: 0, epoch: 5}) {
+		t.Errorf("first composed key %v (not sorted?)", got[0].key)
+	}
+	if got[1].key != (segKey{store: "b", part: 0, epoch: 0}) || len(got[1].tps) != 2 {
+		t.Errorf("override lost: %v with %d tuples", got[1].key, len(got[1].tps))
+	}
+}
+
+// TestNewManagerRejectsNonEmptyStorage: starting a fresh journal over
+// existing history must fail (silent orphaning), pointing at Recover.
+func TestNewManagerRejectsNonEmptyStorage(t *testing.T) {
+	st := NewMemStorage()
+	if _, err := NewManager(st, Config{}); err != nil {
+		t.Fatalf("empty storage rejected: %v", err)
+	}
+	if err := st.Append(StreamWAL, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(st, Config{}); !errors.Is(err, ErrStorageNotEmpty) {
+		t.Errorf("non-empty WAL: error %v does not wrap ErrStorageNotEmpty", err)
+	}
+}
+
+// TestDirStorageRoundTrip: the file-backed storage appends, loads,
+// truncates (incl. mid-frame), and survives reopening.
+func TestDirStorageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStorage(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(StreamWAL, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(StreamWAL, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := st.Load(StreamWAL); !bytes.Equal(b, []byte("helloworld")) {
+		t.Fatalf("loaded %q", b)
+	}
+	if err := st.Truncate(StreamWAL, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(StreamWAL, []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the tail written after truncation is where it belongs.
+	st2, err := NewDirStorage(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if b, _ := st2.Load(StreamWAL); !bytes.Equal(b, []byte("hellowo!")) {
+		t.Fatalf("reopened content %q", b)
+	}
+	if b, _ := st2.Load("absent"); b != nil {
+		t.Fatalf("absent stream loaded %q", b)
+	}
+	if err := st2.Truncate("absent", 0); err != nil {
+		t.Fatalf("truncate of absent stream to 0: %v", err)
+	}
+}

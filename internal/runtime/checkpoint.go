@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +39,17 @@ import (
 // writes directly into the task containers and consumes no credits.
 
 var ckptMagic = [8]byte{'C', 'L', 'S', 'H', 'C', 'K', 'P', '1'}
+
+// ErrCorruptSnapshot is reported (wrapped, with detail) by Restore for
+// any truncated or corrupt snapshot. Decoding untrusted bytes must
+// error, never panic: callers branch on errors.Is(err,
+// ErrCorruptSnapshot) to distinguish bad input from topology mismatch.
+var ErrCorruptSnapshot = errors.New("runtime: corrupt or truncated snapshot")
+
+// corruptSnapshot wraps ErrCorruptSnapshot with positional detail.
+func corruptSnapshot(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
 
 // Checkpoint writes a snapshot of all materialized state to w.
 func (e *Engine) Checkpoint(w io.Writer) error {
@@ -113,25 +125,27 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 
 // Restore loads a snapshot produced by Checkpoint into this engine.
 // The topology must already be installed; tasks referenced by the
-// snapshot must exist (same stores and parallelism).
+// snapshot must exist (same stores and parallelism). Truncated or
+// corrupt input returns a wrapped ErrCorruptSnapshot — never a panic:
+// snapshots cross a process boundary and arrive as untrusted bytes.
 func (e *Engine) Restore(r io.Reader) error {
 	buf, err := io.ReadAll(r)
 	if err != nil {
 		return fmt.Errorf("runtime: reading checkpoint: %w", err)
 	}
 	if len(buf) < len(ckptMagic) || string(buf[:8]) != string(ckptMagic[:]) {
-		return fmt.Errorf("runtime: not a CLASH checkpoint")
+		return corruptSnapshot("not a CLASH checkpoint (bad magic)")
 	}
 	buf = buf[8:]
 
 	seq, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return tuple.ErrCorrupt
+		return corruptSnapshot("truncated sequence header")
 	}
 	buf = buf[n:]
 	wm, n := binary.Varint(buf)
 	if n <= 0 {
-		return tuple.ErrCorrupt
+		return corruptSnapshot("truncated watermark header")
 	}
 	buf = buf[n:]
 
@@ -141,20 +155,20 @@ func (e *Engine) Restore(r io.Reader) error {
 	// malformed snapshot demand gigabytes (same class as the
 	// FuzzTupleCodecRoundTrip finding in DecodeSchema).
 	if n <= 0 || nSchemas > uint64(len(buf)-n) {
-		return tuple.ErrCorrupt
+		return corruptSnapshot("bad schema count")
 	}
 	buf = buf[n:]
 	schemas := make([]*tuple.Schema, nSchemas)
 	for i := range schemas {
 		schemas[i], buf, err = tuple.DecodeSchema(buf)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: schema %d: %v", ErrCorruptSnapshot, i, err)
 		}
 	}
 
 	nTasks, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return tuple.ErrCorrupt
+		return corruptSnapshot("truncated task count")
 	}
 	buf = buf[n:]
 
@@ -163,18 +177,18 @@ func (e *Engine) Restore(r io.Reader) error {
 	for ti := uint64(0); ti < nTasks; ti++ {
 		l, n := binary.Uvarint(buf)
 		if n <= 0 || uint64(len(buf)-n) < l {
-			return tuple.ErrCorrupt
+			return corruptSnapshot("truncated store id (task %d)", ti)
 		}
 		store := topology.StoreID(buf[n : n+int(l)])
 		buf = buf[n+int(l):]
 		part, n := binary.Uvarint(buf)
 		if n <= 0 {
-			return tuple.ErrCorrupt
+			return corruptSnapshot("truncated partition (task %d)", ti)
 		}
 		buf = buf[n:]
 		nEps, n := binary.Uvarint(buf)
 		if n <= 0 {
-			return tuple.ErrCorrupt
+			return corruptSnapshot("truncated epoch count (task %d)", ti)
 		}
 		buf = buf[n:]
 
@@ -182,33 +196,34 @@ func (e *Engine) Restore(r io.Reader) error {
 		for ei := uint64(0); ei < nEps; ei++ {
 			ep, n := binary.Varint(buf)
 			if n <= 0 {
-				return tuple.ErrCorrupt
+				return corruptSnapshot("truncated epoch header (%s/%d)", store, part)
 			}
 			buf = buf[n:]
 			nEntries, n := binary.Uvarint(buf)
 			if n <= 0 {
-				return tuple.ErrCorrupt
+				return corruptSnapshot("truncated entry count (%s/%d ep %d)", store, part, ep)
 			}
 			buf = buf[n:]
 			for j := uint64(0); j < nEntries; j++ {
 				sid, n := binary.Uvarint(buf)
 				if n <= 0 || sid >= nSchemas {
-					return tuple.ErrCorrupt
+					return corruptSnapshot("bad schema reference (%s/%d ep %d)", store, part, ep)
 				}
 				buf = buf[n:]
 				eseq, n := binary.Uvarint(buf)
 				if n <= 0 {
-					return tuple.ErrCorrupt
+					return corruptSnapshot("truncated entry sequence (%s/%d ep %d)", store, part, ep)
 				}
 				buf = buf[n:]
 				var tp *tuple.Tuple
 				tp, buf, err = tuple.DecodeTuple(buf, schemas[sid])
 				if err != nil {
-					return err
+					return fmt.Errorf("%w: tuple in %s/%d ep %d: %v", ErrCorruptSnapshot, store, part, ep, err)
 				}
 				if t == nil {
 					return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
 				}
+				t.markDirty(ep)
 				delta, idxDelta := t.state.insert(tp, eseq, ep)
 				t.storedCount.Add(1)
 				e.metrics.stored.Add(1)
@@ -217,11 +232,19 @@ func (e *Engine) Restore(r io.Reader) error {
 		}
 	}
 	if len(buf) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", tuple.ErrCorrupt, len(buf))
+		return corruptSnapshot("%d trailing bytes", len(buf))
 	}
 
-	// Resume sequencing after every checkpointed tuple, and restore the
-	// event-time watermark.
+	e.RestoreProgress(seq, wm)
+	return nil
+}
+
+// RestoreProgress fast-forwards the engine's source sequence counter
+// and event-time watermark to at least the given values (never
+// backwards). Restore calls it with the snapshot header; the recovery
+// layer calls it directly when a checkpoint chain restores state
+// through LoadTaskEpoch.
+func (e *Engine) RestoreProgress(seq uint64, watermark int64) {
 	for {
 		old := e.seq.Load()
 		if old >= seq || e.seq.CompareAndSwap(old, seq) {
@@ -230,9 +253,129 @@ func (e *Engine) Restore(r io.Reader) error {
 	}
 	for {
 		old := e.watermk.Load()
-		if old >= wm || e.watermk.CompareAndSwap(old, wm) {
+		if old >= watermark || e.watermk.CompareAndSwap(old, watermark) {
 			break
 		}
+	}
+}
+
+// Seq returns the engine's current source sequence counter: the number
+// of ingests admitted so far (and the dedup anchor the recovery layer
+// records with each incremental checkpoint).
+func (e *Engine) Seq() uint64 { return e.seq.Load() }
+
+// WalkState visits every materialized tuple on a quiesced engine in
+// deterministic order: tasks sorted by store then partition, epochs
+// ascending, storage order within an epoch — the same order Checkpoint
+// serializes, so two engines with identical state produce identical
+// walks regardless of backend. The incremental-checkpoint layer builds
+// its per-epoch segments and fingerprints from this walk.
+func (e *Engine) WalkState(fn func(store topology.StoreID, part int, epoch int64, tp *tuple.Tuple, seq uint64)) error {
+	e.Drain()
+	if n := e.inflight.Load(); n != 0 {
+		return fmt.Errorf("runtime: state walk requires a quiesced engine (%d messages in flight — concurrent Ingest?)", n)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	keys := make([]taskKey, 0, len(e.tasks))
+	for k := range e.tasks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].store != keys[j].store {
+			return keys[i].store < keys[j].store
+		}
+		return keys[i].part < keys[j].part
+	})
+	for _, k := range keys {
+		t := e.tasks[k]
+		for _, ep := range t.state.epochs() {
+			t.state.forEach(ep, func(tp *tuple.Tuple, seq uint64) {
+				fn(k.store, k.part, ep, tp, seq)
+			})
+		}
+	}
+	return nil
+}
+
+// WalkDirtyState visits, in the same deterministic order as WalkState,
+// every segment (store, part, epoch) whose content may have changed
+// since the engine's last ClearDirty: seg fires once per dirty epoch —
+// including epochs that no longer hold any tuples after a prune or
+// eviction — then fn fires once per tuple in it. The incremental
+// checkpointer fingerprints exactly this delta instead of the whole
+// store, so a checkpoint's cost follows the hot state, not the window.
+func (e *Engine) WalkDirtyState(
+	seg func(store topology.StoreID, part int, epoch int64),
+	fn func(store topology.StoreID, part int, epoch int64, tp *tuple.Tuple, seq uint64),
+) error {
+	e.Drain()
+	if n := e.inflight.Load(); n != 0 {
+		return fmt.Errorf("runtime: state walk requires a quiesced engine (%d messages in flight — concurrent Ingest?)", n)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	keys := make([]taskKey, 0, len(e.tasks))
+	for k := range e.tasks {
+		if len(e.tasks[k].dirtyEpochs) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].store != keys[j].store {
+			return keys[i].store < keys[j].store
+		}
+		return keys[i].part < keys[j].part
+	})
+	for _, k := range keys {
+		t := e.tasks[k]
+		eps := make([]int64, 0, len(t.dirtyEpochs))
+		for ep := range t.dirtyEpochs {
+			eps = append(eps, ep)
+		}
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+		for _, ep := range eps {
+			seg(k.store, k.part, ep)
+			t.state.forEach(ep, func(tp *tuple.Tuple, seq uint64) {
+				fn(k.store, k.part, ep, tp, seq)
+			})
+		}
+	}
+	return nil
+}
+
+// ClearDirty resets every task's dirty-epoch set. The checkpointer
+// calls it once its checkpoint record is durable; a failed append
+// leaves the sets intact so the next attempt re-walks the same delta.
+func (e *Engine) ClearDirty() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, t := range e.tasks {
+		clear(t.dirtyEpochs)
+	}
+}
+
+// LoadTaskEpoch inserts checkpointed tuples directly into one task's
+// epoch container, with full gauge and byte accounting — the recovery
+// layer's restore primitive (a composed incremental-checkpoint chain is
+// a set of per-task-epoch segments). The topology must be installed and
+// the engine quiet; like Restore, it bypasses flow control entirely.
+func (e *Engine) LoadTaskEpoch(store topology.StoreID, part int, epoch int64, tps []*tuple.Tuple, seqs []uint64) error {
+	if len(tps) != len(seqs) {
+		return fmt.Errorf("runtime: LoadTaskEpoch: %d tuples but %d sequence numbers", len(tps), len(seqs))
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t := e.tasks[taskKey{store: store, part: part}]
+	if t == nil {
+		return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
+	}
+	t.markDirty(epoch)
+	for i, tp := range tps {
+		delta, idxDelta := t.state.insert(tp, seqs[i], epoch)
+		t.storedCount.Add(1)
+		e.metrics.stored.Add(1)
+		t.accountState(delta, idxDelta)
 	}
 	return nil
 }

@@ -94,6 +94,19 @@ type Config struct {
 	// Observer, when set, is called for every ingested tuple — the
 	// statistics-gathering tap of Fig. 2 (wire it to a stats.Collector).
 	Observer func(rel string, t *tuple.Tuple)
+	// Journal, when set, receives write-ahead records for every ingested
+	// source tuple, prune cutoff, and bounded-memory eviction
+	// (journal.go; internal/recovery implements it). It can also be
+	// attached later with SetJournal — recovery replays a log with the
+	// journal detached so replayed traffic is not re-logged.
+	Journal Journal
+	// Supervision tunes the task panic supervisor (supervise.go): every
+	// substrate's task-execution path runs under recover(), panicked
+	// messages are redelivered after exponential backoff, and a task
+	// that exhausts its restart budget fails the engine with a wrapped
+	// ErrTaskFailed instead of killing the process. The zero value
+	// allows 3 restarts per consecutive-panic streak.
+	Supervision SupervisionConfig
 
 	// legacyProbe switches tasks to the uncompiled, string-resolved
 	// probe path that predates the compiled-plan layer. It exists as a
@@ -192,6 +205,8 @@ type Engine struct {
 	watermk     atomic.Int64 // max event time observed
 	failure     atomic.Value // error
 	stopped     atomic.Bool
+	stopDone    chan struct{} // closed when the winning Stop finishes
+	jrnl        atomic.Pointer[journalBox]
 }
 
 type epochConfig struct {
@@ -210,8 +225,10 @@ func New(cfg Config) *Engine {
 		pinnedPart: map[topology.StoreID]query.Attr{},
 		schemas:    map[string]*tuple.Schema{},
 		sinks:      map[string]func(*tuple.Tuple){},
+		stopDone:   make(chan struct{}),
 	}
 	e.qCond = sync.NewCond(&e.qMu)
+	e.SetJournal(cfg.Journal)
 	kind := cfg.Substrate
 	if kind == SubstrateAuto {
 		if cfg.Synchronous {
@@ -468,6 +485,19 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	t := tuple.New(schema, ts, full...)
 
 	seq := e.seq.Add(1)
+	// Write-ahead: the record must be durable before the tuple takes any
+	// effect. A tuple that fails to log is never processed (the engine
+	// fails instead of diverging from its log); a logged tuple can
+	// always be replayed under the same sequence number. The record
+	// reads the source values through full's prefix, not vals: vals
+	// crossing the interface would escape the caller's variadic slice
+	// to the heap on every ingest, journaled or not.
+	if j := e.journal(); j != nil {
+		if err := j.LogIngest(rel, ts, full[:len(vals)], seq); err != nil {
+			e.fail(fmt.Errorf("runtime: write-ahead log append: %w", err))
+			return e.Failure()
+		}
+	}
 	for {
 		old := e.watermk.Load()
 		if int64(ts) <= old || e.watermk.CompareAndSwap(old, int64(ts)) {
@@ -749,8 +779,31 @@ func (e *Engine) send(k taskKey, msg message) {
 }
 
 // dispatch handles one delivered message on its task — the single
-// per-message execution path shared by every substrate (flow.go).
+// per-message execution path shared by every substrate (flow.go). The
+// guarded inner call runs under the panic supervisor (supervise.go);
+// the in-flight decrement stays out here so a redelivered message's
+// fresh increment and this decrement always balance.
 func (e *Engine) dispatch(t *task, msg *message) {
+	e.dispatchGuarded(t, msg)
+	if e.inflight.Add(-1) == 0 {
+		e.notifySettled()
+	}
+}
+
+// dispatchGuarded executes one message under panic isolation: a panic
+// anywhere in the task's handling path (store, probe, forward, sink
+// callback) is recovered and handed to the supervisor instead of
+// killing the process.
+func (e *Engine) dispatchGuarded(t *task, msg *message) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.superviseTaskPanic(t, msg, r)
+		}
+	}()
+	if t.injectPanic {
+		t.injectPanic = false
+		panic(errInjectedPanic)
+	}
 	switch msg.kind {
 	case kindPrune:
 		t.prune(tuple.Time(msg.epoch))
@@ -762,6 +815,22 @@ func (e *Engine) dispatch(t *task, msg *message) {
 		// Prune housekeeping stays out of the load gauge: Handled
 		// feeds pressure decisions about data throughput.
 		t.handled.Add(1)
+	}
+	// A message handled end-to-end ends any consecutive-panic streak:
+	// the restart budget bounds streaks, not the task's lifetime.
+	if t.restartStreak != 0 {
+		t.restartStreak = 0
+	}
+}
+
+// dropUndelivered compensates the accounting of a message a substrate
+// could not deliver (its mailbox closed under a concurrent Stop): the
+// send path already counted it in flight, so the drop must balance the
+// books or a later Drain would wait forever on a message that no task
+// will ever handle.
+func (e *Engine) dropUndelivered(msg *message) {
+	if msg.kind == kindData {
+		e.queuedBytes.Add(-msg.memSize())
 	}
 	if e.inflight.Add(-1) == 0 {
 		e.notifySettled()
@@ -803,11 +872,19 @@ func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
 func (e *Engine) Drain() { e.sub.drain() }
 
 // Stop drains and terminates all tasks. A producer blocked at the flow
-// substrate's admission gate is woken and observes the stop.
+// substrate's admission gate is woken and observes the stop. Stop is
+// idempotent and safe to call concurrently: exactly one caller performs
+// the shutdown, every other caller blocks until it has finished, so no
+// Stop ever returns while tasks are still running.
 func (e *Engine) Stop() {
 	if e.stopped.Swap(true) {
+		<-e.stopDone
 		return
 	}
+	// Wake producers parked at the admission gate first: they observe
+	// the stopped flag and return, so the drain below cannot race a
+	// blocked Ingest that would emit after quiescence.
+	e.sub.wake()
 	e.Drain()
 	e.mu.Lock()
 	for _, t := range e.tasks {
@@ -817,6 +894,15 @@ func (e *Engine) Stop() {
 	}
 	e.mu.Unlock()
 	e.sub.stop()
+	close(e.stopDone)
+}
+
+// Close stops the engine. It exists so an Engine satisfies io.Closer
+// in teardown paths and is, like Stop, idempotent and safe to call
+// concurrently (and after Stop).
+func (e *Engine) Close() error {
+	e.Stop()
+	return nil
 }
 
 // StoreSizes returns per-store materialized tuple counts, for memory
@@ -852,6 +938,14 @@ func (e *Engine) TaskSizes() map[topology.StoreID][]int64 {
 // in every task (window expiry; called by the adaptive controller and
 // tests).
 func (e *Engine) PruneBefore(cut tuple.Time) {
+	// Log-before-apply, like Ingest: replay re-delivers the cutoff at
+	// the same point in the record order, so pruned state converges.
+	if j := e.journal(); j != nil {
+		if err := j.LogPrune(cut); err != nil {
+			e.fail(fmt.Errorf("runtime: write-ahead log append: %w", err))
+			return
+		}
+	}
 	e.mu.RLock()
 	tasks := make([]*task, 0, len(e.tasks))
 	for _, t := range e.tasks {

@@ -135,17 +135,24 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) put(msg message) {
+// put enqueues one message and reports whether the mailbox accepted it.
+// A closed mailbox (the engine is stopping) rejects: the caller must
+// compensate the message's accounting (Engine.dropUndelivered) or a
+// post-stop Drain would wait forever on a message nothing will handle.
+func (m *mailbox) put(msg message) bool {
 	m.mu.Lock()
-	if !m.closed {
-		if m.count == len(m.buf) {
-			m.grow()
-		}
-		m.buf[(m.head+m.count)%len(m.buf)] = msg
-		m.count++
+	if m.closed {
+		m.mu.Unlock()
+		return false
 	}
+	if m.count == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.count)%len(m.buf)] = msg
+	m.count++
 	m.mu.Unlock()
 	m.cond.Signal()
+	return true
 }
 
 // grow doubles the ring, unwrapping it so the oldest message lands at
@@ -320,10 +327,14 @@ func (u *unboundedSubstrate) reentrant() bool {
 	return u.taskIDs[curGoroutineID()]
 }
 
-func (u *unboundedSubstrate) send(t *task, msg message) { t.mailbox.put(msg) }
-func (u *unboundedSubstrate) admit() bool               { return true }
-func (u *unboundedSubstrate) wake()                     {}
-func (u *unboundedSubstrate) stop()                     { u.wg.Wait() }
+func (u *unboundedSubstrate) send(t *task, msg message) {
+	if !t.mailbox.put(msg) {
+		u.e.dropUndelivered(&msg)
+	}
+}
+func (u *unboundedSubstrate) admit() bool { return true }
+func (u *unboundedSubstrate) wake()       {}
+func (u *unboundedSubstrate) stop()       { u.wg.Wait() }
 
 // drain parks until the in-flight count settles (engine.waitSettled);
 // the last dispatch's decrement-to-zero wakes it. No sleep-polling: a
@@ -432,7 +443,13 @@ func (f *flowSubstrate) start(t *task) {
 
 func (f *flowSubstrate) send(t *task, msg message) {
 	f.credits.Add(-1)
-	t.mailbox.put(msg)
+	if !t.mailbox.put(msg) {
+		// Stop closed the mailbox under us: refund the credit and the
+		// engine-side accounting; nothing will ever dispatch this message.
+		f.addCredits(1)
+		f.e.dropUndelivered(&msg)
+		return
+	}
 	if t.sched.CompareAndSwap(0, 1) {
 		f.pool.enqueue(t)
 	}

@@ -28,6 +28,12 @@ type Metrics struct {
 	evictedTuples atomic.Int64 // tuples those epochs carried
 	retiredTuples atomic.Int64 // tuples released by store retirement
 
+	// Supervisor counters (supervise.go): panics recovered on the
+	// task-execution path, and how many of those led to a supervised
+	// restart (the rest exhausted the budget and failed the engine).
+	recoveredPanics atomic.Int64
+	taskRestarts    atomic.Int64
+
 	mu        sync.Mutex
 	byQuery   map[string]int64
 	latSum    time.Duration
@@ -114,6 +120,12 @@ type Snapshot struct {
 	// ShedTuples counts ingests dropped at the flow-control admission
 	// gate (SubstrateFlow with ShedOnOverload).
 	ShedTuples int64
+	// RecoveredPanics counts panics caught by the task supervisor;
+	// TaskRestarts counts the supervised restarts they triggered
+	// (RecoveredPanics > TaskRestarts means some task exhausted its
+	// restart budget and the engine failed with ErrTaskFailed).
+	RecoveredPanics int64
+	TaskRestarts    int64
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -131,23 +143,25 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Unlock()
 	avgLag, lagN := m.avgLag()
 	return Snapshot{
-		AvgLag:        avgLag,
-		LagCount:      lagN,
-		ShedTuples:    m.shed.Load(),
-		Ingested:      m.ingested.Load(),
-		ProbeSent:     m.probeSent.Load(),
-		Messages:      m.messages.Load(),
-		Stored:        m.stored.Load(),
-		StoreBytes:    m.storeBytes.Load(),
-		IndexBytes:    m.indexBytes.Load(),
-		EvictedEpochs: m.evictedEpochs.Load(),
-		EvictedTuples: m.evictedTuples.Load(),
-		RetiredTuples: m.retiredTuples.Load(),
-		Results:       m.results.Load(),
-		ByQuery:       byQ,
-		AvgLatency:    avg,
-		MaxLatency:    latMax,
-		LatCount:      latCount,
+		AvgLag:          avgLag,
+		LagCount:        lagN,
+		ShedTuples:      m.shed.Load(),
+		RecoveredPanics: m.recoveredPanics.Load(),
+		TaskRestarts:    m.taskRestarts.Load(),
+		Ingested:        m.ingested.Load(),
+		ProbeSent:       m.probeSent.Load(),
+		Messages:        m.messages.Load(),
+		Stored:          m.stored.Load(),
+		StoreBytes:      m.storeBytes.Load(),
+		IndexBytes:      m.indexBytes.Load(),
+		EvictedEpochs:   m.evictedEpochs.Load(),
+		EvictedTuples:   m.evictedTuples.Load(),
+		RetiredTuples:   m.retiredTuples.Load(),
+		Results:         m.results.Load(),
+		ByQuery:         byQ,
+		AvgLatency:      avg,
+		MaxLatency:      latMax,
+		LatCount:        latCount,
 	}
 }
 
@@ -187,6 +201,8 @@ type TaskGauge struct {
 	Backend    string // state backend serving this task
 	Handled    int64  // messages handled since spawn
 	BusyNanos  int64  // time spent handling batches (async substrates)
+	Restarts   int64  // supervised restarts after recovered panics
+	Healthy    bool   // false once the task exhausted its restart budget
 }
 
 // TaskGauges returns a pressure reading per task, sorted by store and
@@ -210,6 +226,8 @@ func (e *Engine) TaskGauges() []TaskGauge {
 			Backend:    e.cfg.StateBackend.String(),
 			Handled:    t.handled.Load(),
 			BusyNanos:  t.busyNanos.Load(),
+			Restarts:   t.restarts.Load(),
+			Healthy:    !t.failed.Load(),
 		})
 	}
 	e.mu.RUnlock()

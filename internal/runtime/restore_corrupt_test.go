@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"clash/internal/core"
+)
+
+// Snapshots cross a process boundary (recovery reads them back after a
+// crash), so Restore decodes untrusted bytes: every malformed input
+// must come back as a wrapped ErrCorruptSnapshot — never a panic, never
+// a silent partial load that looks like success.
+
+func corruptHarness(t *testing.T) (*harness, []byte) {
+	t.Helper()
+	workload := "q1: R(a) S(a,b) T(b)"
+	opts := core.Options{StoreParallelism: 2}
+	est := flatEstimates([]string{"R", "S", "T"}, 100)
+	src := newHarness(t, workload, opts, est, Config{})
+	defer src.eng.Stop()
+	src.ingestAll(t, randomStream(src.cat, 24, 4, 9))
+	var snap bytes.Buffer
+	if err := src.eng.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dst := newHarness(t, workload, opts, est, Config{})
+	return dst, snap.Bytes()
+}
+
+// TestRestoreTruncatedAtEveryOffset: cutting a valid snapshot at EVERY
+// byte offset — each a state a torn write can leave the file in — is
+// reported as ErrCorruptSnapshot at every single cut.
+func TestRestoreTruncatedAtEveryOffset(t *testing.T) {
+	dst, snap := corruptHarness(t)
+	defer dst.eng.Stop()
+	for cut := 0; cut < len(snap); cut++ {
+		err := dst.eng.Restore(bytes.NewReader(snap[:cut]))
+		if err == nil {
+			t.Fatalf("snapshot truncated to %d/%d bytes restored successfully", cut, len(snap))
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("cut %d: error %v does not wrap ErrCorruptSnapshot", cut, err)
+		}
+	}
+}
+
+// TestRestoreCorruptTable: structured corruptions beyond simple
+// truncation — damaged magic, trailing garbage, and an inflated schema
+// count (which must error out instead of pre-allocating gigabytes).
+func TestRestoreCorruptTable(t *testing.T) {
+	dst, snap := corruptHarness(t)
+	defer dst.eng.Stop()
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"damaged magic", func(b []byte) []byte {
+			b[3] ^= 0xFF
+			return b
+		}},
+		{"trailing byte", func(b []byte) []byte {
+			return append(b, 0x00)
+		}},
+		{"trailing frame", func(b []byte) []byte {
+			return append(b, b[:16]...)
+		}},
+		{"inflated schema count", func(b []byte) []byte {
+			// Header is magic(8) + seq(uvarint) + watermark(varint) +
+			// schema count; overwrite the tail with a count in the
+			// hundreds of millions and no backing bytes.
+			return append(b[:12], 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.mutate(append([]byte{}, snap...))
+			if err := dst.eng.Restore(bytes.NewReader(in)); !errors.Is(err, ErrCorruptSnapshot) {
+				t.Errorf("error %v does not wrap ErrCorruptSnapshot", err)
+			}
+		})
+	}
+}
+
+// TestRestoreBitFlipsNeverPanic: a single-bit flip at every offset may
+// decode (a flipped value byte is still a valid value) or may error —
+// but it must never panic and never over-allocate. Errors are not
+// required to wrap ErrCorruptSnapshot here: a flipped store name is a
+// topology mismatch, which Restore reports as its own error.
+func TestRestoreBitFlipsNeverPanic(t *testing.T) {
+	dst, snap := corruptHarness(t)
+	defer dst.eng.Stop()
+	for off := 0; off < len(snap); off++ {
+		flipped := append([]byte{}, snap...)
+		flipped[off] ^= 0x40
+		_ = dst.eng.Restore(bytes.NewReader(flipped)) // must return, not panic
+	}
+}

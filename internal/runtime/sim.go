@@ -55,6 +55,14 @@ type SimConfig struct {
 	// consecutive vetoes the scheduler dispatches anyway (a liveness
 	// backstop, traced as a normal dispatch).
 	Stall func(SimEvent) bool
+	// Panic, when set, is consulted before each dispatch: returning
+	// true makes the dispatched message panic inside the supervised
+	// task-execution path (before any state mutation), exercising the
+	// panic supervisor under the deterministic schedule. Like Stall,
+	// the hook must be deterministic and must eventually stop firing —
+	// a message that panics on every redelivery exhausts the task's
+	// restart budget and fails the engine with ErrTaskFailed.
+	Panic func(SimEvent) bool
 }
 
 // SimEvent is one scheduling decision of the simulation substrate. The
@@ -121,10 +129,13 @@ func (s *simSubstrate) start(t *task) {
 }
 
 func (s *simSubstrate) send(t *task, msg message) {
+	if !t.mailbox.put(msg) {
+		s.e.dropUndelivered(&msg)
+		return
+	}
 	if s.cfg.MailboxCredits > 0 {
 		s.credits--
 	}
-	t.mailbox.put(msg)
 	if t.sched.CompareAndSwap(0, 1) {
 		s.runq = append(s.runq, t)
 	}
@@ -209,6 +220,12 @@ func (s *simSubstrate) pump(until func() bool) {
 		ev.VNanos = s.vclock.Now()
 		if s.cfg.OnEvent != nil {
 			s.cfg.OnEvent(ev)
+		}
+		if s.cfg.Panic != nil && s.cfg.Panic(ev) {
+			// Arm a one-shot injected panic: dispatchGuarded panics
+			// before touching task state, so the supervised redelivery
+			// preserves result exactness.
+			t.injectPanic = true
 		}
 		s.e.dispatch(t, &buf[0])
 		t.busyNanos.Add(s.cfg.StepNanos)

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"clash/internal/topology"
@@ -34,6 +35,12 @@ type task struct {
 	stateBytes    atomic.Int64 // resident bytes incl. index overhead
 	stateIdxBytes atomic.Int64 // index-overhead portion of stateBytes
 	spin          uint64       // overhead-emulation sink
+	// dirtyEpochs tracks epochs whose materialized content changed
+	// since the engine's last ClearDirty — the delta the incremental
+	// checkpointer walks (WalkDirtyState) instead of the whole store.
+	// Touched only on the task's execution context or on a quiesced
+	// engine, like state itself.
+	dirtyEpochs map[int64]struct{}
 
 	// Scheduling and pressure state. sched is the worker-pool claim
 	// flag (scheduler.go): 0 parked, 1 queued-or-running. handled and
@@ -41,6 +48,16 @@ type task struct {
 	sched     atomic.Int32
 	handled   atomic.Int64
 	busyNanos atomic.Int64
+
+	// Supervisor state (supervise.go). restartStreak counts consecutive
+	// panics and is touched only by the goroutine executing the task;
+	// restarts and failed are the cross-goroutine health gauges.
+	// injectPanic arms a one-shot panic at the next dispatch — the
+	// simulation substrate's TaskPanic fault hook.
+	restartStreak int
+	injectPanic   bool
+	restarts      atomic.Int64
+	failed        atomic.Bool
 
 	// wins lists the windowed base relations materialized here; probe
 	// plans resolve the τ columns per stored schema against it
@@ -195,11 +212,21 @@ func (t *task) stateFor(rp *rulePlan) *planState {
 	return st
 }
 
+// markDirty records an epoch whose materialized content changed since
+// the last incremental checkpoint.
+func (t *task) markDirty(ep int64) {
+	if t.dirtyEpochs == nil {
+		t.dirtyEpochs = map[int64]struct{}{}
+	}
+	t.dirtyEpochs[ep] = struct{}{}
+}
+
 func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 	// State is keyed by the tuple's arrival epoch: each tuple is
 	// materialized exactly once, and probes scan all epochs within
 	// their window.
 	ep := t.e.Epoch(tp.TS)
+	t.markDirty(ep)
 	delta, idxDelta := t.state.insert(tp, seq, ep)
 	t.storedCount.Add(1)
 	t.e.metrics.stored.Add(1)
@@ -223,21 +250,46 @@ func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 // evictToLimit sheds this task's oldest epochs until global state fits
 // the budget again or only the arrival epoch remains, counting every
 // drop. Deterministic: eviction happens on the task's own execution
-// context, ordered by the schedule like any other state mutation.
+// context, ordered by the schedule like any other state mutation. Each
+// shed epoch is journaled as an observed decision (journal.go): replay
+// re-makes evictions by re-running inserts, and recovery can verify
+// the re-made decisions against the logged ones.
 func (t *task) evictToLimit(lim int64) (bytes int64) {
 	bytes = t.e.metrics.storeBytes.Load()
 	for bytes > lim {
-		_, removed, delta, idxDelta, ok := t.state.dropOldest()
+		epoch, removed, delta, idxDelta, ok := t.state.dropOldest()
 		if !ok {
 			return bytes
 		}
+		t.markDirty(epoch)
 		t.storedCount.Add(int64(-removed))
 		t.e.metrics.stored.Add(int64(-removed))
 		t.e.metrics.evictedEpochs.Add(1)
 		t.e.metrics.evictedTuples.Add(int64(removed))
+		if j := t.e.journal(); j != nil {
+			if err := j.LogEvict(t.key.store, t.key.part, epoch, removed, t.e.seq.Load()); err != nil {
+				t.e.fail(fmt.Errorf("runtime: write-ahead log append: %w", err))
+			}
+		}
 		bytes = t.accountState(delta, idxDelta)
 	}
 	return bytes
+}
+
+// resetVolatile drops the task's rebuildable caches after a supervised
+// panic: compiled-plan bindings, schema-position caches, probe scratch.
+// Materialized state and its gauges stay — they are the task's durable
+// content; the caches are rebuilt from the installed configs on the
+// next message.
+func (t *task) resetVolatile() {
+	t.planComp, t.edgePlans = nil, nil
+	t.states = map[*rulePlan]*planState{}
+	t.prevComp, t.prevStates = nil, nil
+	t.lastPlan, t.lastState = nil, nil
+	t.resultsFree = nil
+	t.visit = probeVisit{}
+	t.schemaCache = map[[2]*tuple.Schema]*tuple.Schema{}
+	t.lastJoinKey, t.lastJoined = [2]*tuple.Schema{}, nil
 }
 
 // probeVisit is the compiled probe's per-candidate state: the backend
@@ -462,6 +514,16 @@ func (t *task) forward(out []emitStep, msg *message, results []*tuple.Tuple) {
 // backend maintains its indices across the prune (no rebuild on the
 // next probe) and releases emptied epochs entirely.
 func (t *task) prune(cut tuple.Time) {
+	// A prune can only touch epochs at or below the cutoff's epoch
+	// (a tuple's epoch is derived from the same timestamp the prune
+	// compares against). Marking them before the prune keeps vanished
+	// epochs visible to the dirty walk as empty segments.
+	cutEp := t.e.Epoch(cut)
+	for _, ep := range t.state.epochs() {
+		if ep <= cutEp {
+			t.markDirty(ep)
+		}
+	}
 	removed, delta, idxDelta := t.state.prune(cut)
 	if removed == 0 && delta == 0 {
 		return
@@ -475,6 +537,9 @@ func (t *task) prune(cut tuple.Time) {
 // retirement: the store is absent from every installed configuration,
 // so no probe can ever reach this state again).
 func (t *task) clearState() {
+	for _, ep := range t.state.epochs() {
+		t.markDirty(ep)
+	}
 	removed, delta, idxDelta := t.state.clear()
 	if removed == 0 && delta == 0 {
 		return

@@ -20,6 +20,11 @@ type Fault interface {
 	// and tuple contents are never changed — only when each tuple is
 	// offered to the engine).
 	Deliver(ins []runtime.Ingestion) []runtime.Ingestion
+	// Panic is consulted on each dispatch; returning true makes the
+	// picked task panic before it touches any state, exercising the
+	// supervisor's recover-and-restart path. Must be a deterministic
+	// function of the event.
+	Panic(ev runtime.SimEvent) bool
 }
 
 // nopFault provides no-op defaults for embedding.
@@ -27,6 +32,7 @@ type nopFault struct{}
 
 func (nopFault) Stall(runtime.SimEvent) bool                         { return false }
 func (nopFault) Deliver(ins []runtime.Ingestion) []runtime.Ingestion { return ins }
+func (nopFault) Panic(runtime.SimEvent) bool                         { return false }
 
 // TaskStall freezes matching store tasks on a deterministic cadence:
 // through step Until, every Every-th pick of a matching task is vetoed.
@@ -51,6 +57,47 @@ func (f TaskStall) Stall(ev runtime.SimEvent) bool {
 	}
 	if until == 0 {
 		until = 512
+	}
+	if ev.Step >= until || ev.Step%every != 0 {
+		return false
+	}
+	if f.StorePrefix != "" && !strings.HasPrefix(string(ev.Store), f.StorePrefix) {
+		return false
+	}
+	if f.Part >= 0 && ev.Part != f.Part {
+		return false
+	}
+	return true
+}
+
+// TaskPanic makes matching store tasks panic on a deterministic
+// cadence: through step Until, every Every-th pick of a matching task
+// dies before touching state. The supervisor (runtime/supervise.go)
+// recovers the panic, resets the task's volatile caches, and redelivers
+// the message, so a surviving run is still exact — the fault proves the
+// restart path preserves results, not merely that the process lives.
+// Keep Every above the restart budget's reach (consecutive panics of
+// one task exhaust SupervisionConfig.MaxRestarts and fail the engine —
+// that path is tested directly in the runtime package).
+type TaskPanic struct {
+	nopFault
+	// StorePrefix selects the victim store(s) by ID prefix ("" = all).
+	StorePrefix string
+	// Part selects one partition (-1 = all).
+	Part int
+	// Every panics one in Every picks (default 7).
+	Every uint64
+	// Until stops the fault after this scheduler step (0 = step 256).
+	Until uint64
+}
+
+func (f TaskPanic) Panic(ev runtime.SimEvent) bool {
+	every, until := f.Every, f.Until
+	if every == 0 {
+		every = 7
+	}
+	if until == 0 {
+		until = 256
 	}
 	if ev.Step >= until || ev.Step%every != 0 {
 		return false

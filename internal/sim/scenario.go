@@ -55,6 +55,9 @@ type Scenario struct {
 	// the default container backend, so a columnar scenario is also a
 	// cross-backend equivalence check.
 	Backend runtime.StateBackendKind
+	// Supervision tunes the task supervisor (restart budget/backoff for
+	// recovered panics). The zero value uses the runtime defaults.
+	Supervision runtime.SupervisionConfig
 	// Faults are applied in order; CreditStarvation overrides Credits.
 	Faults []Fault
 }
@@ -106,20 +109,24 @@ func (sc *Scenario) build() ([]*query.Query, *query.Catalog, *topology.Config, e
 	return qs, cat, topo, nil
 }
 
-// Run executes the scenario once and returns its full outcome.
-func (sc *Scenario) Run() (*Result, error) {
-	qs, cat, topo, err := sc.build()
-	if err != nil {
-		return nil, err
-	}
-
+// effectiveCredits resolves the flow-control grant after fault
+// overrides (CreditStarvation wins over Scenario.Credits).
+func (sc *Scenario) effectiveCredits() int {
 	credits := sc.Credits
 	for _, f := range sc.Faults {
 		if cs, ok := f.(CreditStarvation); ok {
 			credits = cs.grant()
 		}
 	}
-	trace := &Trace{}
+	return credits
+}
+
+// engineConfig assembles the simulated engine's configuration: seeded
+// scheduler, flow-control model, fault hooks (stall vetoes and panic
+// injection), supervision, and an optional write-ahead journal — shared
+// by Run and the crash-recovery harness so both execute under the exact
+// same substrate.
+func (sc *Scenario) engineConfig(cat *query.Catalog, credits int, trace *Trace, journal runtime.Journal) runtime.Config {
 	faults := sc.Faults
 	stall := func(ev runtime.SimEvent) bool {
 		for _, f := range faults {
@@ -129,20 +136,47 @@ func (sc *Scenario) Run() (*Result, error) {
 		}
 		return false
 	}
-	eng := runtime.New(runtime.Config{
+	panicAt := func(ev runtime.SimEvent) bool {
+		for _, f := range faults {
+			if f.Panic(ev) {
+				return true
+			}
+		}
+		return false
+	}
+	var onEvent func(runtime.SimEvent)
+	if trace != nil {
+		onEvent = trace.Hook()
+	}
+	return runtime.Config{
 		Catalog:       cat,
 		DefaultWindow: sc.Window,
 		StepMode:      sc.StepMode,
 		StateBackend:  sc.Backend,
 		Substrate:     runtime.SubstrateSim,
+		Supervision:   sc.Supervision,
+		Journal:       journal,
 		Sim: runtime.SimConfig{
 			Seed:           sc.Seed,
 			MailboxCredits: credits,
 			Policy:         sc.Policy,
-			OnEvent:        trace.Hook(),
+			OnEvent:        onEvent,
 			Stall:          stall,
+			Panic:          panicAt,
 		},
-	})
+	}
+}
+
+// Run executes the scenario once and returns its full outcome.
+func (sc *Scenario) Run() (*Result, error) {
+	qs, cat, topo, err := sc.build()
+	if err != nil {
+		return nil, err
+	}
+
+	credits := sc.effectiveCredits()
+	trace := &Trace{}
+	eng := runtime.New(sc.engineConfig(cat, credits, trace, nil))
 	defer eng.Stop()
 	if err := eng.Install(topo, 0); err != nil {
 		return nil, err

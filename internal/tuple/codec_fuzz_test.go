@@ -34,6 +34,17 @@ func FuzzTupleCodecRoundTrip(f *testing.F) {
 	f.Add([]byte{0x04, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0x03, 0x7f})
 	f.Add([]byte{0xfe, 0x01, 0x02})
+	// Torn WAL-style frames (recovery's length+CRC framing around codec
+	// payloads): a tear can hand the decoder a frame header, a partial
+	// CRC, or a CRC followed by a clipped payload — all must be rejected
+	// without panicking wherever they land in a decode.
+	torn := AppendValue(nil, StringValue("torn-frame-payload"))
+	framed := append([]byte{byte(len(torn))}, 0xde, 0xad, 0xbe, 0xef)
+	framed = append(framed, torn...)
+	f.Add(framed[:1])                                // length prefix only
+	f.Add(framed[:3])                                // mid-CRC tear
+	f.Add(framed[:len(framed)-5])                    // mid-payload tear
+	f.Add(append(framed, framed...)[:len(framed)+2]) // tear into a second frame
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Value round-trip.
