@@ -19,6 +19,11 @@
 //	             per-backend probe/prune ns+allocs, resident/heap
 //	             bytes, and the bounded-memory eviction stage
 //	             (EvictFail dies, EvictOldestEpoch survives)
+//	skew       — zipf-keyed TPC-H stream under a uniform-cost vs a
+//	             degree-aware plan: the degree sketches let the
+//	             optimizer split heavy-hitter keys across two tasks,
+//	             and the handled-tuple imbalance (max/mean) must drop
+//	             while results stay identical
 //	chaos      — crash-recovery chaos suite: -seeds crash-restart-replay
 //	             runs per state backend (task panics + torn WAL tails
 //	             active), each byte-compared against an uninterrupted
@@ -51,7 +56,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,chaos,all)")
+		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,skew,chaos,all)")
 		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
@@ -78,12 +83,14 @@ func main() {
 	// A comparison run must reproduce the baseline's workload: adopt its
 	// recorded scale factor and seed unless explicitly overridden.
 	var baseline []fig7Series
+	var baselineSkew []bench.SkewResult
 	if *compareTo != "" {
-		bsf, bseed, series, err := readFig7JSON(*compareTo)
+		bsf, bseed, series, skew, err := readFig7JSON(*compareTo)
 		if err != nil {
 			log.Fatal(err)
 		}
 		baseline = series
+		baselineSkew = skew
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if !explicit["sf"] {
@@ -107,6 +114,13 @@ func main() {
 	if want("longstate") {
 		longstate = runLongState(*quick, *seed)
 	}
+	// The skew scenario runs at full scale regardless of -quick: its
+	// result counts and imbalance are deterministic in (seed, tuples),
+	// so a -compare gate needs the baseline's exact stream length.
+	var skewRows []bench.SkewResult
+	if want("skew") || len(baselineSkew) > 0 {
+		skewRows = runSkew(*seed)
+	}
 	if *jsonOut != "" {
 		// A written baseline must always carry the Fig. 7 series the
 		// -compare gate diffs against — a longstate-only write would
@@ -117,13 +131,17 @@ func main() {
 		if longstate == nil {
 			log.Print("note: no -fig longstate in this run — the baseline's longstate section will be absent")
 		}
-		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate); err != nil {
+		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate, skewRows); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)
 	}
 	if *compareTo != "" {
-		if !compareFig7(*compareTo, baseline, series, *regressPct/100) {
+		ok := compareFig7(*compareTo, baseline, series, *regressPct/100)
+		if len(baselineSkew) > 0 && !compareSkew(baselineSkew, skewRows, *regressPct/100) {
+			ok = false
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	}
@@ -239,14 +257,15 @@ func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
 	return series
 }
 
-func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult) error {
+func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult) error {
 	doc := struct {
 		Figure    string                  `json:"figure"`
 		SF        float64                 `json:"sf"`
 		Seed      uint64                  `json:"seed"`
 		Series    []fig7Series            `json:"series"`
 		LongState []bench.LongStateResult `json:"longstate,omitempty"`
-	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate}
+		Skew      []bench.SkewResult      `json:"skew,omitempty"`
+	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate, Skew: skew}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -289,6 +308,20 @@ func runLongState(quick bool, seed uint64) []bench.LongStateResult {
 	fmt.Print(bench.FormatLongState(results))
 	fmt.Println()
 	return results
+}
+
+// runSkew drives the degree-aware skew scenario and dies on a vacuous
+// run (no split keys declared) or when splitting fails to reduce the
+// handled-tuple imbalance; results must match between plans.
+func runSkew(seed uint64) []bench.SkewResult {
+	fmt.Println("=== Skew — zipf-keyed TPC-H stream: uniform-cost vs degree-aware plan ===")
+	rows, err := bench.Skew(bench.SkewConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSkew(rows))
+	fmt.Println()
+	return rows
 }
 
 // runSimSweep drives the deterministic-schedule sweep (DESIGN.md §9)
@@ -335,20 +368,72 @@ func runChaos(seeds int, quick bool, seed uint64) {
 }
 
 // readFig7JSON loads a baseline written by -json.
-func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, err error) {
+func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
 	var doc struct {
-		SF     float64      `json:"sf"`
-		Seed   uint64       `json:"seed"`
-		Series []fig7Series `json:"series"`
+		SF     float64            `json:"sf"`
+		Seed   uint64             `json:"seed"`
+		Series []fig7Series       `json:"series"`
+		Skew   []bench.SkewResult `json:"skew"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, 0, nil, fmt.Errorf("%s: %w", path, err)
+		return 0, 0, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return doc.SF, doc.Seed, doc.Series, nil
+	return doc.SF, doc.Seed, doc.Series, doc.Skew, nil
+}
+
+// compareSkew gates the skew scenario against the baseline: result
+// counts are deterministic in (seed, stream length) and must match
+// exactly; the degree-aware plan's imbalance and per-tuple probe time
+// may not regress beyond the threshold.
+func compareSkew(baseline, current []bench.SkewResult, threshold float64) bool {
+	baseOf := map[string]bench.SkewResult{}
+	for _, r := range baseline {
+		baseOf[r.Plan] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range current {
+		b, ok := baseOf[r.Plan]
+		if !ok {
+			fmt.Printf("(no skew baseline for plan %s — skipped)\n", r.Plan)
+			continue
+		}
+		compared++
+		if r.Results != b.Results {
+			regressions++
+			fmt.Printf("REGRESSION  skew %-13s result count %d -> %d (correctness drift!)\n", r.Plan, b.Results, r.Results)
+		}
+		if r.SplitKeys != b.SplitKeys {
+			regressions++
+			fmt.Printf("REGRESSION  skew %-13s split_keys %d -> %d (plan drift!)\n", r.Plan, b.SplitKeys, r.SplitKeys)
+		}
+		if b.Imbalance > 0 {
+			if d := (r.Imbalance - b.Imbalance) / b.Imbalance; d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  skew %-13s imbalance %+.1f%%\n", r.Plan, d*100)
+			}
+		}
+		if b.ProbeNsPerTuple > 0 {
+			if d := (r.ProbeNsPerTuple - b.ProbeNsPerTuple) / b.ProbeNsPerTuple; d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  skew %-13s probe ns/tuple %+.1f%%\n", r.Plan, d*100)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("GATE FAILURE: baseline has a skew section but no plan matched the current run")
+		return false
+	}
+	if regressions > 0 {
+		fmt.Printf("%d skew regression(s)\n", regressions)
+		return false
+	}
+	fmt.Println("skew: no regressions")
+	return true
 }
 
 // compareFig7 diffs the current Fig. 7 run against the baseline and

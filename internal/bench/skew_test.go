@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestSkewScenario runs the zipf scenario at reduced scale: the
+// degree-aware plan must declare split keys, reduce the handled-tuple
+// imbalance, and reproduce the uniform plan's results exactly (all
+// enforced inside Skew — an error fails the test).
+func TestSkewScenario(t *testing.T) {
+	rows, err := Skew(SkewConfig{Tuples: 6000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	uniform, degree := rows[0], rows[1]
+	if uniform.Results == 0 {
+		t.Fatal("no results — vacuous scenario")
+	}
+	if degree.Imbalance >= uniform.Imbalance {
+		t.Errorf("imbalance did not drop: degree-aware %.2f vs uniform %.2f",
+			degree.Imbalance, uniform.Imbalance)
+	}
+	if s := FormatSkew(rows); s == "" {
+		t.Error("empty table")
+	}
+}

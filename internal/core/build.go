@@ -535,5 +535,45 @@ func (b *builder) extract(sol *ilp.Solution) *Plan {
 			}
 		}
 	}
+	plan.HotKeys = b.hotKeys(plan.Partitions)
 	return plan
+}
+
+// hotKeys resolves, per partitioned store, the heavy hitters of the
+// partitioning attribute whose estimated stream share reaches a full
+// mean partition (share >= 1/parallelism): hashing such a key pins at
+// least an average task's worth of load onto one partition, so the
+// compiled topology splits it over two tasks instead. Hashes are sorted
+// so equal estimates produce byte-equal configs.
+func (b *builder) hotKeys(partitions map[string]query.Attr) map[string][]uint64 {
+	par := b.opts.parallelism()
+	if par < 2 || b.opts.UniformChi {
+		return nil
+	}
+	var out map[string][]uint64
+	threshold := 1.0 / float64(par)
+	for key, attr := range partitions {
+		if attr == (query.Attr{}) {
+			continue
+		}
+		d := b.rawEst.Degree(attr.Qualified())
+		if d == nil {
+			continue
+		}
+		var hot []uint64
+		for i := range d.Top {
+			if d.KeyShare(i) >= threshold {
+				hot = append(hot, d.Top[i].Hash)
+			}
+		}
+		if len(hot) == 0 {
+			continue
+		}
+		sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+		if out == nil {
+			out = map[string][]uint64{}
+		}
+		out[key] = hot
+	}
+	return out
 }

@@ -230,6 +230,7 @@ func (c *compiler) addPlan(p *Plan, ns string) error {
 			Preds:       e.MIR.Preds,
 			Partition:   p.Partitions[key],
 			Parallelism: par,
+			SplitKeys:   p.HotKeys[key],
 		})
 	}
 

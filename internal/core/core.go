@@ -161,9 +161,14 @@ type Plan struct {
 	Queries    []*query.Query
 	Selected   []*DecoratedOrder
 	Partitions map[string]query.Attr // MIR key -> partitioning attribute
-	Objective  float64
-	Stats      ProblemStats
-	opts       Options
+	// HotKeys lists, per partitioned store, the value hashes of heavy
+	// hitters whose stream share is large enough to overload a single
+	// hash partition (share >= 1/parallelism). The compiler turns them
+	// into split keys: routed over two tasks instead of one.
+	HotKeys   map[string][]uint64 // MIR key -> sorted heavy-hitter hashes
+	Objective float64
+	Stats     ProblemStats
+	opts      Options
 }
 
 // SelectedFor returns the selected top-level order for (queryName, start),

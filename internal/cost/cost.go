@@ -115,6 +115,32 @@ func (e *Estimator) Chi(prefix map[string]bool, target Target) float64 {
 	return float64(par)
 }
 
+// SkewFactor estimates the hot-partition amplification of hashing the
+// target's stream by its partitioning attribute: the heaviest key's
+// share times the parallelism, i.e. max-partition load over mean load
+// when one key dominates. 1 means balanced or unknown distribution —
+// without a degree sketch the model degrades to the uniform (mean
+// selectivity) pricing. The factor never exceeds the parallelism: a
+// fully-skewed keyed transfer costs at most a broadcast.
+func (e *Estimator) SkewFactor(target Target) float64 {
+	par := float64(target.Parallelism)
+	if par <= 1 || target.Partition == (query.Attr{}) {
+		return 1
+	}
+	d := e.est.Degree(target.Partition.Qualified())
+	if d == nil {
+		return 1
+	}
+	f := d.HotShare() * par
+	if f < 1 {
+		return 1
+	}
+	if f > par {
+		return par
+	}
+	return f
+}
+
 // StepCost estimates the cost of step j of a probe order: the prefix
 // (the first j elements) sends its partial join result to the store of
 // element j+1. preds are the predicates of the enclosing query.
@@ -122,6 +148,12 @@ func (e *Estimator) Chi(prefix map[string]bool, target Target) float64 {
 // The 1/j factor reflects that the arriving tuple joins only with tuples
 // that arrived earlier, so each probe order computes a 1/j fraction of
 // the symmetric j-way intermediate result (Sec. III of the paper).
+//
+// A keyed transfer (χ = 1) is additionally priced by the target's degree
+// distribution: hashing a skewed attribute concentrates the stream on
+// one hot partition, so the effective cost is max(χ, SkewFactor) — the
+// hot task, not the average task, bounds the strategy's throughput. A
+// broadcast already pays the full parallelism and cannot get worse.
 func (e *Estimator) StepCost(prefix []Target, next Target, preds []query.Predicate) float64 {
 	rels := unionRels(prefix)
 	j := len(prefix)
@@ -129,7 +161,11 @@ func (e *Estimator) StepCost(prefix []Target, next Target, preds []query.Predica
 		return 0
 	}
 	card := e.JoinCardinality(rels, preds)
-	return card / float64(j) * e.Chi(rels, next)
+	chi := e.Chi(rels, next)
+	if sf := e.SkewFactor(next); sf > chi {
+		chi = sf
+	}
+	return card / float64(j) * chi
 }
 
 // ProbeOrderCost sums the step costs of a full probe order

@@ -1,12 +1,25 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 
 	"clash/internal/runtime"
 	"clash/internal/topology"
 	"clash/internal/tuple"
 )
+
+// ErrStaleChain is returned when the checkpoint chain holds segments for
+// a store the recovering engine's topology does not have. The usual
+// cause is a crash in the window between an adaptive rewiring (store
+// retirement released the state) and the next checkpoint (which would
+// have tombstoned the retired segments): the chain still carries the
+// retired store. Recover fails closed — silently dropping chain state
+// cannot be told apart from recovering with the wrong topology. The
+// fallback: recover under the pre-rewiring topology, re-apply the
+// rewiring (Install + RetireAbsentStores), and checkpoint; the stale
+// segments tombstone and the next recovery is clean.
+var ErrStaleChain = errors.New("recovery: checkpoint chain references a store absent from the installed topology")
 
 // Stats describes one recovery: what the checkpoint chain restored,
 // what the WAL suffix replayed, and what a crash tore off.
@@ -109,6 +122,10 @@ func Recover(st Storage, eng *runtime.Engine, cfg Config) (*Manager, *Stats, err
 	for i := range segs {
 		sg := &segs[i]
 		if err := eng.LoadTaskEpoch(topology.StoreID(sg.key.store), sg.key.part, sg.key.epoch, sg.tps, sg.seqs); err != nil {
+			if errors.Is(err, runtime.ErrUnknownTask) {
+				return nil, nil, fmt.Errorf("%w: segment %s (crash between a rewiring and its checkpoint? recover under the pre-rewiring topology, re-apply the rewiring, checkpoint): %v",
+					ErrStaleChain, sg.key, err)
+			}
 			return nil, nil, fmt.Errorf("recovery: loading segment %s: %w", sg.key, err)
 		}
 		stats.RestoredTuples += len(sg.tps)

@@ -1,0 +1,213 @@
+package recovery_test
+
+// Store retirement × crash recovery: adaptive rewiring retires stores
+// that left every installed configuration, releasing their state. The
+// checkpoint chain must follow — the first checkpoint after a rewiring
+// tombstones the retired segments (clearState marks every epoch dirty,
+// so the dirty walk sees the emptied segments and drops them from the
+// chain), and a crash after that checkpoint recovers into the slimmed
+// topology. A crash in the window between the rewiring and that
+// checkpoint leaves retired segments in the chain with no engine task
+// to receive them; Recover fails closed with ErrStaleChain, and the
+// documented fallback — recover under the pre-rewiring topology, then
+// re-apply the rewiring — must actually work.
+
+import (
+	"errors"
+	"testing"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/recovery"
+	"clash/internal/runtime"
+	"clash/internal/stats"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// buildShared parses a workload and compiles its shared topology.
+func buildShared(t *testing.T, workload string) ([]*query.Query, *query.Catalog, *topology.Config) {
+	t.Helper()
+	qs, cat, err := query.ParseWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimates(0.1)
+	for _, r := range cat.Names() {
+		est.SetRate(r, 100)
+	}
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 2}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs, cat, topo
+}
+
+// ingestQuad sends n tuples round-robin over the relations with a small
+// key universe (coprime to the relation count, so every pair of
+// relations shares keys) — both queries materialize state and produce
+// results.
+func ingestQuad(t *testing.T, eng *runtime.Engine, rels []string, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		rel := rels[i%len(rels)]
+		if err := eng.Ingest(rel, tuple.Time(i+1), tuple.IntValue(int64(i%3))); err != nil {
+			t.Fatalf("ingest %s @%d: %v", rel, i+1, err)
+		}
+	}
+}
+
+// retireCrashScenario runs life 1 — both queries, checkpoint, rewire to
+// q1 only (retiring q2's stores), optionally checkpoint again — then
+// crashes and returns the storage plus the stream position reached.
+func retireCrashScenario(t *testing.T, ckptAfterRetire bool) (*recovery.MemStorage, int) {
+	t.Helper()
+	st := recovery.NewMemStorage()
+	mgr, err := recovery.NewManager(st, recovery.Config{CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, cat, topoA := buildShared(t, "q1: R(a) S(a)\nq2: T(b) U(b)")
+	_, _, topoB := buildShared(t, "q1: R(a) S(a)")
+	eng := runtime.New(runtime.Config{Catalog: cat, Synchronous: true, Journal: mgr})
+	defer eng.Stop()
+	mgr.Bind(eng)
+	if err := eng.Install(topoA, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		eng.OnResult(q.Name, func(*tuple.Tuple) {})
+	}
+
+	all := []string{"R", "S", "T", "U"}
+	ingestQuad(t, eng, all, 0, 80)
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ingestQuad(t, eng, all, 80, 20)
+
+	// Rewire: q2 expires, its stores leave every installed configuration
+	// and retire (the adaptive controller's RemoveQuery path).
+	if err := eng.Install(topoB, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.RetireAbsentStores()
+	if eng.Metrics().Snapshot().RetiredTuples == 0 {
+		t.Fatal("rewiring retired no state — scenario vacuous")
+	}
+	if ckptAfterRetire {
+		if err := mgr.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := 100
+	ingestQuad(t, eng, []string{"R", "S"}, pos, 20)
+	pos += 20
+	// Crash: abandon the engine without Stop or Close; storage survives.
+	return st, pos
+}
+
+// TestRetireThenCheckpointRecover: the first checkpoint after a rewiring
+// tombstones the retired stores' segments, so a crash after it recovers
+// into an engine holding only the surviving topology — no stale
+// segments, and the surviving query keeps answering.
+func TestRetireThenCheckpointRecover(t *testing.T) {
+	st, pos := retireCrashScenario(t, true)
+
+	qs, cat, topoB := buildShared(t, "q1: R(a) S(a)")
+	eng2 := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
+	defer eng2.Stop()
+	if err := eng2.Install(topoB, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		eng2.OnResult(q.Name, func(*tuple.Tuple) {})
+	}
+	mgr2, rstats, err := recovery.Recover(st, eng2, recovery.Config{CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("recovery into the post-rewiring topology failed: %v", err)
+	}
+	defer func() {
+		if err := mgr2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if rstats.RestoredTuples == 0 {
+		t.Fatal("checkpoint chain restored nothing — test vacuous")
+	}
+	// Only the surviving topology's stores hold state.
+	for id, n := range eng2.StoreSizes() {
+		if topoB.Stores[id] == nil && n != 0 {
+			t.Errorf("retired store %s restored %d tuples", id, n)
+		}
+	}
+	// The surviving query still answers over its recovered state.
+	before := eng2.Metrics().Snapshot().Results
+	ingestQuad(t, eng2, []string{"R", "S"}, pos, 20)
+	eng2.Drain()
+	if eng2.Metrics().Snapshot().Results <= before {
+		t.Error("q1 produced no results after recovery")
+	}
+}
+
+// TestRetireCrashBeforeCheckpointFailsClosed: a crash in the window
+// between a rewiring and its next checkpoint leaves retired segments in
+// the chain. Recovering into the slimmed topology must fail closed with
+// ErrStaleChain (never silently drop chain state), and the documented
+// fallback — recover under the pre-rewiring topology, then re-apply the
+// rewiring — must succeed.
+func TestRetireCrashBeforeCheckpointFailsClosed(t *testing.T) {
+	st, pos := retireCrashScenario(t, false)
+
+	_, cat, topoB := buildShared(t, "q1: R(a) S(a)")
+	eng2 := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
+	defer eng2.Stop()
+	if err := eng2.Install(topoB, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := recovery.Recover(st, eng2, recovery.Config{CheckpointEvery: 1 << 30})
+	if !errors.Is(err, recovery.ErrStaleChain) {
+		t.Fatalf("recovery into the slimmed topology returned %v, want ErrStaleChain", err)
+	}
+
+	// Documented fallback: recover under the pre-rewiring topology...
+	qsAll, catAll, topoA := buildShared(t, "q1: R(a) S(a)\nq2: T(b) U(b)")
+	_, _, topoB2 := buildShared(t, "q1: R(a) S(a)")
+	eng3 := runtime.New(runtime.Config{Catalog: catAll, Synchronous: true})
+	defer eng3.Stop()
+	if err := eng3.Install(topoA, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qsAll {
+		eng3.OnResult(q.Name, func(*tuple.Tuple) {})
+	}
+	mgr3, rstats, err := recovery.Recover(st, eng3, recovery.Config{CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("recovery under the pre-rewiring topology failed: %v", err)
+	}
+	if rstats.RestoredTuples == 0 {
+		t.Fatal("fallback recovery restored nothing — test vacuous")
+	}
+	// ...then re-apply the rewiring and continue: the retired segments
+	// tombstone at the next checkpoint, closing the loop.
+	if err := eng3.Install(topoB2, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng3.RetireAbsentStores()
+	if err := mgr3.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := eng3.Metrics().Snapshot().Results
+	ingestQuad(t, eng3, []string{"R", "S"}, pos, 20)
+	eng3.Drain()
+	if eng3.Metrics().Snapshot().Results <= before {
+		t.Error("q1 produced no results after fallback recovery")
+	}
+	if err := mgr3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

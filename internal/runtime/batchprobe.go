@@ -1,0 +1,389 @@
+package runtime
+
+// Batched probe execution (DESIGN.md §12). The scalar probe path hands
+// the backend one probe value at a time and receives candidates through
+// a per-candidate matchVisitor interface call; probeBatch instead
+// carries a whole vector of probe tuples — a message's tuple batch, or
+// a drained-mailbox run of probe-only messages — through one
+// stateBackend.probeScanBatch pass. The columnar backend amortizes the
+// per-segment index resolution over the vector, pre-hashes every probe
+// value once, skips segments whose max event time cannot reach any
+// probe's window, gathers each chain into a selection vector off the
+// flat seq column, and evaluates residual predicates and window checks
+// in a tight concrete loop (evalRows) — no interface dispatch per
+// candidate. The container backend keeps a loop-over-scalar
+// implementation (probeBatch doubles as a matchVisitor), so it stays
+// the byte-level differential oracle for the vectorized path.
+//
+// Ordering contract: per probe, results must be identical to the scalar
+// scan — epochs ascending, insertion-order chains within a segment. The
+// columnar batch scan iterates segment-major (probe-minor), so its flat
+// result log interleaves probes; group() regroups it probe-major with a
+// stable counting sort, which preserves each probe's segment-ascending
+// order. Forwarding then happens per probe, in probe arrival order,
+// under each probe's own message context — byte-identical emission
+// order to the scalar path.
+//
+// Re-entrancy: on the synchronous substrate a sink callback inside
+// forward may re-enter this task's probe path while the outer batch is
+// still forwarding, so probeBatch values come from a per-task free list
+// (task.getProbeBatch), exactly like the scalar path's result-buffer
+// stack did. A scan itself never nests — it completes before the first
+// forward.
+
+import (
+	"math"
+
+	"clash/internal/tuple"
+)
+
+// probeBatch is one batched probe: a vector of probe tuples bound to a
+// rule plan, the per-probe scan inputs, and the scan's result log. All
+// slices are reused across batches; the amortized allocation cost of a
+// batched probe is the join results and the outgoing messages alone.
+type probeBatch struct {
+	t  *task
+	rp *rulePlan
+	st *planState
+
+	// Probes are tagged with their carrying message's run index rather
+	// than the *message itself: storing the pointer would make every
+	// dispatched message escape to the heap (the dispatch path passes a
+	// stack copy by pointer).
+	probes  []*tuple.Tuple // probe tuples, arrival order
+	msgIdx  []int32        // carrying message's run index per probe
+	ppos    [][]int        // probe-side predicate columns per probe
+	vals    []tuple.Value  // indexed-attribute value per probe
+	maxSeqs []uint64       // arrived-earlier cutoff per probe
+	cuts    []int64        // window cutoff per probe (noCut: no skip)
+	minCut  int64          // min over cuts: segment-level batch prefilter
+
+	hashes []uint64 // columnar scratch: colHash(vals[i])
+	sel    []int32  // columnar scratch: selection vector of chain rows
+
+	// Scan output: a flat log of (probe index, joined tuple) in scan
+	// order. The container scan emits it probe-major already; the
+	// columnar scan emits segment-major and group() regroups.
+	resIdx  []int32
+	resTups []*tuple.Tuple
+
+	// group() output: per-probe result counts and the probe-major view
+	// (grouped aliases resTups when the log is already probe-major).
+	counts   []int32
+	offs     []int32
+	groupBuf []*tuple.Tuple
+	grouped  []*tuple.Tuple
+
+	// Forward cursor: probe index and grouped offset of the next
+	// unforwarded probe (forwardMsg consumes probes message by message).
+	fcur int
+	foff int32
+
+	// Scalar-scan cursor for the container oracle: the probe begin()
+	// selected, read by the matchVisitor visit below.
+	cur       int32
+	curProbe  *tuple.Tuple
+	curPpos   []int
+	curMaxSeq uint64
+}
+
+// reset rebinds the batch to a plan, keeping every backing array.
+func (pb *probeBatch) reset(t *task, rp *rulePlan, st *planState) {
+	pb.t, pb.rp, pb.st = t, rp, st
+	pb.probes = pb.probes[:0]
+	pb.msgIdx = pb.msgIdx[:0]
+	pb.ppos = pb.ppos[:0]
+	pb.vals = pb.vals[:0]
+	pb.maxSeqs = pb.maxSeqs[:0]
+	pb.cuts = pb.cuts[:0]
+	pb.minCut = math.MaxInt64
+	pb.resIdx = pb.resIdx[:0]
+	pb.resTups = pb.resTups[:0]
+}
+
+// release zeroes every retained pointer so forwarded tuples and arena
+// blocks stay collectable while the batch waits on the free list.
+func (pb *probeBatch) release() {
+	pb.t, pb.rp, pb.st = nil, nil, nil
+	clear(pb.probes)
+	clear(pb.ppos)
+	clear(pb.vals)
+	clear(pb.resTups)
+	clear(pb.groupBuf)
+	pb.grouped = nil
+	pb.curProbe, pb.curPpos = nil, nil
+}
+
+// addMsg appends every tuple the message carries as a probe under the
+// message's sequence cutoff, tagged with the message's run index.
+func (pb *probeBatch) addMsg(msg *message, idx int32) {
+	if msg.t != nil {
+		pb.add(msg.t, msg.seq, idx)
+	}
+	for _, tp := range msg.batch {
+		pb.add(tp, msg.seq, idx)
+	}
+}
+
+// add appends one probe. Tuples whose schema lacks a probe attribute
+// are dropped here — nothing can match them, exactly like the scalar
+// path's probePos nil return.
+func (pb *probeBatch) add(tp *tuple.Tuple, seq uint64, idx int32) {
+	ppos := pb.st.probePos(tp.Schema, pb.rp)
+	if ppos == nil {
+		return
+	}
+	cut := pb.t.probeCut(tp)
+	pb.probes = append(pb.probes, tp)
+	pb.msgIdx = append(pb.msgIdx, idx)
+	pb.ppos = append(pb.ppos, ppos)
+	pb.vals = append(pb.vals, tp.At(ppos[0]))
+	pb.maxSeqs = append(pb.maxSeqs, seq)
+	pb.cuts = append(pb.cuts, cut)
+	if cut < pb.minCut {
+		pb.minCut = cut
+	}
+}
+
+// begin selects the probe the container oracle's scalar scan serves;
+// the visit below reads the cursor.
+func (pb *probeBatch) begin(i int) {
+	pb.cur = int32(i)
+	pb.curProbe = pb.probes[i]
+	pb.curPpos = pb.ppos[i]
+	pb.curMaxSeq = pb.maxSeqs[i]
+}
+
+// visit makes probeBatch a matchVisitor for the container backend's
+// loop-over-scalar batch scan: identical candidate logic to evalRows,
+// one candidate at a time.
+func (pb *probeBatch) visit(en *tuple.Tuple, seq uint64) {
+	if seq >= pb.curMaxSeq {
+		return // only earlier-arrived tuples are join partners
+	}
+	t := pb.t
+	sh := pb.st.storedShapeFor(en.Schema, pb.rp, t.tauNames)
+	for k := 0; k < len(pb.curPpos); k++ {
+		sp := sh.predPos[k]
+		if sp < 0 || en.At(sp) != pb.curProbe.At(pb.curPpos[k]) {
+			return
+		}
+	}
+	if !t.windowOK(pb.curProbe, en, sh) {
+		return
+	}
+	pb.resTups = append(pb.resTups, t.join(pb.curProbe, en))
+	pb.resIdx = append(pb.resIdx, pb.cur)
+}
+
+// evalRows is the columnar backend's tight candidate loop: the rows of
+// one segment's selection vector (already seq-filtered), evaluated for
+// probe i with every per-probe load hoisted out of the loop. Appends to
+// the flat result log in row order — the chain's insertion order.
+func (pb *probeBatch) evalRows(i int, s *colSegment, sel []int32) {
+	t, rp, st := pb.t, pb.rp, pb.st
+	probe, ppos := pb.probes[i], pb.ppos[i]
+	idx := int32(i)
+	var lastSch *tuple.Schema
+	var sh *storedShape
+	for _, row := range sel {
+		en := s.tups[row]
+		if en.Schema != lastSch {
+			lastSch = en.Schema
+			sh = st.storedShapeFor(lastSch, rp, t.tauNames)
+		}
+		match := true
+		for k := 0; k < len(ppos); k++ {
+			sp := sh.predPos[k]
+			if sp < 0 || en.At(sp) != probe.At(ppos[k]) {
+				match = false
+				break
+			}
+		}
+		if !match || !t.windowOK(probe, en, sh) {
+			continue
+		}
+		pb.resTups = append(pb.resTups, t.join(probe, en))
+		pb.resIdx = append(pb.resIdx, idx)
+	}
+}
+
+// group turns the flat result log into the probe-major view forwardMsg
+// consumes: per-probe counts plus a grouped slice where probe i's
+// results are contiguous, in scan (segment-ascending, chain) order. A
+// log that is already probe-major — every container scan, and any
+// columnar scan over a single reachable segment — aliases resTups
+// directly; otherwise a stable counting sort scatters into groupBuf.
+func (pb *probeBatch) group() {
+	n := len(pb.probes)
+	if cap(pb.counts) < n {
+		pb.counts = make([]int32, n)
+		pb.offs = make([]int32, n)
+	}
+	pb.counts = pb.counts[:n]
+	pb.offs = pb.offs[:n]
+	clear(pb.counts)
+	pb.fcur, pb.foff = 0, 0
+	sorted := true
+	last := int32(0)
+	for _, i := range pb.resIdx {
+		if i < last {
+			sorted = false
+		}
+		last = i
+		pb.counts[i]++
+	}
+	if sorted {
+		pb.grouped = pb.resTups
+		return
+	}
+	var off int32
+	for i := range pb.counts {
+		pb.offs[i] = off
+		off += pb.counts[i]
+	}
+	if cap(pb.groupBuf) < len(pb.resTups) {
+		pb.groupBuf = make([]*tuple.Tuple, len(pb.resTups))
+	}
+	buf := pb.groupBuf[:len(pb.resTups)]
+	for j, i := range pb.resIdx {
+		buf[pb.offs[i]] = pb.resTups[j]
+		pb.offs[i]++
+	}
+	pb.grouped = buf
+}
+
+// forwardMsg forwards the results of every probe the message with the
+// given run index contributed, one forward per probe in arrival order —
+// the same emission granularity and order as the scalar path. Probes
+// were added message-major, so each message's probes are a contiguous
+// run at the cursor.
+func (pb *probeBatch) forwardMsg(idx int32, msg *message, out []emitStep) {
+	for pb.fcur < len(pb.probes) && pb.msgIdx[pb.fcur] == idx {
+		i := pb.fcur
+		pb.fcur++
+		n := pb.counts[i]
+		if n == 0 {
+			continue
+		}
+		sub := pb.grouped[pb.foff : pb.foff+n : pb.foff+n]
+		pb.foff += n
+		pb.t.forward(out, msg, sub)
+	}
+}
+
+// probeCut returns the oldest stored event time the probing tuple could
+// still join under this task's windows: a backend may skip any segment
+// whose max event time precedes it. Sound only when every relation
+// materialized here is windowed — then every stored tuple carries at
+// least one windowed τ column with τ ≤ its segment's max event time, so
+// a segment entirely older than probe.TS − max(w) fails windowOK for
+// every tuple it holds. Any unwindowed relation in the store disables
+// the skip (MinInt64): a tuple carrying only unwindowed τ columns
+// passes windowOK unconditionally and must stay reachable forever.
+func (t *task) probeCut(tp *tuple.Tuple) int64 {
+	if !t.winAll {
+		return noCut
+	}
+	return int64(tp.TS) - t.wMax
+}
+
+// getProbeBatch pops a batch off the free list; re-entrant probes
+// (synchronous-substrate sink feedback) pop distinct batches.
+func (t *task) getProbeBatch() *probeBatch {
+	if n := len(t.pbFree); n > 0 {
+		pb := t.pbFree[n-1]
+		t.pbFree = t.pbFree[:n-1]
+		return pb
+	}
+	return &probeBatch{}
+}
+
+// putProbeBatch releases the batch's pointers and returns it to the
+// free list.
+func (t *task) putProbeBatch(pb *probeBatch) {
+	pb.release()
+	t.pbFree = append(t.pbFree, pb)
+}
+
+// probeBatched probes every tuple the message carries through the
+// backend's batch scan, then forwards per probe in arrival order. This
+// is the compiled probe path for every batch size including one — the
+// scalar probeScan remains only under the legacy oracle.
+func (t *task) probeBatched(msg *message, rp *rulePlan, st *planState) {
+	if len(rp.preds) == 0 {
+		return // the optimizer never emits cross-product probes
+	}
+	if t.storedCount.Load() == 0 {
+		return
+	}
+	pb := t.getProbeBatch()
+	pb.reset(t, rp, st)
+	pb.addMsg(msg, 0)
+	t.scanProbeBatch(pb, rp)
+	pb.forwardMsg(0, msg, rp.out)
+	t.putProbeBatch(pb)
+}
+
+// scanProbeBatch runs the backend batch scan and regroups the result
+// log; forwarding is the caller's step (runs forward message-major
+// across several plans' batches).
+func (t *task) scanProbeBatch(pb *probeBatch, rp *rulePlan) {
+	if len(pb.probes) != 0 {
+		if d := t.state.probeScanBatch(rp.preds[0].storedAttr, pb); d != 0 {
+			t.accountState(d, d) // lazily built index structures
+		}
+	}
+	pb.group()
+}
+
+// handleRun applies a drained-mailbox run of probe-only data messages
+// (same edge, same epoch — the caller, Engine.dispatchBatch, verified
+// the edge's plans) as one batched scan per rule plan. All scans
+// complete before the first forward; forwards then replay the scalar
+// order exactly: message-major, plan-minor, probe order within. Probes
+// never mutate this task's state and the asynchronous substrates never
+// re-enter a task from forward, so scanning ahead of forwarding
+// observes the same state the scalar path would have.
+func (t *task) handleRun(run []message, plans []*rulePlan) {
+	if n := t.e.cfg.OverheadLoops; n > 0 {
+		for range run {
+			for i := 0; i < n; i++ {
+				t.spin += uint64(i) ^ t.spin>>3
+			}
+		}
+	}
+	for i := range run {
+		if run[i].ingestWall > 0 && t.e.metrics.sampleLag() {
+			t.e.metrics.recordLag(t.e.clock.Now() - run[i].ingestWall)
+		}
+	}
+	pbs := t.pbRun[:0]
+	for _, rp := range plans {
+		if len(rp.preds) == 0 || t.storedCount.Load() == 0 {
+			pbs = append(pbs, nil)
+			continue
+		}
+		pb := t.getProbeBatch()
+		pb.reset(t, rp, t.stateFor(rp))
+		for i := range run {
+			pb.addMsg(&run[i], int32(i))
+		}
+		t.scanProbeBatch(pb, rp)
+		pbs = append(pbs, pb)
+	}
+	for i := range run {
+		for j, pb := range pbs {
+			if pb != nil {
+				pb.forwardMsg(int32(i), &run[i], plans[j].out)
+			}
+		}
+	}
+	for _, pb := range pbs {
+		if pb != nil {
+			t.putProbeBatch(pb)
+		}
+	}
+	clear(pbs)
+	t.pbRun = pbs[:0]
+}

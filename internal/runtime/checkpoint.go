@@ -46,6 +46,13 @@ var ckptMagic = [8]byte{'C', 'L', 'S', 'H', 'C', 'K', 'P', '1'}
 // ErrCorruptSnapshot) to distinguish bad input from topology mismatch.
 var ErrCorruptSnapshot = errors.New("runtime: corrupt or truncated snapshot")
 
+// ErrUnknownTask is reported (wrapped) by Restore and LoadTaskEpoch when
+// a snapshot or checkpoint segment addresses a task the installed
+// topology does not have. The recovery layer branches on it to tell a
+// stale chain (a store retired after the snapshot was taken) apart from
+// corrupt input.
+var ErrUnknownTask = errors.New("runtime: checkpoint references unknown task")
+
 // corruptSnapshot wraps ErrCorruptSnapshot with positional detail.
 func corruptSnapshot(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
@@ -221,7 +228,7 @@ func (e *Engine) Restore(r io.Reader) error {
 					return fmt.Errorf("%w: tuple in %s/%d ep %d: %v", ErrCorruptSnapshot, store, part, ep, err)
 				}
 				if t == nil {
-					return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
+					return fmt.Errorf("%w %s/%d (install the topology first)", ErrUnknownTask, store, part)
 				}
 				t.markDirty(ep)
 				delta, idxDelta := t.state.insert(tp, eseq, ep)
@@ -368,7 +375,7 @@ func (e *Engine) LoadTaskEpoch(store topology.StoreID, part int, epoch int64, tp
 	defer e.mu.RUnlock()
 	t := e.tasks[taskKey{store: store, part: part}]
 	if t == nil {
-		return fmt.Errorf("runtime: checkpoint references unknown task %s/%d (install the topology first)", store, part)
+		return fmt.Errorf("%w %s/%d (install the topology first)", ErrUnknownTask, store, part)
 	}
 	t.markDirty(epoch)
 	for i, tp := range tps {

@@ -324,9 +324,15 @@ func (c *columnarState) insert(tp *tuple.Tuple, seq uint64, epoch int64) (delta,
 	return s.resident() - before, s.idxResident() - idxBefore
 }
 
-func (c *columnarState) probeScan(attr string, v tuple.Value, mv matchVisitor) (idxDelta int64) {
+func (c *columnarState) probeScan(attr string, v tuple.Value, cut int64, mv matchVisitor) (idxDelta int64) {
 	h := colHash(v)
 	for _, s := range c.ring.vals {
+		if s.maxTS < cut {
+			// Every tuple here is older than the probe's window reach
+			// (task.probeCut's soundness argument): skip before any
+			// hash work.
+			continue
+		}
 		ix, built := s.indexFor(attr)
 		if built {
 			idxDelta += ix.resident()
@@ -334,6 +340,60 @@ func (c *columnarState) probeScan(attr string, v tuple.Value, mv matchVisitor) (
 		if slot, ok := ix.find(h); ok {
 			for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
 				mv.visit(s.tups[row], s.seqs[row])
+			}
+		}
+	}
+	return idxDelta
+}
+
+// probeScanBatch is the vectorized probe scan: one pass over the
+// segment ring for the whole probe vector. Per segment it resolves the
+// index once, skips segments out of every probe's window reach (and,
+// per probe, out of that probe's reach), pre-hashes each probe value
+// exactly once, gathers each hit chain into a selection vector off the
+// flat seq column, and hands the surviving rows to the batch's tight
+// concrete evaluation loop — no per-candidate interface dispatch. The
+// result log comes out segment-major; probeBatch.group restores the
+// probe-major order the forward path needs.
+func (c *columnarState) probeScanBatch(attr string, pb *probeBatch) (idxDelta int64) {
+	if cap(pb.hashes) < len(pb.vals) {
+		pb.hashes = make([]uint64, len(pb.vals))
+	}
+	hashes := pb.hashes[:len(pb.vals)]
+	for i, v := range pb.vals {
+		hashes[i] = colHash(v)
+	}
+	pb.hashes = hashes
+	cuts := pb.cuts
+	for _, s := range c.ring.vals {
+		if s.maxTS < pb.minCut {
+			continue // out of every probe's window reach
+		}
+		ix, built := s.indexFor(attr)
+		if built {
+			idxDelta += ix.resident()
+		}
+		if ix.used == 0 {
+			continue
+		}
+		for i := range hashes {
+			if s.maxTS < cuts[i] {
+				continue
+			}
+			slot, ok := ix.find(hashes[i])
+			if !ok {
+				continue
+			}
+			sel := pb.sel[:0]
+			maxSeq := pb.maxSeqs[i]
+			for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+				if s.seqs[row] < maxSeq {
+					sel = append(sel, row)
+				}
+			}
+			pb.sel = sel
+			if len(sel) > 0 {
+				pb.evalRows(i, s, sel)
 			}
 		}
 	}

@@ -194,6 +194,16 @@ type Engine struct {
 	// store would require state migration (see DESIGN.md).
 	pinnedPar  map[topology.StoreID]int
 	pinnedPart map[topology.StoreID]query.Attr
+	// pinnedSplit pins each store's split-key set (heavy hitters routed
+	// over two tasks, topology.Store.SplitKeys) at first sight, for the
+	// same reason as the partitioning pin: a key that ever routed by
+	// two-choice must keep probing both candidates, and a key that never
+	// did must not start inserting off its hash partition — either switch
+	// would orphan previously placed state. Since one candidate is always
+	// hash(key)%P, growing the split set mid-run would stay probe-correct,
+	// but shrinking would not; pinning both directions keeps the rule
+	// simple and the routing immutable (see DESIGN.md §12).
+	pinnedSplit map[topology.StoreID]map[uint64]struct{}
 	schemas    map[string]*tuple.Schema // relation -> ingest schema (attrs + τ)
 
 	sinkMu sync.RWMutex
@@ -221,8 +231,9 @@ func New(cfg Config) *Engine {
 		cfg:        cfg,
 		metrics:    newMetrics(),
 		tasks:      map[taskKey]*task{},
-		pinnedPar:  map[topology.StoreID]int{},
-		pinnedPart: map[topology.StoreID]query.Attr{},
+		pinnedPar:   map[topology.StoreID]int{},
+		pinnedPart:  map[topology.StoreID]query.Attr{},
+		pinnedSplit: map[topology.StoreID]map[uint64]struct{}{},
 		schemas:    map[string]*tuple.Schema{},
 		sinks:      map[string]func(*tuple.Tuple){},
 		stopDone:   make(chan struct{}),
@@ -356,6 +367,13 @@ func (e *Engine) Install(topo *topology.Config, fromEpoch int64) error {
 			}
 			e.pinnedPar[id] = par
 			e.pinnedPart[id] = s.Partition
+			if par >= 2 && len(s.SplitKeys) > 0 {
+				split := make(map[uint64]struct{}, len(s.SplitKeys))
+				for _, h := range s.SplitKeys {
+					split[h] = struct{}{}
+				}
+				e.pinnedSplit[id] = split
+			}
 		}
 		for p := 0; p < par; p++ {
 			k := taskKey{store: id, part: p}
@@ -562,6 +580,13 @@ func (e *Engine) emitLocked(step *emitStep, epoch int64, t *tuple.Tuple, seq uin
 	}
 	par := step.par
 	msg := message{edge: step.edge, epoch: epoch, t: t, seq: seq, ingestWall: wall}
+	if par == 1 {
+		// Single partition: every routing rule below resolves to part 0
+		// (h%1, seq%1, a one-task broadcast), so skip the value lookup
+		// and hash entirely.
+		e.send(taskKey{store: step.to, part: 0}, msg)
+		return
+	}
 	if name := step.routeName(); name != "" {
 		if v, ok := t.Get(name); ok {
 			h := v.Hash()
@@ -576,6 +601,22 @@ func (e *Engine) emitLocked(step *emitStep, epoch int64, t *tuple.Tuple, seq uin
 					e.send(taskKey{store: step.to, part: p2}, msg)
 				}
 				return
+			}
+			if step.split != nil {
+				if _, hot := step.split[h]; hot {
+					// Split key: the optimizer flagged this value as hot
+					// enough to overload one hash partition. Inserts spread
+					// over the two candidates; probes visit both — every
+					// insert landed on one of them, so no partner is missed.
+					p1, p2 := twoChoices(h, par)
+					if step.isStore {
+						e.send(taskKey{store: step.to, part: e.lessLoaded(step.to, p1, p2)}, msg)
+					} else {
+						e.send(taskKey{store: step.to, part: p1}, msg)
+						e.send(taskKey{store: step.to, part: p2}, msg)
+					}
+					return
+				}
 			}
 			e.send(taskKey{store: step.to, part: int(h % uint64(par))}, msg)
 			return
@@ -605,9 +646,7 @@ func (e *Engine) emitLocked(step *emitStep, epoch int64, t *tuple.Tuple, seq uin
 // caller is free to truncate and refill its buffer immediately.
 func (e *Engine) emitBatchLocked(step *emitStep, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64, rs *routeScratch) {
 	if step.sink != "" {
-		for _, t := range batch {
-			e.deliverResult(step.sink, t, wall)
-		}
+		e.deliverResultBatch(step.sink, batch, wall)
 		return
 	}
 	if len(batch) == 1 {
@@ -615,11 +654,21 @@ func (e *Engine) emitBatchLocked(step *emitStep, epoch int64, batch []*tuple.Tup
 		return
 	}
 	par := step.par
-	if e.cfg.TwoChoiceRouting && par >= 2 {
-		e.emitBatchTwoChoiceLocked(step, epoch, batch, seq, wall)
+	if par == 1 {
+		// Single partition: no routing value can change the destination,
+		// so the whole batch travels to part 0 as one message — the same
+		// message the two-pass partitioner would have built.
+		rest := make([]*tuple.Tuple, len(batch))
+		copy(rest, batch)
+		e.send(taskKey{store: step.to, part: 0},
+			message{edge: step.edge, epoch: epoch, batch: rest, seq: seq, ingestWall: wall})
 		return
 	}
 	name := step.routeName()
+	if (e.cfg.TwoChoiceRouting || (step.split != nil && name != "")) && par >= 2 {
+		e.emitBatchTwoChoiceLocked(step, epoch, batch, seq, wall)
+		return
+	}
 	if name == "" {
 		// The whole batch is unroutable: one copy, sent as one message
 		// (inserts) or shared read-only across all partitions (probes).
@@ -699,13 +748,15 @@ func (e *Engine) sendRest(step *emitStep, epoch int64, rest []*tuple.Tuple, seq 
 }
 
 // emitBatchTwoChoiceLocked is the two-choice-routing variant of batch
-// emission. Probes fan out to both hash candidates, so the flat
-// single-allocation layout does not apply; this path keeps the simpler
-// map-based grouping (two-choice deployments trade per-message overhead
-// for skew resilience anyway).
+// emission, also serving split-key stores (hot keys two-choice, the
+// rest plain hashing). Probes of two-choice keys fan out to both hash
+// candidates, so the flat single-allocation layout does not apply; this
+// path keeps the simpler map-based grouping (such deployments trade
+// per-message overhead for skew resilience anyway).
 func (e *Engine) emitBatchTwoChoiceLocked(step *emitStep, epoch int64, batch []*tuple.Tuple, seq uint64, wall int64) {
 	par := step.par
 	name := step.routeName()
+	all := e.cfg.TwoChoiceRouting
 	byPart := make(map[int][]*tuple.Tuple, par)
 	var rest []*tuple.Tuple
 	for _, t := range batch {
@@ -717,7 +768,17 @@ func (e *Engine) emitBatchTwoChoiceLocked(step *emitStep, epoch int64, batch []*
 			rest = append(rest, t)
 			continue
 		}
-		p1, p2 := twoChoices(v.Hash(), par)
+		h := v.Hash()
+		hot := all
+		if !hot && step.split != nil {
+			_, hot = step.split[h]
+		}
+		if !hot {
+			p := int(h % uint64(par))
+			byPart[p] = append(byPart[p], t)
+			continue
+		}
+		p1, p2 := twoChoices(h, par)
 		if step.isStore {
 			p := e.lessLoaded(step.to, p1, p2)
 			byPart[p] = append(byPart[p], t)
@@ -840,16 +901,114 @@ func (e *Engine) dropUndelivered(msg *message) {
 // dispatchBatch runs one drained batch through dispatch with busy-time
 // accounting, zeroing consumed slots so carried tuples release
 // promptly. Both asynchronous substrates' run loops use it.
+//
+// Consecutive data messages on the same edge and epoch whose compiled
+// plans are all probe rules execute as one batched scan (handleRun):
+// the backend's vectorized probe pass amortizes per-segment index
+// resolution across the whole run. Per-probe results and forwarding
+// order are byte-identical to per-message dispatch (batchprobe.go).
 func (e *Engine) dispatchBatch(t *task, batch []message) {
 	if len(batch) == 0 {
 		return
 	}
 	start := e.clock.Now()
-	for i := range batch {
-		e.dispatch(t, &batch[i])
-		batch[i] = message{}
+	for i := 0; i < len(batch); {
+		j, plans := e.probeRun(t, batch, i)
+		if plans != nil {
+			e.dispatchRun(t, batch[i:j], plans)
+		} else {
+			for k := i; k < j; k++ {
+				e.dispatch(t, &batch[k])
+			}
+		}
+		for k := i; k < j; k++ {
+			batch[k] = message{}
+		}
+		i = j
 	}
 	t.busyNanos.Add(e.clock.Now() - start)
+}
+
+// probeRun scans forward from batch[i] for a run of consecutive data
+// messages sharing one edge and epoch whose compiled plans are all
+// probe rules — a run the task may execute as one batched scan.
+// Returns the run's end index and the edge's plans, or (end, nil) when
+// the messages must go through scalar per-message dispatch: a run of
+// one, a non-data message, the legacy probe oracle, an armed panic
+// injection (its per-message supervision semantics must hold), or any
+// non-probe rule on the edge (inserts change what later probes in the
+// run observe). Resolves the run's epoch config once, exactly as the
+// per-message path would resolve it for each message of the epoch.
+func (e *Engine) probeRun(t *task, batch []message, i int) (int, []*rulePlan) {
+	m := &batch[i]
+	if m.kind != kindData || t.injectPanic || e.cfg.legacyProbe || t.failed.Load() {
+		return i + 1, nil
+	}
+	j := i + 1
+	for j < len(batch) && batch[j].kind == kindData &&
+		batch[j].edge == m.edge && batch[j].epoch == m.epoch {
+		j++
+	}
+	if j == i+1 {
+		return j, nil
+	}
+	e.mu.RLock()
+	ec := e.configFor(m.epoch)
+	e.mu.RUnlock()
+	if ec == nil {
+		return i + 1, nil // no installed config: handle() drops it
+	}
+	if t.planComp != ec.comp {
+		t.setComp(ec.comp)
+	}
+	plans := t.edgePlans[m.edge]
+	if len(plans) == 0 {
+		return i + 1, nil
+	}
+	for _, rp := range plans {
+		if rp.kind != topology.ProbeRule {
+			return i + 1, nil
+		}
+	}
+	return j, plans
+}
+
+// dispatchRun executes one probe-only run under a single panic guard,
+// with the same accounting balance as len(run) scalar dispatches. On a
+// panic the supervisor redelivers run[0] (with fresh in-flight and
+// queued-bytes accounting, like any panicked message); the rest of the
+// run is re-sent here the same way — the redelivered messages replay
+// individually and land behind whatever the mailbox holds, which is the
+// at-least-once contract the scalar path already has under panics.
+func (e *Engine) dispatchRun(t *task, run []message, plans []*rulePlan) {
+	e.dispatchRunGuarded(t, run, plans)
+	if e.inflight.Add(int64(-len(run))) == 0 {
+		e.notifySettled()
+	}
+}
+
+func (e *Engine) dispatchRunGuarded(t *task, run []message, plans []*rulePlan) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.superviseTaskPanic(t, &run[0], r)
+			if !t.failed.Load() {
+				for i := 1; i < len(run); i++ {
+					m := run[i]
+					e.inflight.Add(1)
+					e.queuedBytes.Add(m.memSize())
+					e.sub.send(t, m)
+				}
+			}
+		}
+	}()
+	for i := range run {
+		e.queuedBytes.Add(-run[i].memSize())
+	}
+	t.handleRun(run, plans)
+	t.handled.Add(int64(len(run)))
+	if t.restartStreak != 0 {
+		t.restartStreak = 0
+	}
 }
 
 func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
@@ -863,6 +1022,26 @@ func (e *Engine) deliverResult(queryName string, t *tuple.Tuple, wall int64) {
 	e.sinkMu.RUnlock()
 	if fn != nil {
 		fn(t)
+	}
+}
+
+// deliverResultBatch delivers a probe's result batch to one sink with
+// the clock read, metrics update, and sink lookup amortized over the
+// batch. The tuples share their probe's ingest wall time, so one
+// latency sample weighted by the batch size records the same average.
+func (e *Engine) deliverResultBatch(queryName string, batch []*tuple.Tuple, wall int64) {
+	var lat time.Duration
+	if wall > 0 {
+		lat = time.Duration(e.clock.Now() - wall)
+	}
+	e.metrics.recordResultBatch(queryName, lat, len(batch))
+	e.sinkMu.RLock()
+	fn := e.sinks[queryName]
+	e.sinkMu.RUnlock()
+	if fn != nil {
+		for _, t := range batch {
+			fn(t)
+		}
 	}
 }
 

@@ -90,6 +90,28 @@ func (m *Metrics) recordResult(queryName string, latency time.Duration) {
 	m.mu.Unlock()
 }
 
+// recordResultBatch records n results of one query sharing a latency
+// sample — a probe's result batch reaches the sink together, so the
+// clock read and lock are paid once and the sample is weighted by n.
+func (m *Metrics) recordResultBatch(queryName string, latency time.Duration, n int) {
+	m.results.Add(int64(n))
+	m.mu.Lock()
+	m.byQuery[queryName] += int64(n)
+	if latency > 0 {
+		m.latSum += latency * time.Duration(n)
+		m.latCount += int64(n)
+		if latency > m.latMax {
+			m.latMax = latency
+		}
+		b := 0
+		for d := latency / time.Millisecond; d > 0 && b < len(m.histogram)-1; d >>= 1 {
+			b++
+		}
+		m.histogram[b] += int64(n)
+	}
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the metrics.
 type Snapshot struct {
 	Ingested  int64

@@ -45,6 +45,11 @@ type emitStep struct {
 	// cannot key its probes: broadcast). Non-empty only when the
 	// compile-time RouteBy matches the pinned physical partitioning.
 	probeRoute string
+	// split is the target store's pinned split-key set (nil: none). A
+	// keyed transfer whose routing hash is in the set routes by two
+	// choices instead of the hash partition: inserts to the less-loaded
+	// candidate, probes to both. Shared read-only across tasks.
+	split map[uint64]struct{}
 }
 
 // routeName returns the attribute whose hash routes this transfer, or
@@ -126,6 +131,7 @@ func (e *Engine) compileEmissions(topo *topology.Config, out []topology.Emission
 				par = 1
 			}
 			step.par = par
+			step.split = e.pinnedSplit[em.To]
 			pinned := e.pinnedPart[em.To]
 			if pinned != (query.Attr{}) {
 				step.insertRoute = pinned.Qualified()

@@ -213,19 +213,46 @@ func probeFixture(t testing.TB, matches int, backend StateBackendKind) (*task, *
 	return nil, nil, nil, nil, nil
 }
 
-// TestProbeAllocs pins the allocation budget of task.probe: joining and
-// forwarding 8 results must cost amortized ≤1 alloc per probe (arena
-// chunks and batch copies amortize across calls; the legacy path cost
-// 2+ allocations per result).
+// TestProbeAllocs pins the allocation budget of the compiled probe
+// path: joining and forwarding 8 results must cost amortized ≤1 alloc
+// per probe (arena chunks and batch copies amortize across calls; the
+// legacy path cost 2+ allocations per result).
 func TestProbeAllocs(t *testing.T) {
-	tk, rp, st, probe, msg := probeFixture(t, 8, BackendContainer)
+	tk, rp, st, _, msg := probeFixture(t, 8, BackendContainer)
 	// Warm the schema-position and index caches.
-	tk.probe(probe, msg, rp, st)
+	tk.probeBatched(msg, rp, st)
 	avg := testing.AllocsPerRun(200, func() {
-		tk.probe(probe, msg, rp, st)
+		tk.probeBatched(msg, rp, st)
 	})
 	if avg > 1.0 {
-		t.Errorf("task.probe allocates %.2f objects/run, want ≤ 1 (8 results forwarded)", avg)
+		t.Errorf("probeBatched allocates %.2f objects/run, want ≤ 1 (8 results forwarded)", avg)
+	}
+}
+
+// TestBatchProbeAllocs pins the batched probe path under a multi-tuple
+// probe message: 16 probes scanned in one backend pass must stay at
+// amortized ≤1 allocation per probe on both backends — the whole point
+// of the selection-vector design is that batching adds no per-probe
+// allocation on top of the scalar budget.
+func TestBatchProbeAllocs(t *testing.T) {
+	for _, backend := range []StateBackendKind{BackendContainer, BackendColumnar} {
+		t.Run(fmt.Sprint(backend), func(t *testing.T) {
+			tk, rp, st, probe, msg := probeFixture(t, 8, backend)
+			const nProbes = 16
+			batch := make([]*tuple.Tuple, nProbes)
+			for i := range batch {
+				batch[i] = probe
+			}
+			bmsg := &message{edge: msg.edge, epoch: msg.epoch, batch: batch, seq: msg.seq}
+			tk.probeBatched(bmsg, rp, st) // warm caches and scratch buffers
+			avg := testing.AllocsPerRun(200, func() {
+				tk.probeBatched(bmsg, rp, st)
+			})
+			if avg > nProbes {
+				t.Errorf("batched probe allocates %.2f objects per %d-probe batch, want ≤ %d (amortized ≤1/probe)",
+					avg, nProbes, nProbes)
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"clash/internal/core"
+	"clash/internal/stats"
 	"clash/internal/tuple"
 )
 
@@ -118,6 +119,142 @@ func TestTaskSizesShape(t *testing.T) {
 	for sid, parts := range sizes {
 		if len(parts) != 3 {
 			t.Errorf("store %s reports %d partitions, want 3", sid, len(parts))
+		}
+	}
+}
+
+// degreeEstimates decorates flat estimates with a sealed degree summary
+// declaring hotVal a heavy hitter carrying `share` of every relation's
+// stream on attribute a — what a stats.Collector seals after observing
+// the skewed stream.
+func degreeEstimates(rels []string, rate float64, hotVal int64, share float64) *stats.Estimates {
+	e := flatEstimates(rels, rate)
+	const n = 100000
+	d := &stats.AttrDegrees{
+		Count:    n,
+		Distinct: 14,
+		Top:      []stats.HeavyHitter{{Hash: tuple.IntValue(hotVal).Hash(), Count: int64(share * n)}},
+	}
+	for _, r := range rels {
+		e.SetDegree(r+".a", d)
+	}
+	return e
+}
+
+// TestSplitKeysExact: a plan optimized with degree estimates carries the
+// hot key as a split key end to end (optimizer → topology → pinned
+// routing), and the results still exactly match the oracle — inserts of
+// the split key land on one of its two candidate tasks, probes visit
+// both, all other keys keep plain hash routing.
+func TestSplitKeysExact(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 4},
+		degreeEstimates([]string{"R", "S"}, 100, 0, 0.75),
+		Config{Synchronous: true})
+	defer h.eng.Stop()
+	h.eng.mu.RLock()
+	nSplit := len(h.eng.pinnedSplit)
+	h.eng.mu.RUnlock()
+	if nSplit == 0 {
+		t.Fatal("no split keys pinned — the degree estimates did not reach the topology")
+	}
+	ins := skewedStream([]string{"R", "S"}, 400, 4)
+	h.ingestAll(t, ins)
+	h.checkAgainstOracle(t, ins)
+	if h.sinks["q1"].Count() == 0 {
+		t.Fatal("no results — vacuous")
+	}
+}
+
+// TestSplitKeysReduceImbalance: the degree-aware plan must spread the
+// hot key's state over two tasks, dropping the maximum task load well
+// below the uniform-cost plan's — while producing the same result
+// multiset. Uniform keys are covered by TestSplitKeysNoRegression.
+func TestSplitKeysReduceImbalance(t *testing.T) {
+	run := func(est *stats.Estimates) (int64, int) {
+		h := newHarness(t, "q1: R(a) S(a)",
+			core.Options{StoreParallelism: 4}, est,
+			Config{Synchronous: true})
+		defer h.eng.Stop()
+		h.ingestAll(t, skewedStream([]string{"R", "S"}, 600, 8))
+		var worst int64
+		for _, sizes := range h.eng.TaskSizes() {
+			if m := maxLoad(sizes); m > worst {
+				worst = m
+			}
+		}
+		return worst, h.sinks["q1"].Count()
+	}
+	uniform, uniformResults := run(flatEstimates([]string{"R", "S"}, 100))
+	split, splitResults := run(degreeEstimates([]string{"R", "S"}, 100, 0, 7.0/8))
+	if splitResults != uniformResults {
+		t.Fatalf("split-key plan produced %d results, uniform plan %d", splitResults, uniformResults)
+	}
+	if split >= uniform {
+		t.Errorf("split-key max task load %d >= uniform %d", split, uniform)
+	}
+	if split > uniform*3/4 {
+		t.Errorf("split-key max load %d not substantially below uniform %d", split, uniform)
+	}
+}
+
+// TestSplitKeysNoRegression: without observed skew the degree summary
+// stays below the split threshold, so the plan must not declare split
+// keys and routing stays plain hashing.
+func TestSplitKeysNoRegression(t *testing.T) {
+	h := newHarness(t, "q1: R(a) S(a)",
+		core.Options{StoreParallelism: 4},
+		degreeEstimates([]string{"R", "S"}, 100, 0, 0.05), // share below 1/par
+		Config{Synchronous: true})
+	defer h.eng.Stop()
+	h.eng.mu.RLock()
+	nSplit := len(h.eng.pinnedSplit)
+	h.eng.mu.RUnlock()
+	if nSplit != 0 {
+		t.Fatalf("balanced degree summary pinned %d split-key sets", nSplit)
+	}
+	ins := randomStream(h.cat, 300, 16, 7)
+	h.ingestAll(t, ins)
+	h.checkAgainstOracle(t, ins)
+}
+
+// TestSplitKeysSimSweep: seeded interleavings on the simulation
+// substrate with a split-key topology and a skewed stream must all
+// reproduce the exact oracle answer — split routing is deterministic
+// per schedule and loses no pairs under any delivery order.
+func TestSplitKeysSimSweep(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		h := newHarness(t, "q1: R(a) S(a,b) T(b)",
+			core.Options{StoreParallelism: 3},
+			degreeEstimates([]string{"R", "S", "T"}, 100, 0, 0.6),
+			Config{Substrate: SubstrateSim, Sim: SimConfig{Seed: uint64(seed)}, StepMode: true, DefaultWindow: 60})
+		// Skewed 3-way stream: R(a) S(a,b) T(b), hot key 0 on both join
+		// attributes.
+		var ins []Ingestion
+		rels := []string{"R", "S", "T"}
+		for i := 0; i < 300; i++ {
+			key := int64(0)
+			if i%3 == 2 {
+				key = int64(i % 11)
+			}
+			vals := []tuple.Value{tuple.IntValue(key)}
+			if rels[i%3] == "S" {
+				vals = append(vals, tuple.IntValue(key))
+			}
+			ins = append(ins, Ingestion{Rel: rels[i%3], TS: tuple.Time(i + 1), Vals: vals})
+		}
+		h.ingestAll(t, ins)
+		h.checkAgainstOracle(t, ins)
+		if h.sinks["q1"].Count() == 0 {
+			t.Fatalf("seed %d: no results — vacuous", seed)
+		}
+		h.eng.Stop()
+		if t.Failed() {
+			t.Fatalf("seed %d diverged from the oracle", seed)
 		}
 	}
 }

@@ -34,10 +34,15 @@ package runtime
 // on every backend.
 
 import (
+	"math"
 	"sort"
 
 	"clash/internal/tuple"
 )
+
+// noCut disables window-based segment skipping in probeScan: every
+// resident epoch stays reachable regardless of event time.
+const noCut = int64(math.MinInt64)
 
 // StateBackendKind selects a task's store implementation.
 type StateBackendKind int
@@ -94,8 +99,17 @@ type stateBackend interface {
 	insert(tp *tuple.Tuple, seq uint64, epoch int64) (delta, idxDelta int64)
 	// probeScan visits, epoch-ascending, every stored candidate whose
 	// indexed attribute may equal v. Lazily built index structures are
-	// reported through idxDelta.
-	probeScan(attr string, v tuple.Value, mv matchVisitor) (idxDelta int64)
+	// reported through idxDelta. cut is the caller's window cutoff: the
+	// backend MAY skip any epoch whose max event time precedes it (the
+	// caller guarantees no such tuple passes its window checks; see
+	// task.probeCut). math.MinInt64 disables skipping; the container
+	// backend ignores the cutoff entirely — it is the full oracle.
+	probeScan(attr string, v tuple.Value, cut int64, mv matchVisitor) (idxDelta int64)
+	// probeScanBatch evaluates a whole probe vector in one pass,
+	// appending matches to the batch's result log (batchprobe.go). Per
+	// probe, the visited candidates and their order must be identical
+	// to a probeScan with that probe's value and cutoff.
+	probeScanBatch(attr string, pb *probeBatch) (idxDelta int64)
 	// prune drops tuples whose event time precedes the cutoff,
 	// maintaining the indices (no rebuild on the next probe).
 	prune(cut tuple.Time) (removed int, delta, idxDelta int64)
@@ -364,7 +378,11 @@ func (s *containerState) insert(tp *tuple.Tuple, seq uint64, epoch int64) (delta
 	return c.resident() - before, c.idxResident() - idxBefore
 }
 
-func (s *containerState) probeScan(attr string, v tuple.Value, mv matchVisitor) (idxDelta int64) {
+func (s *containerState) probeScan(attr string, v tuple.Value, _ int64, mv matchVisitor) (idxDelta int64) {
+	// The window cutoff is ignored by design: the oracle backend visits
+	// every candidate and lets the visitor's window checks decide, which
+	// is what makes it the differential baseline for the columnar
+	// backend's segment skipping.
 	for _, c := range s.ring.vals {
 		before := c.idxResident()
 		ix := c.index(attr)
@@ -373,6 +391,17 @@ func (s *containerState) probeScan(attr string, v tuple.Value, mv matchVisitor) 
 			en := &c.entries[ci]
 			mv.visit(en.t, en.seq)
 		}
+	}
+	return idxDelta
+}
+
+func (s *containerState) probeScanBatch(attr string, pb *probeBatch) (idxDelta int64) {
+	// Loop-over-scalar oracle: probe-major over the scalar scan (the
+	// batch doubles as the matchVisitor), emitting the result log in
+	// probe-major order with no segment skipping.
+	for i := range pb.vals {
+		pb.begin(i)
+		idxDelta += s.probeScan(attr, pb.vals[i], pb.cuts[i], pb)
 	}
 	return idxDelta
 }

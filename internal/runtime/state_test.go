@@ -88,7 +88,7 @@ func TestBackendAccountingTelescopes(t *testing.T) {
 				seq++
 				check("insert")
 				if ts%10 == 0 {
-					xd := b.probeScan("R.a", tuple.IntValue(ts%7), &sink)
+					xd := b.probeScan("R.a", tuple.IntValue(ts%7), noCut, &sink)
 					sum += xd // index growth is part of the total footprint
 					idxSum += xd
 					check("probeScan")
@@ -294,10 +294,10 @@ func TestRetireAbsentStores(t *testing.T) {
 // container baseline: joining and forwarding 8 results costs amortized
 // ≤1 allocation per probe.
 func TestColumnarProbeAllocs(t *testing.T) {
-	tk, rp, st, probe, msg := probeFixture(t, 8, BackendColumnar)
-	tk.probe(probe, msg, rp, st) // warm schema-position and index caches
+	tk, rp, st, _, msg := probeFixture(t, 8, BackendColumnar)
+	tk.probeBatched(msg, rp, st) // warm schema-position and index caches
 	avg := testing.AllocsPerRun(200, func() {
-		tk.probe(probe, msg, rp, st)
+		tk.probeBatched(msg, rp, st)
 	})
 	if avg > 1.0 {
 		t.Errorf("columnar probe allocates %.2f objects/run, want ≤ 1 (8 results forwarded)", avg)
@@ -320,7 +320,7 @@ func TestColumnarPruneAllocs(t *testing.T) {
 	for ; next < 1024; next++ {
 		cs.insert(tuples[next], uint64(next), 0)
 	}
-	cs.probeScan("S.a", tuple.IntValue(1), &sink) // build the index
+	cs.probeScan("S.a", tuple.IntValue(1), noCut, &sink) // build the index
 	// Warm the high-water marks.
 	for i := 0; i < 256; i++ {
 		cs.insert(tuples[next], uint64(next), 0)

@@ -62,9 +62,13 @@ type task struct {
 	// wins lists the windowed base relations materialized here; probe
 	// plans resolve the τ columns per stored schema against it
 	// (tauNames holds the same list as qualified attribute names for
-	// Schema.Positions).
+	// Schema.Positions). winAll records that EVERY materialized relation
+	// is windowed — the soundness gate for segment-level window skipping
+	// (probeCut) — and wMax is the largest window among them.
 	wins     []relWindow
 	tauNames []string
+	winAll   bool
+	wMax     int64
 
 	// Compiled-plan state (owned by whichever goroutine the substrate
 	// runs this task on — always exactly one). Two generations of
@@ -80,17 +84,15 @@ type task struct {
 	lastPlan   *rulePlan // monomorphic planState lookup
 	lastState  *planState
 
-	// Hot-path scratch, reused across messages. Probe-result buffers
-	// form a free-list stack rather than a single slice: in Synchronous
+	// Hot-path scratch, reused across messages. probeBatch values form
+	// a free-list stack rather than a single instance: in Synchronous
 	// mode a sink callback may re-enter this task's probe (feedback
-	// ingestion) while the outer probe's forward is still iterating its
-	// results, so each nesting level needs its own buffer. visit is the
-	// reused probe visitor — safe to share across nesting levels because
-	// a backend scan completes before forward (the only re-entry point)
-	// runs.
-	resultsFree [][]*tuple.Tuple
+	// ingestion) while the outer batch's forward is still iterating its
+	// grouped results, so each nesting level pops its own batch
+	// (batchprobe.go). pbRun is the handleRun per-plan batch scratch.
+	pbFree      []*probeBatch
+	pbRun       []*probeBatch
 	rs          routeScratch // batch-routing scratch
-	visit       probeVisit   // compiled-probe candidate visitor
 	schemaCache map[[2]*tuple.Schema]*tuple.Schema
 	lastJoinKey [2]*tuple.Schema
 	lastJoined  *tuple.Schema
@@ -110,8 +112,12 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 		if w := e.window(rel); w > 0 {
 			t.wins = append(t.wins, relWindow{tau: rel + ".τ", w: int64(w)})
 			t.tauNames = append(t.tauNames, rel+".τ")
+			if int64(w) > t.wMax {
+				t.wMax = int64(w)
+			}
 		}
 	}
+	t.winAll = len(t.wins) > 0 && len(t.wins) == len(s.Rels)
 	return t
 }
 
@@ -170,13 +176,7 @@ func (t *task) handle(msg *message) {
 				}
 				continue
 			}
-			st := t.stateFor(rp)
-			if msg.t != nil {
-				t.probe(msg.t, msg, rp, st)
-			}
-			for _, tp := range msg.batch {
-				t.probe(tp, msg, rp, st)
-			}
+			t.probeBatched(msg, rp, t.stateFor(rp))
 		}
 	}
 }
@@ -286,98 +286,9 @@ func (t *task) resetVolatile() {
 	t.states = map[*rulePlan]*planState{}
 	t.prevComp, t.prevStates = nil, nil
 	t.lastPlan, t.lastState = nil, nil
-	t.resultsFree = nil
-	t.visit = probeVisit{}
+	t.pbFree, t.pbRun = nil, nil
 	t.schemaCache = map[[2]*tuple.Schema]*tuple.Schema{}
 	t.lastJoinKey, t.lastJoined = [2]*tuple.Schema{}, nil
-}
-
-// probeVisit is the compiled probe's per-candidate state: the backend
-// scan calls visit for every index candidate, which re-checks all
-// predicates positionally (including the indexed one — backends may
-// bucket by hash), applies the window checks, and joins. One reused
-// instance per task suffices: a scan completes before forward (the
-// only re-entry point into the task) runs.
-type probeVisit struct {
-	t       *task
-	rp      *rulePlan
-	st      *planState
-	probe   *tuple.Tuple
-	ppos    []int
-	maxSeq  uint64
-	results []*tuple.Tuple
-}
-
-func (pv *probeVisit) visit(en *tuple.Tuple, seq uint64) {
-	if seq >= pv.maxSeq {
-		return // only earlier-arrived tuples are join partners
-	}
-	t := pv.t
-	sh := pv.st.storedShapeFor(en.Schema, pv.rp, t.tauNames)
-	for k := 0; k < len(pv.ppos); k++ {
-		sp := sh.predPos[k]
-		if sp < 0 || en.At(sp) != pv.probe.At(pv.ppos[k]) {
-			return
-		}
-	}
-	if !t.windowOK(pv.probe, en, sh) {
-		return
-	}
-	pv.results = append(pv.results, t.join(pv.probe, en))
-}
-
-// probe joins the arriving tuple against all stored epochs within reach
-// using the rule's compiled predicates, then forwards the join results
-// along the rule's emissions as one batch per target (Sec. III). Each
-// stored tuple lives in exactly one epoch, so no result is produced
-// twice.
-//
-// The first predicate drives the backend's local index; every
-// predicate filters by precomputed column positions — no attribute
-// names are resolved per tuple.
-func (t *task) probe(tp *tuple.Tuple, msg *message, rp *rulePlan, st *planState) {
-	if len(rp.preds) == 0 {
-		return // the optimizer never emits cross-product probes
-	}
-	if t.storedCount.Load() == 0 {
-		return
-	}
-	ppos := st.probePos(tp.Schema, rp)
-	if ppos == nil {
-		return // a probe attribute is absent: nothing can match
-	}
-	pv := &t.visit
-	pv.t, pv.rp, pv.st = t, rp, st
-	pv.probe, pv.ppos, pv.maxSeq = tp, ppos, msg.seq
-	pv.results = t.getResultsBuf()
-	if d := t.state.probeScan(rp.preds[0].storedAttr, tp.At(ppos[0]), pv); d != 0 {
-		t.accountState(d, d) // lazily built index structures
-	}
-	results := pv.results
-	pv.results, pv.probe = nil, nil
-	if len(results) != 0 {
-		t.forward(rp.out, msg, results)
-	}
-	t.putResultsBuf(results)
-}
-
-// getResultsBuf pops a probe-result buffer off the free list (empty,
-// capacity retained). Re-entrant probes pop distinct buffers.
-func (t *task) getResultsBuf() []*tuple.Tuple {
-	if n := len(t.resultsFree); n > 0 {
-		buf := t.resultsFree[n-1]
-		t.resultsFree = t.resultsFree[:n-1]
-		return buf
-	}
-	return nil
-}
-
-// putResultsBuf returns a buffer to the free list. The forwarded
-// tuples were copied into the outgoing messages, so the elements are
-// zeroed first — stale pointers must not pin arena blocks.
-func (t *task) putResultsBuf(buf []*tuple.Tuple) {
-	clear(buf)
-	t.resultsFree = append(t.resultsFree, buf[:0])
 }
 
 // windowOK checks, for every windowed base relation materialized in the
@@ -453,8 +364,11 @@ func (t *task) probeLegacy(tp *tuple.Tuple, msg *message, rp *rulePlan) {
 	if !ok {
 		return
 	}
+	// The legacy oracle never passes a window cutoff: candidates out of
+	// window are rejected by withinWindowsLegacy, which is the behaviour
+	// the segment-skipping compiled path is differenced against.
 	lv := &legacyVisit{t: t, pps: pps, probe: tp, v0: v0, maxSeq: msg.seq}
-	if d := t.state.probeScan(pps[0].storedAttr, v0, lv); d != 0 {
+	if d := t.state.probeScan(pps[0].storedAttr, v0, noCut, lv); d != 0 {
 		t.accountState(d, d)
 	}
 	if len(lv.results) == 0 {

@@ -1,0 +1,211 @@
+// Degree sketches: per-attribute heavy-hitter and degree-moment
+// estimation for skew-aware cost modeling. A mean selectivity says how
+// many partners an *average* probe finds; it says nothing about how the
+// partition load distributes when the stream is hashed by an attribute.
+// The SpaceSaving sketch identifies the keys that dominate an attribute
+// (the hash-partition hot spots), and AttrDegrees seals them together
+// with the degree moments (count, distinct, mean degree) the cost model
+// needs to price a partition decoration by its worst partition rather
+// than its average one.
+
+package stats
+
+import (
+	"sort"
+)
+
+// SpaceSaving is the Metwally et al. heavy-hitter sketch: at most k
+// monitored keys with per-key count and overestimation error. Any key
+// whose true frequency exceeds N/k is guaranteed monitored, and for
+// every monitored key the true frequency f satisfies
+// Count-Err <= f <= Count. Keys are 64-bit value hashes — the same
+// hashes the runtime routes by, so sealed heavy hitters translate
+// directly into routing decisions.
+type SpaceSaving struct {
+	k       int
+	n       int64
+	entries map[uint64]*ssEntry
+}
+
+type ssEntry struct {
+	count int64
+	err   int64
+}
+
+// HeavyHitter is one sealed sketch entry: Count overestimates the true
+// frequency by at most Err.
+type HeavyHitter struct {
+	Hash  uint64
+	Count int64
+	Err   int64
+}
+
+// NewSpaceSaving returns a sketch monitoring at most k keys (k >= 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, entries: make(map[uint64]*ssEntry, k)}
+}
+
+// Add observes one occurrence of the key hash.
+func (s *SpaceSaving) Add(h uint64) { s.AddN(h, 1) }
+
+// AddN observes n occurrences of the key hash.
+func (s *SpaceSaving) AddN(h uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.n += n
+	if e := s.entries[h]; e != nil {
+		e.count += n
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries[h] = &ssEntry{count: n}
+		return
+	}
+	// Replace the minimum-count key; the newcomer inherits its count as
+	// the overestimation bound (ties broken by hash for determinism).
+	var minHash uint64
+	var min *ssEntry
+	for hh, e := range s.entries {
+		if min == nil || e.count < min.count || (e.count == min.count && hh < minHash) {
+			minHash, min = hh, e
+		}
+	}
+	delete(s.entries, minHash)
+	s.entries[h] = &ssEntry{count: min.count + n, err: min.count}
+}
+
+// N returns the total number of observations.
+func (s *SpaceSaving) N() int64 { return s.n }
+
+// Merge folds another sketch into this one so that the per-key bounds
+// Count-Err <= f <= Count keep holding against the *combined* stream. A
+// key monitored on only one side may have unseen occurrences hidden in
+// the other side's evicted mass, bounded by that side's minimum count
+// (the SpaceSaving invariant); that floor is added to both the count
+// and the error. The result then shrinks back to capacity keeping the
+// largest counts — dropping keys never violates a survivor's bounds.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil {
+		return
+	}
+	sFloor := s.floor()
+	oFloor := o.floor()
+	for h, e := range o.entries {
+		if mine := s.entries[h]; mine != nil {
+			mine.count += e.count
+			mine.err += e.err
+		} else {
+			s.entries[h] = &ssEntry{count: e.count + sFloor, err: e.err + sFloor}
+		}
+	}
+	for h, mine := range s.entries {
+		if o.entries[h] == nil {
+			mine.count += oFloor
+			mine.err += oFloor
+		}
+	}
+	s.n += o.n
+	if len(s.entries) <= s.k {
+		return
+	}
+	top := s.Top(s.k)
+	keep := make(map[uint64]*ssEntry, s.k)
+	for _, hh := range top {
+		keep[hh.Hash] = s.entries[hh.Hash]
+	}
+	s.entries = keep
+}
+
+// floor bounds the true frequency of any key this sketch does NOT
+// monitor: at capacity that is the minimum monitored count; below
+// capacity every observed key is monitored, so the bound is zero.
+func (s *SpaceSaving) floor() int64 {
+	if len(s.entries) < s.k {
+		return 0
+	}
+	var min int64 = -1
+	for _, e := range s.entries {
+		if min < 0 || e.count < min {
+			min = e.count
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Top returns the n largest entries, count-descending (hash-ascending on
+// ties — the order is deterministic for identical observation histories).
+func (s *SpaceSaving) Top(n int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.entries))
+	for h, e := range s.entries {
+		out = append(out, HeavyHitter{Hash: h, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// AttrDegrees is the sealed degree summary of one attribute: the moments
+// (observation count, estimated distinct count, mean degree) plus the
+// heavy hitters that dominate a hash partitioning of the stream.
+type AttrDegrees struct {
+	Count    int64        // observed tuples carrying the attribute
+	Distinct float64      // estimated distinct values (KMV)
+	Top      []HeavyHitter // heaviest keys, count-descending
+}
+
+// MeanDegree is the average number of tuples per distinct value.
+func (d *AttrDegrees) MeanDegree() float64 {
+	if d == nil || d.Distinct < 1 {
+		return float64(d.safeCount())
+	}
+	return float64(d.Count) / d.Distinct
+}
+
+// HotShare is the heaviest key's estimated share of the stream — the
+// fraction of tuples a single hash partition receives from that key
+// alone. Zero when nothing was observed.
+func (d *AttrDegrees) HotShare() float64 {
+	if d == nil || d.Count == 0 || len(d.Top) == 0 {
+		return 0
+	}
+	return float64(d.Top[0].Count) / float64(d.Count)
+}
+
+// KeyShare is the estimated stream share of one sealed heavy hitter.
+func (d *AttrDegrees) KeyShare(i int) float64 {
+	if d == nil || d.Count == 0 || i >= len(d.Top) {
+		return 0
+	}
+	return float64(d.Top[i].Count) / float64(d.Count)
+}
+
+func (d *AttrDegrees) safeCount() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.Count
+}
+
+// clone returns a deep copy.
+func (d *AttrDegrees) clone() *AttrDegrees {
+	if d == nil {
+		return nil
+	}
+	c := &AttrDegrees{Count: d.Count, Distinct: d.Distinct}
+	c.Top = append([]HeavyHitter(nil), d.Top...)
+	return c
+}

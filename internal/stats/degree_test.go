@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/rng"
+	"clash/internal/tuple"
+)
+
+// drawStream produces a deterministic zipf-skewed stream of key hashes
+// together with the exact per-key frequencies.
+func drawStream(seed uint64, n, universe int, s float64) ([]uint64, map[uint64]int64) {
+	r := rng.New(seed)
+	z := rng.NewZipf(r, universe, s)
+	hashOf := func(k int) uint64 {
+		// Spread small ints over the hash space (fmix-style) so sketch
+		// tie-breaking by hash is non-trivial.
+		h := uint64(k) + 0x9E3779B97F4A7C15
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		return h
+	}
+	stream := make([]uint64, n)
+	exact := map[uint64]int64{}
+	for i := 0; i < n; i++ {
+		h := hashOf(z.Draw())
+		stream[i] = h
+		exact[h]++
+	}
+	return stream, exact
+}
+
+// checkBounds asserts the SpaceSaving guarantees against exact counts:
+// for every monitored key, Count-Err <= f <= Count, and every key with
+// f > N/k is monitored.
+func checkBounds(t *testing.T, sk *SpaceSaving, exact map[uint64]int64, k int) {
+	t.Helper()
+	var n int64
+	for _, f := range exact {
+		n += f
+	}
+	if sk.N() != n {
+		t.Fatalf("N() = %d, want %d", sk.N(), n)
+	}
+	top := sk.Top(k)
+	monitored := map[uint64]bool{}
+	for _, hh := range top {
+		monitored[hh.Hash] = true
+		f := exact[hh.Hash]
+		if f > hh.Count {
+			t.Errorf("key %x: true freq %d exceeds Count %d", hh.Hash, f, hh.Count)
+		}
+		if hh.Count-hh.Err > f {
+			t.Errorf("key %x: Count-Err = %d exceeds true freq %d", hh.Hash, hh.Count-hh.Err, f)
+		}
+	}
+	for h, f := range exact {
+		if f > n/int64(k) && !monitored[h] {
+			t.Errorf("key %x with freq %d > N/k = %d not monitored", h, f, n/int64(k))
+		}
+	}
+}
+
+func TestSpaceSavingBounds(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			stream, exact := drawStream(seed, 5000, 300, 1.2)
+			sk := NewSpaceSaving(k)
+			for _, h := range stream {
+				sk.Add(h)
+			}
+			checkBounds(t, sk, exact, k)
+		}
+	}
+}
+
+func TestSpaceSavingMergeBounds(t *testing.T) {
+	// The merged sketch must keep the error bounds valid against the
+	// concatenation of both streams, and N must be additive.
+	for seed := uint64(1); seed <= 8; seed++ {
+		a, exactA := drawStream(seed, 4000, 200, 1.1)
+		b, exactB := drawStream(seed+100, 3000, 200, 1.4)
+		ska := NewSpaceSaving(8)
+		skb := NewSpaceSaving(8)
+		for _, h := range a {
+			ska.Add(h)
+		}
+		for _, h := range b {
+			skb.Add(h)
+		}
+		combined := map[uint64]int64{}
+		for h, f := range exactA {
+			combined[h] += f
+		}
+		for h, f := range exactB {
+			combined[h] += f
+		}
+		ska.Merge(skb)
+		if got, want := ska.N(), int64(len(a)+len(b)); got != want {
+			t.Fatalf("merged N = %d, want %d", got, want)
+		}
+		if len(ska.Top(100)) > 8 {
+			t.Fatalf("merge left %d entries, capacity 8", len(ska.Top(100)))
+		}
+		// After a merge only the upper/lower bounds survive (the top-k
+		// coverage guarantee weakens to 2N/k); check bounds only.
+		for _, hh := range ska.Top(8) {
+			f := combined[hh.Hash]
+			if f > hh.Count {
+				t.Errorf("seed %d key %x: true freq %d exceeds merged Count %d", seed, hh.Hash, f, hh.Count)
+			}
+			if hh.Count-hh.Err > f {
+				t.Errorf("seed %d key %x: merged Count-Err = %d exceeds true freq %d", seed, hh.Hash, hh.Count-hh.Err, f)
+			}
+		}
+	}
+}
+
+func TestSpaceSavingTopDeterministic(t *testing.T) {
+	build := func() *SpaceSaving {
+		sk := NewSpaceSaving(4)
+		for i := 0; i < 100; i++ {
+			sk.Add(uint64(i % 10))
+		}
+		return sk
+	}
+	a, b := build().Top(4), build().Top(4)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Top()[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Count > a[i-1].Count {
+			t.Fatalf("Top() not count-descending at %d: %+v", i, a)
+		}
+		if a[i].Count == a[i-1].Count && a[i].Hash < a[i-1].Hash {
+			t.Fatalf("Top() ties not hash-ascending at %d: %+v", i, a)
+		}
+	}
+}
+
+func TestAttrDegreesShares(t *testing.T) {
+	d := &AttrDegrees{
+		Count:    100,
+		Distinct: 10,
+		Top: []HeavyHitter{
+			{Hash: 7, Count: 40},
+			{Hash: 3, Count: 20},
+		},
+	}
+	if got := d.HotShare(); got != 0.4 {
+		t.Errorf("HotShare = %v, want 0.4", got)
+	}
+	if got := d.KeyShare(1); got != 0.2 {
+		t.Errorf("KeyShare(1) = %v, want 0.2", got)
+	}
+	if got := d.KeyShare(2); got != 0 {
+		t.Errorf("KeyShare(2) = %v, want 0", got)
+	}
+	if got := d.MeanDegree(); got != 10 {
+		t.Errorf("MeanDegree = %v, want 10", got)
+	}
+	var nilD *AttrDegrees
+	if nilD.HotShare() != 0 || nilD.MeanDegree() != 0 || nilD.KeyShare(0) != 0 {
+		t.Errorf("nil AttrDegrees must report zeros")
+	}
+}
+
+func TestCollectorSealsDegrees(t *testing.T) {
+	// The collector must seal heavy hitters for each observed attribute;
+	// a 50% hot key must dominate the sealed sketch.
+	c := NewCollector(64, 64, 1)
+	sch := tuple.NewSchema("R.a")
+	r := rng.New(3)
+	const n = 2000
+	var hotHash uint64
+	for i := 0; i < n; i++ {
+		k := int64(100 + r.Intn(50))
+		if i%2 == 0 {
+			k = 7
+		}
+		tp := tuple.New(sch, tuple.Time(i), tuple.IntValue(k))
+		if k == 7 {
+			hotHash = tp.Values[0].Hash()
+		}
+		c.Observe("R", tp)
+	}
+	est := c.Seal(time.Second, nil)
+	d := est.Degree("R.a")
+	if d == nil {
+		t.Fatal("no degree summary sealed for R.a")
+	}
+	if d.Count != n {
+		t.Errorf("Count = %d, want %d", d.Count, n)
+	}
+	if len(d.Top) == 0 || d.Top[0].Hash != hotHash {
+		t.Fatalf("hot key not at Top[0]: %+v", d.Top)
+	}
+	if hs := d.HotShare(); hs < 0.45 || hs > 0.55 {
+		t.Errorf("HotShare = %v, want ~0.5", hs)
+	}
+	// Clone must deep-copy the sketch output.
+	cl := est.Clone()
+	cl.Degree("R.a").Top[0].Count = -1
+	if est.Degree("R.a").Top[0].Count == -1 {
+		t.Error("Clone shares Top slice with the original")
+	}
+}

@@ -26,6 +26,11 @@ type Estimates struct {
 	Sels       map[string]float64 // predicate signature -> selectivity
 	DefaultSel float64            // fallback when a predicate was never observed
 	Windows    map[string]time.Duration
+	// Degrees holds the per-attribute degree summaries (degree.go),
+	// keyed by qualified attribute name ("R.a"). An absent entry means
+	// the attribute's distribution is unknown — the cost model treats
+	// it as uniform.
+	Degrees map[string]*AttrDegrees
 }
 
 // NewEstimates returns an empty snapshot with the given fallback
@@ -36,7 +41,22 @@ func NewEstimates(defaultSel float64) *Estimates {
 		Sels:       map[string]float64{},
 		DefaultSel: defaultSel,
 		Windows:    map[string]time.Duration{},
+		Degrees:    map[string]*AttrDegrees{},
 	}
+}
+
+// Degree returns the degree summary of the qualified attribute, or nil
+// when its distribution was never sketched.
+func (e *Estimates) Degree(qualifiedAttr string) *AttrDegrees {
+	return e.Degrees[qualifiedAttr]
+}
+
+// SetDegree records an attribute's degree summary.
+func (e *Estimates) SetDegree(qualifiedAttr string, d *AttrDegrees) {
+	if e.Degrees == nil {
+		e.Degrees = map[string]*AttrDegrees{}
+	}
+	e.Degrees[qualifiedAttr] = d
 }
 
 // Rate returns the arrival rate of the relation, or 1 if unknown (a
@@ -87,6 +107,9 @@ func (e *Estimates) Clone() *Estimates {
 	for k, v := range e.Windows {
 		c.Windows[k] = v
 	}
+	for k, v := range e.Degrees {
+		c.Degrees[k] = v.clone()
+	}
 	return c
 }
 
@@ -119,6 +142,12 @@ func Blend(old, new *Estimates, alpha float64) *Estimates {
 	}
 	for k, v := range new.Windows {
 		out.Windows[k] = v
+	}
+	// Degree summaries are sketches, not scalars: blending counts from
+	// different epochs is meaningless, so the newest observation wins
+	// per attribute (old entries survive until re-observed).
+	for k, v := range new.Degrees {
+		out.Degrees[k] = v.clone()
 	}
 	return out
 }
@@ -236,7 +265,8 @@ type relStats struct {
 	count       int64
 	first, last tuple.Time
 	sample      *Reservoir
-	distinct    map[string]*KMV // unqualified attribute -> sketch
+	distinct    map[string]*KMV         // unqualified attribute -> sketch
+	heavy       map[string]*SpaceSaving // qualified attribute -> heavy hitters
 }
 
 // Collector accumulates per-epoch observations. It is safe for concurrent
@@ -245,6 +275,7 @@ type Collector struct {
 	mu         sync.Mutex
 	sampleK    int
 	sketchK    int
+	heavyK     int
 	seed       uint64
 	rels       map[string]*relStats
 	defaultSel float64
@@ -253,9 +284,13 @@ type Collector struct {
 // NewCollector returns a collector sampling up to sampleK tuples per
 // relation per epoch and sketching distincts with sketchK minimum values.
 func NewCollector(sampleK, sketchK int, seed uint64) *Collector {
-	return &Collector{sampleK: sampleK, sketchK: sketchK, seed: seed,
+	return &Collector{sampleK: sampleK, sketchK: sketchK, heavyK: 16, seed: seed,
 		rels: map[string]*relStats{}, defaultSel: 0.01}
 }
+
+// SetHeavyK overrides the heavy-hitter sketch capacity (default 16
+// monitored keys per attribute).
+func (c *Collector) SetHeavyK(k int) { c.heavyK = k }
 
 // SetDefaultSelectivity overrides the fallback selectivity for predicates
 // never observed in samples.
@@ -270,6 +305,7 @@ func (c *Collector) Observe(rel string, t *tuple.Tuple) {
 		rs = &relStats{
 			sample:   NewReservoir(c.sampleK, c.seed^hashString(rel)),
 			distinct: map[string]*KMV{},
+			heavy:    map[string]*SpaceSaving{},
 			first:    t.TS,
 		}
 		c.rels[rel] = rs
@@ -294,7 +330,14 @@ func (c *Collector) Observe(rel string, t *tuple.Tuple) {
 			sk = NewKMV(c.sketchK)
 			rs.distinct[short] = sk
 		}
-		sk.AddHash(t.Values[i].Hash())
+		h := t.Values[i].Hash()
+		sk.AddHash(h)
+		hv := rs.heavy[name]
+		if hv == nil {
+			hv = NewSpaceSaving(c.heavyK)
+			rs.heavy[name] = hv
+		}
+		hv.Add(h)
 	}
 }
 
@@ -325,6 +368,15 @@ func (c *Collector) Seal(epochLen time.Duration, preds []query.Predicate) *Estim
 	}
 	for name, rs := range rels {
 		e.Rates[name] = float64(rs.count) / secs
+		for attr, hv := range rs.heavy {
+			d := &AttrDegrees{Count: hv.N(), Top: hv.Top(c.heavyK)}
+			short := attr
+			if j := lastDot(attr); j >= 0 {
+				short = attr[j+1:]
+			}
+			d.Distinct = distinctOf(rs, short)
+			e.Degrees[attr] = d
+		}
 	}
 	for _, p := range preds {
 		a, b := rels[p.Left.Rel], rels[p.Right.Rel]

@@ -34,6 +34,12 @@ type Store struct {
 	Preds       []query.Predicate // predicates materialized inside the store
 	Partition   query.Attr        // zero Attr: unpartitioned (random placement)
 	Parallelism int
+	// SplitKeys lists the value hashes of heavy-hitter partition keys the
+	// optimizer decided to split across two tasks instead of hashing onto
+	// one hot partition. Inserts of a split key go to the less-loaded of
+	// its two candidate tasks; probes visit both. Sorted ascending for
+	// deterministic configs.
+	SplitKeys []uint64
 }
 
 // Base reports whether this store holds a single input relation.
