@@ -580,6 +580,10 @@ func (e *Engine) Reoptimizations() int { return e.ctl.Reoptimizations() }
 // Metrics returns a snapshot of the runtime counters.
 func (e *Engine) Metrics() MetricsSnapshot { return e.eng.Metrics().Snapshot() }
 
+// Snapshot is Metrics under the name the cluster layer's Shard
+// interface expects — an Engine drops into a Cluster as one shard.
+func (e *Engine) Snapshot() MetricsSnapshot { return e.eng.Metrics().Snapshot() }
+
 // Pressure returns the engine's aggregated overload signal: queued
 // work, the deepest task backlog, the flow substrate's credit balance,
 // and shed counts.

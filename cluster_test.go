@@ -1,0 +1,179 @@
+package clash
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// clusterStream feeds every relation of the star workload in turn.
+func clusterStream(cl *Cluster, t *testing.T, n int) {
+	t.Helper()
+	rels := []string{"R", "S", "T"}
+	for i := 0; i < n; i++ {
+		if err := cl.Ingest(rels[i%3], Time(i+1), Int(int64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterMatchesSingleEngine: the public-API exactness contract — a
+// three-shard cluster's merged results are byte-identical to one
+// engine's.
+func TestClusterMatchesSingleEngine(t *testing.T) {
+	const workload = "q1: R(a) S(a)\nq2: S(a) T(a)"
+	cl, err := NewCluster(ClusterConfig{
+		Shards: 3,
+		Engine: Config{Workload: workload, Synchronous: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	sink := NewMergeSink()
+	cl.OnResult("q1", sink.Add("q1"))
+	cl.OnResult("q2", sink.Add("q2"))
+	clusterStream(cl, t, 120)
+	cl.Drain()
+	if err := cl.Failure(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := Start(Config{Workload: workload, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	oracle := NewMergeSink()
+	eng.OnResult("q1", oracle.Add("q1"))
+	eng.OnResult("q2", oracle.Add("q2"))
+	rels := []string{"R", "S", "T"}
+	for i := 0; i < 120; i++ {
+		if err := eng.Ingest(rels[i%3], Time(i+1), Int(int64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+
+	for _, q := range []string{"q1", "q2"} {
+		if sink.Count(q) == 0 {
+			t.Fatalf("%s: no results — test vacuous", q)
+		}
+		if !bytes.Equal(sink.Bytes(q), oracle.Bytes(q)) {
+			t.Fatalf("%s: cluster (%d results) diverges from single engine (%d)",
+				q, sink.Count(q), oracle.Count(q))
+		}
+	}
+	m := cl.Metrics()
+	if m.RoutedTuples != 120 || len(m.Shards) != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if !cl.Plan().Relations["S"].Keyed() {
+		t.Error("S not keyed in the derived plan")
+	}
+}
+
+// TestClusterDurableShards: each shard owns a WAL subdirectory under
+// the configured root and writes history into it.
+func TestClusterDurableShards(t *testing.T) {
+	dir := t.TempDir()
+	cl, err := NewCluster(ClusterConfig{
+		Shards: 2,
+		Engine: Config{
+			Workload:    "q1: R(a) S(a)",
+			Synchronous: true,
+			WAL:         &WALConfig{Dir: dir, NoSync: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		rel := "R"
+		if i%2 == 1 {
+			rel = "S"
+		}
+		if err := cl.Ingest(rel, Time(i+1), Int(int64(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sub := filepath.Join(dir, "shard-"+string(rune('0'+i)))
+		ents, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatalf("shard %d WAL dir: %v", i, err)
+		}
+		if len(ents) == 0 {
+			t.Fatalf("shard %d WAL dir empty", i)
+		}
+	}
+	// Each shard's history is individually recoverable.
+	for i := 0; i < 2; i++ {
+		eng, _, err := Recover(Config{
+			Workload:    "q1: R(a) S(a)",
+			Synchronous: true,
+			WAL:         &WALConfig{Dir: filepath.Join(dir, "shard-"+string(rune('0'+i))), NoSync: true},
+		})
+		if err != nil {
+			t.Fatalf("recover shard %d: %v", i, err)
+		}
+		eng.Close()
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Engine: Config{}}); err == nil {
+		t.Error("empty workload should fail")
+	}
+	if _, err := NewCluster(ClusterConfig{
+		Shards: 2,
+		Engine: Config{
+			Workload: "q1: R(a) S(a)",
+			WAL:      &WALConfig{Storage: NewMemWALStorage()},
+		},
+	}); err == nil {
+		t.Error("shared WALStorage across shards should fail")
+	}
+	if _, err := NewCluster(ClusterConfig{
+		Engine: Config{
+			Workload: "q1: R(a) S(a)",
+			OnResult: map[string]func(*Tuple){"q1": func(*Tuple) {}},
+		},
+	}); err == nil {
+		t.Error("per-shard OnResult template should fail")
+	}
+}
+
+// TestClusterAdmissionSheds: the public front door counts shed tuples
+// and the cluster stays live.
+func TestClusterAdmissionSheds(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Shards:    2,
+		Engine:    Config{Workload: "q1: R(a) S(a)", Synchronous: true},
+		Admission: &TokenBucket{Rate: 1, Burst: 5, Policy: ShedOnOverload},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	for i := 0; i < 30; i++ {
+		rel := "R"
+		if i%2 == 1 {
+			rel = "S"
+		}
+		if err := cl.Ingest(rel, 1, Int(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cl.Metrics()
+	if m.AdmissionDrops != 25 {
+		t.Fatalf("AdmissionDrops = %d, want 25", m.AdmissionDrops)
+	}
+	if err := cl.Failure(); err != nil {
+		t.Fatal(err)
+	}
+}

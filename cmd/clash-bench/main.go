@@ -24,6 +24,12 @@
 //	             optimizer split heavy-hitter keys across two tasks,
 //	             and the handled-tuple imbalance (max/mean) must drop
 //	             while results stay identical
+//	cluster    — scale-out: the TPC-H orders ⋈ lineitem stream through
+//	             the cluster front door at 1/2/4 shards (key-hash
+//	             routing + token-bucket admission); reports ingest
+//	             throughput, routing imbalance, and admission drops,
+//	             with the result count gated identical across shard
+//	             counts
 //	chaos      — crash-recovery chaos suite: -seeds crash-restart-replay
 //	             runs per state backend (task panics + torn WAL tails
 //	             active), each byte-compared against an uninterrupted
@@ -56,7 +62,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,skew,chaos,all)")
+		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,skew,cluster,chaos,all)")
 		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
@@ -84,13 +90,15 @@ func main() {
 	// recorded scale factor and seed unless explicitly overridden.
 	var baseline []fig7Series
 	var baselineSkew []bench.SkewResult
+	var baselineCluster []bench.ClusterBenchResult
 	if *compareTo != "" {
-		bsf, bseed, series, skew, err := readFig7JSON(*compareTo)
+		bsf, bseed, series, skew, clusterRows, err := readFig7JSON(*compareTo)
 		if err != nil {
 			log.Fatal(err)
 		}
 		baseline = series
 		baselineSkew = skew
+		baselineCluster = clusterRows
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if !explicit["sf"] {
@@ -121,6 +129,12 @@ func main() {
 	if want("skew") || len(baselineSkew) > 0 {
 		skewRows = runSkew(*seed)
 	}
+	// Same full-scale rule as skew: the cluster gate compares exact
+	// result counts, which are deterministic in (seed, stream length).
+	var clusterRows []bench.ClusterBenchResult
+	if want("cluster") || len(baselineCluster) > 0 {
+		clusterRows = runClusterBench(*seed)
+	}
 	if *jsonOut != "" {
 		// A written baseline must always carry the Fig. 7 series the
 		// -compare gate diffs against — a longstate-only write would
@@ -131,7 +145,7 @@ func main() {
 		if longstate == nil {
 			log.Print("note: no -fig longstate in this run — the baseline's longstate section will be absent")
 		}
-		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate, skewRows); err != nil {
+		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate, skewRows, clusterRows); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)
@@ -139,6 +153,9 @@ func main() {
 	if *compareTo != "" {
 		ok := compareFig7(*compareTo, baseline, series, *regressPct/100)
 		if len(baselineSkew) > 0 && !compareSkew(baselineSkew, skewRows, *regressPct/100) {
+			ok = false
+		}
+		if len(baselineCluster) > 0 && !compareCluster(baselineCluster, clusterRows, *regressPct/100) {
 			ok = false
 		}
 		if !ok {
@@ -257,15 +274,16 @@ func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
 	return series
 }
 
-func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult) error {
+func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult) error {
 	doc := struct {
-		Figure    string                  `json:"figure"`
-		SF        float64                 `json:"sf"`
-		Seed      uint64                  `json:"seed"`
-		Series    []fig7Series            `json:"series"`
-		LongState []bench.LongStateResult `json:"longstate,omitempty"`
-		Skew      []bench.SkewResult      `json:"skew,omitempty"`
-	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate, Skew: skew}
+		Figure    string                     `json:"figure"`
+		SF        float64                    `json:"sf"`
+		Seed      uint64                     `json:"seed"`
+		Series    []fig7Series               `json:"series"`
+		LongState []bench.LongStateResult    `json:"longstate,omitempty"`
+		Skew      []bench.SkewResult         `json:"skew,omitempty"`
+		Cluster   []bench.ClusterBenchResult `json:"cluster,omitempty"`
+	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate, Skew: skew, Cluster: clusterRows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -324,6 +342,20 @@ func runSkew(seed uint64) []bench.SkewResult {
 	return rows
 }
 
+// runClusterBench drives the scale-out sweep (DESIGN.md §13) and dies
+// when shard counts disagree on results or drops, or when admission
+// control never sheds.
+func runClusterBench(seed uint64) []bench.ClusterBenchResult {
+	fmt.Println("=== Cluster — TPC-H stream across 1/2/4 shards (key-hash routing, token-bucket admission) ===")
+	rows, err := bench.ClusterBench(bench.ClusterBenchConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatCluster(rows))
+	fmt.Println()
+	return rows
+}
+
 // runSimSweep drives the deterministic-schedule sweep (DESIGN.md §9)
 // and exits non-zero on any seed that deviates from the oracle, any
 // replay divergence, or a fault scenario that fails to reproduce.
@@ -368,21 +400,73 @@ func runChaos(seeds int, quick bool, seed uint64) {
 }
 
 // readFig7JSON loads a baseline written by -json.
-func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, err error) {
+func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, nil, err
+		return 0, 0, nil, nil, nil, err
 	}
 	var doc struct {
-		SF     float64            `json:"sf"`
-		Seed   uint64             `json:"seed"`
-		Series []fig7Series       `json:"series"`
-		Skew   []bench.SkewResult `json:"skew"`
+		SF      float64                    `json:"sf"`
+		Seed    uint64                     `json:"seed"`
+		Series  []fig7Series               `json:"series"`
+		Skew    []bench.SkewResult         `json:"skew"`
+		Cluster []bench.ClusterBenchResult `json:"cluster"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return 0, 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return doc.SF, doc.Seed, doc.Series, doc.Skew, nil
+	return doc.SF, doc.Seed, doc.Series, doc.Skew, doc.Cluster, nil
+}
+
+// compareCluster gates the scale-out scenario against the baseline:
+// result counts and admission drops are deterministic in (seed, stream
+// length) and must match exactly; per-tuple ingest cost and routing
+// imbalance may not regress beyond the threshold.
+func compareCluster(baseline, current []bench.ClusterBenchResult, threshold float64) bool {
+	baseOf := map[int]bench.ClusterBenchResult{}
+	for _, r := range baseline {
+		baseOf[r.Shards] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range current {
+		b, ok := baseOf[r.Shards]
+		if !ok {
+			fmt.Printf("(no cluster baseline for %d shards — skipped)\n", r.Shards)
+			continue
+		}
+		compared++
+		if r.Results != b.Results {
+			regressions++
+			fmt.Printf("REGRESSION  cluster n=%-2d result count %d -> %d (correctness drift!)\n", r.Shards, b.Results, r.Results)
+		}
+		if r.AdmissionDrops != b.AdmissionDrops {
+			regressions++
+			fmt.Printf("REGRESSION  cluster n=%-2d admission drops %d -> %d (front-door drift!)\n", r.Shards, b.AdmissionDrops, r.AdmissionDrops)
+		}
+		if b.IngestNsPerTuple > 0 {
+			if d := (r.IngestNsPerTuple - b.IngestNsPerTuple) / b.IngestNsPerTuple; d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  cluster n=%-2d ingest ns/tuple %+.1f%%\n", r.Shards, d*100)
+			}
+		}
+		if b.Imbalance > 0 {
+			if d := (r.Imbalance - b.Imbalance) / b.Imbalance; d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  cluster n=%-2d imbalance %+.1f%%\n", r.Shards, d*100)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("GATE FAILURE: baseline has a cluster section but no shard count matched the current run")
+		return false
+	}
+	if regressions > 0 {
+		fmt.Printf("%d cluster regression(s)\n", regressions)
+		return false
+	}
+	fmt.Println("cluster: no regressions")
+	return true
 }
 
 // compareSkew gates the skew scenario against the baseline: result

@@ -1,0 +1,117 @@
+// Cluster scale-out: N full engines behind a routing/admission front
+// door, with state hash-partitioned by join key (DESIGN.md §13).
+//
+// The walkthrough makes the two cluster claims concrete:
+//
+//  1. Exactness — the sharding plan keys every relation of the star
+//     workload on its join attribute, so a tuple's partners always land
+//     on its own shard; the merged result stream of a 3-shard cluster
+//     is byte-identical to a single engine fed the same input.
+//
+//  2. Admission — a token bucket at the front door sheds a burst the
+//     engines never see: drops are counted, the cluster stays live,
+//     and spaced traffic keeps joining.
+//
+//     go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"clash"
+)
+
+const workload = "q1: R(a) S(a)\nq2: S(a) T(a)"
+
+func feed(ingest func(rel string, ts clash.Time, vals ...clash.Value) error, n int) {
+	rels := []string{"R", "S", "T"}
+	for i := 0; i < n; i++ {
+		if err := ingest(rels[i%3], clash.Time(i+1), clash.Int(int64(i%7))); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	// --- 1. Exactness: 3 shards vs one engine, byte for byte ---------
+	cl, err := clash.NewCluster(clash.ClusterConfig{
+		Shards: 3,
+		Engine: clash.Config{Workload: workload, Synchronous: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	merged := clash.NewMergeSink()
+	cl.OnResult("q1", merged.Add("q1"))
+	cl.OnResult("q2", merged.Add("q2"))
+	feed(cl.Ingest, 300)
+	cl.Drain()
+
+	eng, err := clash.Start(clash.Config{Workload: workload, Synchronous: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+	oracle := clash.NewMergeSink()
+	eng.OnResult("q1", oracle.Add("q1"))
+	eng.OnResult("q2", oracle.Add("q2"))
+	feed(eng.Ingest, 300)
+	eng.Drain()
+
+	plan := cl.Plan()
+	fmt.Println("Sharding plan (derived from the workload's join predicates):")
+	for _, rel := range []string{"R", "S", "T"} {
+		pl := plan.Relations[rel]
+		fmt.Printf("  %s -> hash(%s.%s) %% 3\n", rel, pl.Attr.Rel, pl.Attr.Name)
+	}
+	for _, q := range []string{"q1", "q2"} {
+		match := bytes.Equal(merged.Bytes(q), oracle.Bytes(q))
+		fmt.Printf("  %s: %4d results on 3 shards, %4d on one engine — byte-identical: %v\n",
+			q, merged.Count(q), oracle.Count(q), match)
+		if !match {
+			log.Fatal("cluster diverged from the single-engine oracle")
+		}
+	}
+	m := cl.Metrics()
+	fmt.Printf("  per-shard routed: %d / %d / %d (imbalance %.2f)\n\n",
+		m.Shards[0].Routed, m.Shards[1].Routed, m.Shards[2].Routed, m.Imbalance)
+
+	// --- 2. Admission: the token bucket sheds a burst ----------------
+	gated, err := clash.NewCluster(clash.ClusterConfig{
+		Shards:    2,
+		Engine:    clash.Config{Workload: workload, Synchronous: true},
+		Admission: &clash.TokenBucket{Rate: 1, Burst: 10, Policy: clash.ShedOnOverload},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gated.Stop()
+	results := clash.NewMergeSink()
+	gated.OnResult("q1", results.Add("q1"))
+
+	// 100 tuples in one event-time instant: the burst admits 10.
+	for i := 0; i < 100; i++ {
+		if err := gated.Ingest([]string{"R", "S"}[i%2], 1, clash.Int(0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	burst := gated.Metrics()
+	// Spaced traffic afterwards is admitted in full.
+	for i := 0; i < 60; i++ {
+		if err := gated.Ingest([]string{"R", "S"}[i%2], clash.Time(100+10*i), clash.Int(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	gated.Drain()
+	after := gated.Metrics()
+	fmt.Println("Token-bucket admission under a one-instant burst of 100:")
+	fmt.Printf("  admitted %d, shed %d at the front door\n", burst.RoutedTuples, burst.AdmissionDrops)
+	fmt.Printf("  after spaced traffic: admitted %d total, drops unchanged at %d, %d results — live\n",
+		after.RoutedTuples, after.AdmissionDrops, results.Count("q1"))
+	if err := gated.Failure(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestClusterBenchSmoke: a small sweep must produce one row per shard
+// count with identical results and drops (ClusterBench gates both
+// internally) and nonzero shedding at the front door.
+func TestClusterBenchSmoke(t *testing.T) {
+	rows, err := ClusterBench(ClusterBenchConfig{Tuples: 4000, ShardCounts: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.AdmissionDrops == 0 {
+			t.Errorf("%d shards: no admission drops", r.Shards)
+		}
+		if r.Results == 0 {
+			t.Errorf("%d shards: no results", r.Shards)
+		}
+		if r.Shards > 1 && r.Imbalance < 1 {
+			t.Errorf("%d shards: imbalance %v < 1", r.Shards, r.Imbalance)
+		}
+	}
+}
+
+// TestClusterBenchLossless: with admission disabled the sweep still
+// agrees across shard counts and sheds nothing.
+func TestClusterBenchLossless(t *testing.T) {
+	rows, err := ClusterBench(ClusterBenchConfig{Tuples: 3000, ShardCounts: []int{1, 2}, AdmitRate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AdmissionDrops != 0 {
+			t.Errorf("%d shards: %d drops with admission disabled", r.Shards, r.AdmissionDrops)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"clash/internal/runtime"
+	"clash/internal/tuple"
+)
+
+// AdmissionPolicy is the cluster's front door: it sees every tuple
+// before routing and decides whether it enters at all. Decisions are
+// driven by event time, not the wall clock, so admission under the
+// simulation substrate is deterministic and replayable.
+type AdmissionPolicy interface {
+	Name() string
+	// Admit decides one tuple at event time ts; false sheds it.
+	Admit(ts tuple.Time) bool
+}
+
+// TokenBucket admits at most Rate tuples per event-time unit with
+// bursts up to Burst, reusing the engine's OverloadPolicy vocabulary
+// for what happens when the bucket runs dry: ShedOnOverload drops the
+// tuple (counted by the cluster as an admission drop); BlockOnOverload
+// stays lossless by letting the bucket go negative — the debt models a
+// blocked producer that catches up as event time advances — and counts
+// the overdraft in Throttled.
+type TokenBucket struct {
+	Rate   float64 // tokens refilled per event-time unit
+	Burst  float64 // bucket capacity (default: Rate)
+	Policy runtime.OverloadPolicy
+
+	tokens    float64
+	last      tuple.Time
+	primed    bool
+	throttled int64
+}
+
+func (tb *TokenBucket) Name() string { return "token-bucket" }
+
+// Admit implements AdmissionPolicy. Not safe for concurrent use: the
+// cluster serializes admission in Ingest.
+func (tb *TokenBucket) Admit(ts tuple.Time) bool {
+	burst := tb.Burst
+	if burst <= 0 {
+		burst = tb.Rate
+	}
+	if !tb.primed {
+		tb.primed = true
+		tb.tokens = burst
+		tb.last = ts
+	}
+	if ts > tb.last {
+		tb.tokens += float64(ts-tb.last) * tb.Rate
+		if tb.tokens > burst {
+			tb.tokens = burst
+		}
+		tb.last = ts
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	if tb.Policy == runtime.ShedOnOverload {
+		return false
+	}
+	tb.tokens--
+	tb.throttled++
+	return true
+}
+
+// Throttled reports how many admissions overdrew the bucket under
+// BlockOnOverload.
+func (tb *TokenBucket) Throttled() int64 { return tb.throttled }

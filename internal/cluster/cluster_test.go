@@ -1,0 +1,423 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"clash/internal/cluster"
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/runtime"
+	"clash/internal/stats"
+	"clash/internal/topology"
+	"clash/internal/tuple"
+)
+
+// buildWorkload compiles a workload the way the session helpers
+// elsewhere do: flat rate estimates, shared compilation.
+func buildWorkload(t *testing.T, workload string) ([]*query.Query, *query.Catalog, *topology.Config) {
+	t.Helper()
+	qs, cat, err := query.ParseWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimates(0.1)
+	for _, r := range cat.Names() {
+		est.SetRate(r, 100)
+	}
+	plan, err := core.NewOptimizer(core.Options{StoreParallelism: 2}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := core.Compile([]*core.Plan{plan}, core.CompileOptions{Shared: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs, cat, topo
+}
+
+// newShards spins up n synchronous engines with the topology installed.
+func newShards(t *testing.T, cat *query.Catalog, topo *topology.Config, n int) []cluster.Shard {
+	t.Helper()
+	shards := make([]cluster.Shard, n)
+	for i := 0; i < n; i++ {
+		eng := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
+		if err := eng.Install(topo, 0); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Stop)
+		shards[i] = eng
+	}
+	return shards
+}
+
+// stream produces a deterministic interleaved input: every relation in
+// turn, small key domain, increasing timestamps.
+func stream(cat *query.Catalog, n int) []runtime.Ingestion {
+	rels := cat.Names()
+	out := make([]runtime.Ingestion, 0, n)
+	for i := 0; i < n; i++ {
+		rel := cat.Relation(rels[i%len(rels)])
+		vals := make([]tuple.Value, len(rel.Attrs))
+		for j := range vals {
+			vals[j] = tuple.IntValue(int64((i + j*7) % 5))
+		}
+		out = append(out, runtime.Ingestion{Rel: rel.Name, TS: tuple.Time(i + 1), Vals: vals})
+	}
+	return out
+}
+
+func TestBuildPlanKeyedStar(t *testing.T) {
+	qs, cat, _ := buildWorkload(t, "q1: R(a) S(a)\nq2: S(a) T(a)")
+	plan, err := cluster.BuildPlan(qs, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"R", "S", "T"} {
+		pl := plan.Relations[rel]
+		if !pl.Keyed() {
+			t.Fatalf("%s not keyed", rel)
+		}
+		if pl.Attr.Rel != rel || pl.Attr.Name != "a" || pl.Index != 0 {
+			t.Fatalf("%s placement = %+v, want attr %s.a at index 0", rel, pl, rel)
+		}
+	}
+	if len(plan.OwnerOnly) != 0 {
+		t.Fatalf("OwnerOnly = %v in a fully keyed plan", plan.OwnerOnly)
+	}
+}
+
+func TestBuildPlanChainBroadcastOwner(t *testing.T) {
+	qs, cat, _ := buildWorkload(t, "q1: R(a) S(a,b) T(b)")
+	plan, err := cluster.BuildPlan(qs, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"R", "S", "T"} {
+		if plan.Relations[rel].Keyed() {
+			t.Fatalf("%s keyed — no class connects all of q1's relations", rel)
+		}
+	}
+	owner, ok := plan.OwnerOnly["q1"]
+	if !ok {
+		t.Fatal("fully-broadcast query has no owner")
+	}
+	if owner < 0 || owner >= 4 {
+		t.Fatalf("owner %d out of range", owner)
+	}
+	again, err := cluster.BuildPlan(qs, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.OwnerOnly["q1"] != owner {
+		t.Fatal("owner assignment is not deterministic")
+	}
+}
+
+func TestBuildPlanRoutingConflictBroadcasts(t *testing.T) {
+	qs, cat, _ := buildWorkload(t, "q1: R(a,b) S(a)\nq2: R(a,b) T(b)")
+	plan, err := cluster.BuildPlan(qs, cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Relations["R"].Keyed() {
+		t.Fatal("R keyed despite q1 routing on R.a and q2 on R.b")
+	}
+	if !plan.Relations["S"].Keyed() || !plan.Relations["T"].Keyed() {
+		t.Fatal("S/T should stay keyed when only R conflicts")
+	}
+	if len(plan.OwnerOnly) != 0 {
+		t.Fatalf("OwnerOnly = %v; both queries keep a keyed relation", plan.OwnerOnly)
+	}
+}
+
+// TestBuildPlanDisconnectedClassIsConservative: q2 alone would key R
+// and S on class {R.a,S.a}, but q1 also contains them and none of its
+// classes connects all four of its relations — so q1 forces every one
+// of its relations to broadcast, q2's included. Keying R,S anyway would
+// lose q1 results whose R,S sides hash elsewhere.
+func TestBuildPlanDisconnectedClassIsConservative(t *testing.T) {
+	qs, cat, _ := buildWorkload(t, "q1: R(a) S(a,x) T(b,x) U(b)\nq2: R(a) S(a)")
+	plan, err := cluster.BuildPlan(qs, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"R", "S", "T", "U"} {
+		if plan.Relations[rel].Keyed() {
+			t.Fatalf("%s keyed — q1's membership must force broadcast", rel)
+		}
+	}
+	if len(plan.OwnerOnly) != 2 {
+		t.Fatalf("OwnerOnly = %v, want both (now fully-broadcast) queries", plan.OwnerOnly)
+	}
+}
+
+// runOracle evaluates the stream on one synchronous engine.
+func runOracle(t *testing.T, cat *query.Catalog, topo *topology.Config, qs []*query.Query, ins []runtime.Ingestion) *cluster.MergeSink {
+	t.Helper()
+	eng := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
+	t.Cleanup(eng.Stop)
+	if err := eng.Install(topo, 0); err != nil {
+		t.Fatal(err)
+	}
+	sink := cluster.NewMergeSink()
+	for _, q := range qs {
+		eng.OnResult(q.Name, sink.Add(q.Name))
+	}
+	for _, in := range ins {
+		if err := eng.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	return sink
+}
+
+// TestClusterExactOnSynchronousShards: the merge contract on the exact
+// synchronous substrate — three shards, byte-identical to one engine.
+func TestClusterExactOnSynchronousShards(t *testing.T) {
+	const workload = "q1: R(a) S(a)\nq2: S(a) T(a)"
+	qs, cat, topo := buildWorkload(t, workload)
+	cl, err := cluster.New(cluster.Config{Queries: qs, Catalog: cat}, newShards(t, cat, topo, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := cluster.NewMergeSink()
+	for _, q := range qs {
+		cl.OnResult(q.Name, sink.Add(q.Name))
+	}
+	ins := stream(cat, 150)
+	for _, in := range ins {
+		if err := cl.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Drain()
+	if err := cl.Failure(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := runOracle(t, cat, topo, qs, ins)
+	for _, q := range qs {
+		if sink.Count(q.Name) == 0 {
+			t.Fatalf("%s: no results — test vacuous", q.Name)
+		}
+		if !bytes.Equal(sink.Bytes(q.Name), oracle.Bytes(q.Name)) {
+			t.Fatalf("%s: cluster (%d results) diverges from oracle (%d)",
+				q.Name, sink.Count(q.Name), oracle.Count(q.Name))
+		}
+	}
+	m := cl.Metrics()
+	if m.RoutedTuples != int64(len(ins)) {
+		t.Errorf("RoutedTuples = %d, want %d", m.RoutedTuples, len(ins))
+	}
+	if m.ReplicaTuples != 0 {
+		t.Errorf("ReplicaTuples = %d on a fully keyed plan", m.ReplicaTuples)
+	}
+	var handled int64
+	for _, sm := range m.Shards {
+		handled += sm.Handled
+	}
+	if handled != int64(len(ins)) {
+		t.Errorf("shards handled %d tuples, want %d", handled, len(ins))
+	}
+	if m.Imbalance < 1 {
+		t.Errorf("Imbalance = %v, want >= 1", m.Imbalance)
+	}
+}
+
+func TestIngestUnknownRelation(t *testing.T) {
+	qs, cat, topo := buildWorkload(t, "q1: R(a) S(a)")
+	cl, err := cluster.New(cluster.Config{Queries: qs, Catalog: cat}, newShards(t, cat, topo, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ingest("Z", 1, tuple.IntValue(1)); !errors.Is(err, runtime.ErrUnknownRelation) {
+		t.Fatalf("err = %v, want ErrUnknownRelation", err)
+	}
+}
+
+// TestTokenBucketSheds: a burst beyond the bucket is shed at the front
+// door — drops are counted, the shards never see the excess, and the
+// cluster stays live for later, admissible traffic.
+func TestTokenBucketSheds(t *testing.T) {
+	qs, cat, topo := buildWorkload(t, "q1: R(a) S(a)")
+	tb := &cluster.TokenBucket{Rate: 1, Burst: 4, Policy: runtime.ShedOnOverload}
+	cl, err := cluster.New(cluster.Config{Queries: qs, Catalog: cat, Admission: tb},
+		newShards(t, cat, topo, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := cluster.NewMergeSink()
+	cl.OnResult("q1", sink.Add("q1"))
+
+	// 40 tuples in one event-time instant: burst admits 4, rest shed.
+	for i := 0; i < 40; i++ {
+		rel := "R"
+		if i%2 == 1 {
+			rel = "S"
+		}
+		if err := cl.Ingest(rel, 1, tuple.IntValue(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cl.Metrics()
+	if m.AdmissionDrops != 36 {
+		t.Fatalf("AdmissionDrops = %d, want 36", m.AdmissionDrops)
+	}
+	if m.RoutedTuples != 4 {
+		t.Fatalf("RoutedTuples = %d, want 4 (the burst)", m.RoutedTuples)
+	}
+
+	// The cluster stays live: spaced traffic is admitted and joins.
+	for i := 0; i < 20; i++ {
+		rel := "R"
+		if i%2 == 1 {
+			rel = "S"
+		}
+		if err := cl.Ingest(rel, tuple.Time(10+10*i), tuple.IntValue(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Drain()
+	if err := cl.Failure(); err != nil {
+		t.Fatal(err)
+	}
+	m = cl.Metrics()
+	if m.AdmissionDrops != 36 {
+		t.Errorf("AdmissionDrops grew to %d after spaced traffic", m.AdmissionDrops)
+	}
+	if m.RoutedTuples != 24 {
+		t.Errorf("RoutedTuples = %d, want 24", m.RoutedTuples)
+	}
+	if sink.Count("q1") == 0 {
+		t.Error("no results after shedding stopped — cluster not live")
+	}
+}
+
+// TestTokenBucketBlockIsLossless: the BlockOnOverload flavour admits
+// everything (modelling a blocked producer), counts the overdraft, and
+// the run stays exact.
+func TestTokenBucketBlockIsLossless(t *testing.T) {
+	const workload = "q1: R(a) S(a)"
+	qs, cat, topo := buildWorkload(t, workload)
+	tb := &cluster.TokenBucket{Rate: 0.5, Policy: runtime.BlockOnOverload}
+	cl, err := cluster.New(cluster.Config{Queries: qs, Catalog: cat, Admission: tb},
+		newShards(t, cat, topo, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := cluster.NewMergeSink()
+	cl.OnResult("q1", sink.Add("q1"))
+	ins := stream(cat, 100)
+	for _, in := range ins {
+		if err := cl.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Drain()
+	m := cl.Metrics()
+	if m.AdmissionDrops != 0 {
+		t.Fatalf("AdmissionDrops = %d under BlockOnOverload", m.AdmissionDrops)
+	}
+	if tb.Throttled() == 0 {
+		t.Fatal("bucket never overdrew — throttle path untested")
+	}
+	oracle := runOracle(t, cat, topo, qs, ins)
+	if !bytes.Equal(sink.Bytes("q1"), oracle.Bytes("q1")) {
+		t.Fatalf("blocked run diverges from oracle (%d vs %d results)",
+			sink.Count("q1"), oracle.Count("q1"))
+	}
+}
+
+// TestRoundRobinSpreadsKeyless: on a broadcast workload, round-robin
+// places each keyless tuple on exactly one shard, cycling — the
+// throughput-over-exactness trade the policy documents.
+func TestRoundRobinSpreadsKeyless(t *testing.T) {
+	qs, cat, topo := buildWorkload(t, "q1: R(a) S(a,b) T(b)")
+	cl, err := cluster.New(cluster.Config{Queries: qs, Catalog: cat, Routing: cluster.NewRoundRobin()},
+		newShards(t, cat, topo, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stream(cat, 60)
+	for _, in := range ins {
+		if err := cl.Ingest(in.Rel, in.TS, in.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Drain()
+	m := cl.Metrics()
+	if m.ReplicaTuples != 0 {
+		t.Fatalf("ReplicaTuples = %d; round-robin must not replicate", m.ReplicaTuples)
+	}
+	if m.Shards[0].Routed != 30 || m.Shards[1].Routed != 30 {
+		t.Fatalf("routed split %d/%d, want 30/30", m.Shards[0].Routed, m.Shards[1].Routed)
+	}
+}
+
+// fakeLoad is a canned LoadView for pure policy tests.
+type fakeLoad struct{ queued, routed []int64 }
+
+func (f fakeLoad) Shards() int        { return len(f.queued) }
+func (f fakeLoad) Queued(i int) int64 { return f.queued[i] }
+func (f fakeLoad) Routed(i int) int64 { return f.routed[i] }
+
+func TestLeastLoadedPicksIdleShard(t *testing.T) {
+	lv := fakeLoad{queued: []int64{5, 0, 3}, routed: []int64{1, 9, 2}}
+	if got := (cluster.LeastLoaded{}).Keyless("R", lv); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Keyless = %v, want [1] (least queued)", got)
+	}
+	tie := fakeLoad{queued: []int64{2, 2, 2}, routed: []int64{4, 1, 3}}
+	if got := (cluster.LeastLoaded{}).Keyless("R", tie); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Keyless = %v, want [1] (fewest routed on tie)", got)
+	}
+}
+
+// TestDegreeAwareReplicatesPartners: hot hashes spread the driving
+// relation over two candidates and replicate the partners' hot tuples
+// to both; cold hashes route plainly.
+func TestDegreeAwareReplicatesPartners(t *testing.T) {
+	qs, cat, _ := buildWorkload(t, "q1: R(a) S(a)\nq2: S(a) T(a)")
+	plan, err := cluster.BuildPlan(qs, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimates(0.1)
+	hot := tuple.IntValue(0).Hash()
+	for _, r := range []string{"R", "S", "T"} {
+		est.SetRate(r, 100)
+		est.SetDegree(r+".a", &stats.AttrDegrees{
+			Count:    100000,
+			Distinct: 14,
+			Top:      []stats.HeavyHitter{{Hash: hot, Count: 75000}},
+		})
+	}
+	da := cluster.NewDegreeAware(plan, est)
+	if da.Splits() == 0 {
+		t.Fatal("no split hashes")
+	}
+	lv := fakeLoad{queued: make([]int64, 4), routed: make([]int64, 4)}
+	// S is the driving relation (the only one in both q1 and q2): its hot
+	// tuples go to exactly one of the two candidates.
+	drv := da.Keyed("S", hot, lv)
+	if len(drv) != 1 {
+		t.Fatalf("driving relation routed to %v, want one candidate", drv)
+	}
+	// R and T are partners: their hot tuples replicate to two shards, one
+	// of which must be the driving tuple's.
+	for _, rel := range []string{"R", "T"} {
+		dests := da.Keyed(rel, hot, lv)
+		if len(dests) != 2 {
+			t.Fatalf("%s hot tuple routed to %v, want two candidates", rel, dests)
+		}
+		if dests[0] != drv[0] && dests[1] != drv[0] {
+			t.Fatalf("%s candidates %v miss the driving shard %d", rel, dests, drv[0])
+		}
+	}
+	// A cold hash routes plainly, no replication.
+	cold := tuple.IntValue(3).Hash()
+	if got := da.Keyed("R", cold, lv); len(got) != 1 || got[0] != int(cold%4) {
+		t.Fatalf("cold hash routed to %v, want [%d]", got, cold%4)
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"clash/internal/runtime"
+	"clash/internal/tuple"
+)
+
+// MergeSink interleaves shard results deterministically so exactness is
+// provable by byte comparison. Results arrive from shards in schedule
+// order (which differs run to run and from the single-engine oracle);
+// the sink canonicalizes each result tuple to its sorted attr=value
+// rendering and exposes the per-query multiset in canonical (sorted)
+// order — two runs producing the same result multiset render the same
+// bytes, regardless of shard count, substrate, or interleaving.
+type MergeSink struct {
+	mu      sync.Mutex
+	byQuery map[string][]string
+}
+
+// NewMergeSink returns an empty sink.
+func NewMergeSink() *MergeSink { return &MergeSink{byQuery: map[string][]string{}} }
+
+// Add returns the result callback for one query — pass it to
+// Cluster.OnResult (which applies the owner filter for fully-broadcast
+// queries before results reach the sink).
+func (m *MergeSink) Add(queryName string) func(*tuple.Tuple) {
+	return func(t *tuple.Tuple) {
+		c := runtime.CanonicalResult(t)
+		m.mu.Lock()
+		m.byQuery[queryName] = append(m.byQuery[queryName], c)
+		m.mu.Unlock()
+	}
+}
+
+// Merged returns the query's results in canonical order.
+func (m *MergeSink) Merged(queryName string) []string {
+	m.mu.Lock()
+	out := append([]string(nil), m.byQuery[queryName]...)
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Bytes renders the merged result stream for byte comparison.
+func (m *MergeSink) Bytes(queryName string) []byte {
+	return []byte(strings.Join(m.Merged(queryName), "\n"))
+}
+
+// Count returns the query's result count.
+func (m *MergeSink) Count(queryName string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byQuery[queryName])
+}

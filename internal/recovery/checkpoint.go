@@ -11,11 +11,22 @@ package recovery
 // composes back into the full state at the last anchor; recovery then
 // replays the WAL suffix past that anchor.
 //
-//	ckpt rec := kind(1)=1 walPos(uvarint) seq(uvarint) watermark(varint)
+//	ckpt rec := kind(1)=2 walPos(uvarint) seq(uvarint) watermark(varint)
+//	            nPins(uvarint)  [len(store) store par(uvarint)
+//	                             len(rel) rel len(attr) attr
+//	                             nSplit(uvarint) split(uvarint)*]*
 //	            nSchemas(uvarint) schema*
 //	            nDrops(uvarint) [len(store) store part epoch]*
 //	            nSegs(uvarint)  [len(store) store part epoch
 //	                             n(uvarint) entry{schemaID seq tuple}*]*
+//
+// The pin table (kind 2) snapshots the engine's pin-at-first-sight
+// routing decisions — parallelism, partitioning attribute, and the
+// split-key set per store. Split keys are otherwise derived from the
+// caller's estimates at Install time, so a recovering engine optimized
+// with different estimates would route differently than the state it is
+// restoring and silently diverge from the uninterrupted run. Recovery
+// re-imposes the last record's pins before loading state or replaying.
 //
 // Records are framed exactly like WAL records (wal.go), so a torn
 // checkpoint tail is likewise truncated to the valid prefix.
@@ -27,6 +38,9 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"clash/internal/query"
+	"clash/internal/runtime"
+	"clash/internal/topology"
 	"clash/internal/tuple"
 )
 
@@ -34,7 +48,7 @@ import (
 // checkpoint record fails to decode.
 var ErrCorruptCheckpoint = errors.New("recovery: corrupt checkpoint log")
 
-const ckptRecordKind byte = 1
+const ckptRecordKind byte = 2
 
 // segKey identifies one checkpointable state segment.
 type segKey struct {
@@ -77,18 +91,37 @@ type ckptRecord struct {
 	walPos    int64 // WAL byte position this record's state reflects
 	seq       uint64
 	watermark int64
+	pins      []runtime.StorePin
 	drops     []segKey
 	segs      []segment
 	end       int64 // checkpoint-stream offset just past this record
 }
 
 // appendCkptRecord encodes one record payload. Segments must already be
-// in deterministic (walk) order.
-func appendCkptRecord(buf []byte, walPos int64, seq uint64, watermark int64, drops []segKey, segs []segment) []byte {
+// in deterministic (walk) order; pins carry the engine's full pinned
+// layout (every record holds the whole table — it is tiny next to even
+// one state segment, and the last record being authoritative keeps
+// composition trivial).
+func appendCkptRecord(buf []byte, walPos int64, seq uint64, watermark int64, pins []runtime.StorePin, drops []segKey, segs []segment) []byte {
 	buf = append(buf, ckptRecordKind)
 	buf = binary.AppendUvarint(buf, uint64(walPos))
 	buf = binary.AppendUvarint(buf, seq)
 	buf = binary.AppendVarint(buf, watermark)
+
+	buf = binary.AppendUvarint(buf, uint64(len(pins)))
+	for _, p := range pins {
+		buf = binary.AppendUvarint(buf, uint64(len(p.Store)))
+		buf = append(buf, p.Store...)
+		buf = binary.AppendUvarint(buf, uint64(p.Par))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Part.Rel)))
+		buf = append(buf, p.Part.Rel...)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Part.Name)))
+		buf = append(buf, p.Part.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Split)))
+		for _, h := range p.Split {
+			buf = binary.AppendUvarint(buf, h)
+		}
+	}
 
 	// Per-record schema table over the segments' tuples.
 	schemaID := map[string]int{}
@@ -163,6 +196,59 @@ func decodeCkptRecord(b []byte) (*ckptRecord, error) {
 	}
 	b = b[n:]
 	rec.walPos, rec.seq, rec.watermark = int64(walPos), seq, wm
+
+	readStr := func() (string, bool) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || l > uint64(len(b)-n) {
+			return "", false
+		}
+		s := string(b[n : n+int(l)])
+		b = b[n+int(l):]
+		return s, true
+	}
+
+	nPins, n := binary.Uvarint(b)
+	if n <= 0 || nPins > uint64(len(b)-n) {
+		return bad("bad pin count")
+	}
+	b = b[n:]
+	for i := uint64(0); i < nPins; i++ {
+		var p runtime.StorePin
+		store, ok := readStr()
+		if !ok {
+			return bad("truncated pin store %d", i)
+		}
+		p.Store = topology.StoreID(store)
+		par, n := binary.Uvarint(b)
+		if n <= 0 {
+			return bad("truncated pin parallelism (%s)", store)
+		}
+		b = b[n:]
+		p.Par = int(par)
+		rel, ok := readStr()
+		if !ok {
+			return bad("truncated pin partition relation (%s)", store)
+		}
+		name, ok := readStr()
+		if !ok {
+			return bad("truncated pin partition attribute (%s)", store)
+		}
+		p.Part = query.Attr{Rel: rel, Name: name}
+		nSplit, n := binary.Uvarint(b)
+		if n <= 0 || nSplit > uint64(len(b)-n) {
+			return bad("bad split-key count (%s)", store)
+		}
+		b = b[n:]
+		for j := uint64(0); j < nSplit; j++ {
+			h, n := binary.Uvarint(b)
+			if n <= 0 {
+				return bad("truncated split key %d (%s)", j, store)
+			}
+			b = b[n:]
+			p.Split = append(p.Split, h)
+		}
+		rec.pins = append(rec.pins, p)
+	}
 
 	nSchemas, n := binary.Uvarint(b)
 	if n <= 0 || nSchemas > uint64(len(b)-n) {

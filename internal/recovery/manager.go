@@ -44,12 +44,17 @@ type Manager struct {
 	walPos    int64
 	anchorPos int64 // WAL anchor of the newest durable checkpoint
 	lastFPs   map[segKey]uint64
-	sinceCkpt int // ingest records since the last checkpoint
-	ckpts     int
-	ckptBytes int64
-	onCommit  []func()
-	scratch   []byte
-	payload   []byte // reused record-encoding buffer for the hot log path
+	// pendingDrops are tombstones the next checkpoint must emit even
+	// though no engine task backs them — stale segments an automated
+	// stale-chain recovery loaded around (see Recover). The dirty walk
+	// can never surface them (no task exists), so they ride along here.
+	pendingDrops []segKey
+	sinceCkpt    int // ingest records since the last checkpoint
+	ckpts        int
+	ckptBytes    int64
+	onCommit     []func()
+	scratch      []byte
+	payload      []byte // reused record-encoding buffer for the hot log path
 }
 
 // NewManager starts a fresh journal over empty storage. Bind an engine
@@ -191,8 +196,12 @@ func (m *Manager) Checkpoint() error {
 			changed = append(changed, segs[i])
 		}
 	}
+	if len(m.pendingDrops) > 0 {
+		drops = append(drops, m.pendingDrops...)
+		m.pendingDrops = nil
+	}
 	sortSegKeys(drops)
-	payload := appendCkptRecord(nil, anchor, eng.Seq(), int64(eng.Watermark()), drops, changed)
+	payload := appendCkptRecord(nil, anchor, eng.Seq(), int64(eng.Watermark()), eng.Pins(), drops, changed)
 	framed := appendFrame(nil, payload)
 	if err := m.st.Append(StreamCheckpoint, framed); err != nil {
 		m.mu.Unlock()

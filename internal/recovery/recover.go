@@ -9,17 +9,19 @@ import (
 	"clash/internal/tuple"
 )
 
-// ErrStaleChain is returned when the checkpoint chain holds segments for
-// a store the recovering engine's topology does not have. The usual
-// cause is a crash in the window between an adaptive rewiring (store
-// retirement released the state) and the next checkpoint (which would
-// have tombstoned the retired segments): the chain still carries the
-// retired store. Recover fails closed — silently dropping chain state
-// cannot be told apart from recovering with the wrong topology. The
-// fallback: recover under the pre-rewiring topology, re-apply the
-// rewiring (Install + RetireAbsentStores), and checkpoint; the stale
-// segments tombstone and the next recovery is clean.
-var ErrStaleChain = errors.New("recovery: checkpoint chain references a store absent from the installed topology")
+// ErrStaleChain is returned when the checkpoint chain references stores
+// in no known topology: not a single chain segment matches a store the
+// recovering engine has installed. That means the wrong workload (or the
+// wrong storage) — fail closed rather than silently discard all state.
+//
+// A chain that is only partially stale — some segments match installed
+// stores, others belong to stores a rewiring retired before the crash
+// (the rewiring→checkpoint window) — recovers automatically: the live
+// segments load, the stale ones are skipped, WAL records of the departed
+// relations are skipped as foreign, and a reconciling checkpoint
+// tombstones the stale segments before Recover returns, so the next
+// recovery sees a clean chain.
+var ErrStaleChain = errors.New("recovery: checkpoint chain references stores in no known topology")
 
 // Stats describes one recovery: what the checkpoint chain restored,
 // what the WAL suffix replayed, and what a crash tore off.
@@ -35,8 +37,17 @@ type Stats struct {
 	EvictMismatches     int
 	TornWALBytes        int64 // torn tail truncated off the WAL
 	TornCheckpointBytes int64 // torn/unusable tail truncated off the checkpoint log
-	AnchorSeq           uint64
-	LastSeq             uint64 // engine sequence number after replay
+	// StaleSegments counts chain segments belonging to stores the
+	// recovering topology no longer has (retired before the crash,
+	// tombstone checkpoint never taken). They are skipped and tombstoned
+	// by the reconciling checkpoint Recover takes before returning.
+	StaleSegments int
+	// ForeignIngests counts replayed WAL records of relations absent
+	// from the recovering catalog — input to retired stores only. Their
+	// sequence numbers and watermarks are accounted without effect.
+	ForeignIngests int
+	AnchorSeq      uint64
+	LastSeq        uint64 // engine sequence number after replay
 }
 
 // captureJournal is attached during replay: ingests and prunes being
@@ -115,22 +126,47 @@ func Recover(st Storage, eng *runtime.Engine, cfg Config) (*Manager, *Stats, err
 		return nil, nil, fmt.Errorf("recovery: truncating checkpoint log: %w", err)
 	}
 
+	// Re-impose the crashed run's pinned routing before any state loads
+	// or replay: split-key sets are pinned at first sight from the
+	// caller's estimates, so a recovering engine optimized differently
+	// would probe different candidate tasks than the state it restores.
+	if len(records) > 0 {
+		if err := eng.RestorePins(records[len(records)-1].pins); err != nil {
+			return nil, nil, fmt.Errorf("recovery: restoring pinned routing: %w", err)
+		}
+	}
+
 	// Load the composed checkpoint state and fast-forward progress to
-	// the anchor.
+	// the anchor. Segments of stores the engine never installed are
+	// stale — left behind by a crash in the rewiring→checkpoint window —
+	// and are skipped here and tombstoned below. A segment whose store IS
+	// installed but whose partition has no task means a layout mismatch
+	// and stays fatal.
 	segs := composeChain(records)
 	lastFPs := make(map[segKey]uint64, len(segs))
+	var stale []segKey
+	loaded := 0
 	for i := range segs {
 		sg := &segs[i]
 		if err := eng.LoadTaskEpoch(topology.StoreID(sg.key.store), sg.key.part, sg.key.epoch, sg.tps, sg.seqs); err != nil {
 			if errors.Is(err, runtime.ErrUnknownTask) {
-				return nil, nil, fmt.Errorf("%w: segment %s (crash between a rewiring and its checkpoint? recover under the pre-rewiring topology, re-apply the rewiring, checkpoint): %v",
-					ErrStaleChain, sg.key, err)
+				if eng.HasStore(topology.StoreID(sg.key.store)) {
+					return nil, nil, fmt.Errorf("recovery: segment %s addresses a partition beyond the installed layout: %w", sg.key, err)
+				}
+				stale = append(stale, sg.key)
+				continue
 			}
 			return nil, nil, fmt.Errorf("recovery: loading segment %s: %w", sg.key, err)
 		}
+		loaded++
 		stats.RestoredTuples += len(sg.tps)
 		lastFPs[sg.key] = sg.fingerprint()
 	}
+	if len(stale) > 0 && loaded == 0 {
+		return nil, nil, fmt.Errorf("%w: all %d chain segments (first: %s) match no installed store — recovering with the wrong workload or storage?",
+			ErrStaleChain, len(stale), stale[0])
+	}
+	stats.StaleSegments = len(stale)
 	var anchor *ckptRecord
 	if len(records) > 0 {
 		anchor = records[len(records)-1]
@@ -160,6 +196,17 @@ func Recover(st Storage, eng *runtime.Engine, cfg Config) (*Manager, *Stats, err
 		switch rec.kind {
 		case walIngest:
 			if err := eng.Ingest(rec.rel, rec.ts, rec.vals...); err != nil {
+				if len(stale) > 0 && errors.Is(err, runtime.ErrUnknownRelation) {
+					// Foreign ingest: the relation left the catalog with
+					// the retired stores the stale segments belong to. Its
+					// effect is gone by construction; account its sequence
+					// number and watermark so the remaining replay keeps
+					// asserting seq equality. Without stale segments an
+					// unknown relation means the wrong workload — fatal.
+					eng.RestoreProgress(rec.seq, int64(rec.ts))
+					stats.ForeignIngests++
+					continue
+				}
 				eng.SetJournal(nil)
 				return nil, nil, fmt.Errorf("recovery: replaying seq %d: %w", rec.seq, err)
 			}
@@ -188,15 +235,24 @@ func Recover(st Storage, eng *runtime.Engine, cfg Config) (*Manager, *Stats, err
 	// surviving WAL position, diffing future checkpoints against the
 	// restored chain's segments.
 	mgr := &Manager{
-		st:        st,
-		cfg:       cfg,
-		eng:       eng,
-		walPos:    validWAL,
-		anchorPos: anchorPos,
-		lastFPs:   lastFPs,
-		sinceCkpt: stats.ReplayedIngests,
+		st:           st,
+		cfg:          cfg,
+		eng:          eng,
+		walPos:       validWAL,
+		anchorPos:    anchorPos,
+		lastFPs:      lastFPs,
+		pendingDrops: stale,
+		sinceCkpt:    stats.ReplayedIngests,
 	}
 	eng.SetJournal(mgr)
+	if len(stale) > 0 {
+		// Reconcile the chain with the slimmed topology now: tombstone the
+		// stale segments (and anchor past the foreign WAL records) so a
+		// second crash recovers cleanly instead of re-walking this path.
+		if err := mgr.Checkpoint(); err != nil {
+			return nil, nil, fmt.Errorf("recovery: reconciling checkpoint: %w", err)
+		}
+	}
 	return mgr, stats, nil
 }
 

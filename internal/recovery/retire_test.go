@@ -8,9 +8,11 @@ package recovery_test
 // chain), and a crash after that checkpoint recovers into the slimmed
 // topology. A crash in the window between the rewiring and that
 // checkpoint leaves retired segments in the chain with no engine task
-// to receive them; Recover fails closed with ErrStaleChain, and the
-// documented fallback — recover under the pre-rewiring topology, then
-// re-apply the rewiring — must actually work.
+// to receive them; Recover detects them, loads the live segments,
+// skips the departed relations' WAL records as foreign, and takes a
+// reconciling checkpoint that tombstones the stale segments — no
+// manual fallback. ErrStaleChain remains only for chains that match
+// the installed topology nowhere at all (wrong workload or storage).
 
 import (
 	"errors"
@@ -156,58 +158,91 @@ func TestRetireThenCheckpointRecover(t *testing.T) {
 
 // TestRetireCrashBeforeCheckpointFailsClosed: a crash in the window
 // between a rewiring and its next checkpoint leaves retired segments in
-// the chain. Recovering into the slimmed topology must fail closed with
-// ErrStaleChain (never silently drop chain state), and the documented
-// fallback — recover under the pre-rewiring topology, then re-apply the
-// rewiring — must succeed.
+// the chain. Recovering into the slimmed topology must now succeed
+// without the old manual fallback: live segments load, stale ones are
+// skipped, WAL records of the departed relations replay as foreign
+// no-ops, and the reconciling checkpoint tombstones the stale segments
+// so the next recovery sees a clean chain. (The name is kept from the
+// fail-closed era so the scenario's history stays greppable.)
 func TestRetireCrashBeforeCheckpointFailsClosed(t *testing.T) {
 	st, pos := retireCrashScenario(t, false)
 
-	_, cat, topoB := buildShared(t, "q1: R(a) S(a)")
+	qs, cat, topoB := buildShared(t, "q1: R(a) S(a)")
 	eng2 := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
 	defer eng2.Stop()
 	if err := eng2.Install(topoB, 0); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := recovery.Recover(st, eng2, recovery.Config{CheckpointEvery: 1 << 30})
-	if !errors.Is(err, recovery.ErrStaleChain) {
-		t.Fatalf("recovery into the slimmed topology returned %v, want ErrStaleChain", err)
+	for _, q := range qs {
+		eng2.OnResult(q.Name, func(*tuple.Tuple) {})
 	}
-
-	// Documented fallback: recover under the pre-rewiring topology...
-	qsAll, catAll, topoA := buildShared(t, "q1: R(a) S(a)\nq2: T(b) U(b)")
-	_, _, topoB2 := buildShared(t, "q1: R(a) S(a)")
-	eng3 := runtime.New(runtime.Config{Catalog: catAll, Synchronous: true})
-	defer eng3.Stop()
-	if err := eng3.Install(topoA, 0); err != nil {
-		t.Fatal(err)
-	}
-	for _, q := range qsAll {
-		eng3.OnResult(q.Name, func(*tuple.Tuple) {})
-	}
-	mgr3, rstats, err := recovery.Recover(st, eng3, recovery.Config{CheckpointEvery: 1 << 30})
+	mgr2, rstats, err := recovery.Recover(st, eng2, recovery.Config{CheckpointEvery: 1 << 30})
 	if err != nil {
-		t.Fatalf("recovery under the pre-rewiring topology failed: %v", err)
+		t.Fatalf("automated stale-chain recovery failed: %v", err)
+	}
+	if rstats.StaleSegments == 0 {
+		t.Fatal("chain had no stale segments — scenario vacuous")
+	}
+	if rstats.ForeignIngests == 0 {
+		t.Fatal("replay skipped no foreign ingests — scenario vacuous")
 	}
 	if rstats.RestoredTuples == 0 {
-		t.Fatal("fallback recovery restored nothing — test vacuous")
+		t.Fatal("recovery restored nothing — scenario vacuous")
 	}
-	// ...then re-apply the rewiring and continue: the retired segments
-	// tombstone at the next checkpoint, closing the loop.
-	if err := eng3.Install(topoB2, 0); err != nil {
+	// Only the surviving topology's stores hold state.
+	for id, n := range eng2.StoreSizes() {
+		if topoB.Stores[id] == nil && n != 0 {
+			t.Errorf("retired store %s restored %d tuples", id, n)
+		}
+	}
+	// The surviving query keeps answering over its recovered state.
+	before := eng2.Metrics().Snapshot().Results
+	ingestQuad(t, eng2, []string{"R", "S"}, pos, 20)
+	eng2.Drain()
+	if eng2.Metrics().Snapshot().Results <= before {
+		t.Error("q1 produced no results after recovery")
+	}
+
+	// The reconciling checkpoint closed the loop: a second crash right
+	// here recovers with nothing stale and nothing foreign.
+	_ = mgr2 // crash: abandon without Close
+	qs3, cat3, topoB3 := buildShared(t, "q1: R(a) S(a)")
+	eng3 := runtime.New(runtime.Config{Catalog: cat3, Synchronous: true})
+	defer eng3.Stop()
+	if err := eng3.Install(topoB3, 0); err != nil {
 		t.Fatal(err)
 	}
-	eng3.RetireAbsentStores()
-	if err := mgr3.Checkpoint(); err != nil {
-		t.Fatal(err)
+	for _, q := range qs3 {
+		eng3.OnResult(q.Name, func(*tuple.Tuple) {})
 	}
-	before := eng3.Metrics().Snapshot().Results
-	ingestQuad(t, eng3, []string{"R", "S"}, pos, 20)
-	eng3.Drain()
-	if eng3.Metrics().Snapshot().Results <= before {
-		t.Error("q1 produced no results after fallback recovery")
+	mgr3, rstats3, err := recovery.Recover(st, eng3, recovery.Config{CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	if rstats3.StaleSegments != 0 || rstats3.ForeignIngests != 0 {
+		t.Errorf("second recovery saw %d stale segments and %d foreign ingests after reconciliation, want 0/0",
+			rstats3.StaleSegments, rstats3.ForeignIngests)
 	}
 	if err := mgr3.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRecoverUnknownWorkloadFailsClosed: ErrStaleChain still guards the
+// genuinely wrong case — a chain whose segments match the installed
+// topology nowhere (recovering the wrong workload over real storage
+// must never silently discard all state).
+func TestRecoverUnknownWorkloadFailsClosed(t *testing.T) {
+	st, _ := retireCrashScenario(t, false)
+
+	_, cat, topoX := buildShared(t, "q9: X(z) Y(z)")
+	engX := runtime.New(runtime.Config{Catalog: cat, Synchronous: true})
+	defer engX.Stop()
+	if err := engX.Install(topoX, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := recovery.Recover(st, engX, recovery.Config{CheckpointEvery: 1 << 30})
+	if !errors.Is(err, recovery.ErrStaleChain) {
+		t.Fatalf("recovery under an unrelated workload returned %v, want ErrStaleChain", err)
 	}
 }

@@ -3,8 +3,11 @@ package recovery
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 
+	"clash/internal/query"
+	"clash/internal/runtime"
 	"clash/internal/tuple"
 )
 
@@ -153,7 +156,11 @@ func TestCkptRecordRoundTrip(t *testing.T) {
 		seqs: []uint64{10, 11},
 	}}
 	drops := []segKey{{store: "st", part: 0, epoch: 1}}
-	payload := appendCkptRecord(nil, 1234, 11, 6, drops, segs)
+	pins := []runtime.StorePin{
+		{Store: "st", Par: 2, Part: query.Attr{Rel: "R", Name: "a"}, Split: []uint64{7, 99}},
+		{Store: "st2", Par: 1, Part: query.Attr{Rel: "S", Name: "b"}},
+	}
+	payload := appendCkptRecord(nil, 1234, 11, 6, pins, drops, segs)
 
 	rec, err := decodeCkptRecord(payload)
 	if err != nil {
@@ -161,6 +168,9 @@ func TestCkptRecordRoundTrip(t *testing.T) {
 	}
 	if rec.walPos != 1234 || rec.seq != 11 || rec.watermark != 6 {
 		t.Errorf("anchor decoded as pos=%d seq=%d wm=%d", rec.walPos, rec.seq, rec.watermark)
+	}
+	if !reflect.DeepEqual(rec.pins, pins) {
+		t.Errorf("pins decoded as %+v, want %+v", rec.pins, pins)
 	}
 	if len(rec.drops) != 1 || rec.drops[0] != drops[0] {
 		t.Errorf("drops decoded as %v", rec.drops)

@@ -118,6 +118,11 @@ type Config struct {
 // ErrMemoryLimit is reported when the engine exceeds its memory budget.
 var ErrMemoryLimit = errors.New("runtime: memory limit exceeded")
 
+// ErrUnknownRelation is reported when a tuple names a relation absent
+// from the engine's catalog. Recovery matches against it to recognize
+// WAL records of relations that left the catalog with a rewiring.
+var ErrUnknownRelation = errors.New("runtime: unknown relation")
+
 type taskKey struct {
 	store topology.StoreID
 	part  int
@@ -204,7 +209,7 @@ type Engine struct {
 	// but shrinking would not; pinning both directions keeps the rule
 	// simple and the routing immutable (see DESIGN.md §12).
 	pinnedSplit map[topology.StoreID]map[uint64]struct{}
-	schemas    map[string]*tuple.Schema // relation -> ingest schema (attrs + τ)
+	schemas     map[string]*tuple.Schema // relation -> ingest schema (attrs + τ)
 
 	sinkMu sync.RWMutex
 	sinks  map[string]func(*tuple.Tuple)
@@ -228,15 +233,15 @@ type epochConfig struct {
 // New creates an engine; Install a topology before ingesting.
 func New(cfg Config) *Engine {
 	e := &Engine{
-		cfg:        cfg,
-		metrics:    newMetrics(),
-		tasks:      map[taskKey]*task{},
+		cfg:         cfg,
+		metrics:     newMetrics(),
+		tasks:       map[taskKey]*task{},
 		pinnedPar:   map[topology.StoreID]int{},
 		pinnedPart:  map[topology.StoreID]query.Attr{},
 		pinnedSplit: map[topology.StoreID]map[uint64]struct{}{},
-		schemas:    map[string]*tuple.Schema{},
-		sinks:      map[string]func(*tuple.Tuple){},
-		stopDone:   make(chan struct{}),
+		schemas:     map[string]*tuple.Schema{},
+		sinks:       map[string]func(*tuple.Tuple){},
+		stopDone:    make(chan struct{}),
 	}
 	e.qCond = sync.NewCond(&e.qMu)
 	e.SetJournal(cfg.Journal)
@@ -294,6 +299,19 @@ func ingestSchema(r *query.Relation) *tuple.Schema {
 
 // Metrics exposes the engine counters.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Snapshot returns a point-in-time copy of the engine's counters — the
+// export hook cluster-level aggregation reads per shard.
+func (e *Engine) Snapshot() Snapshot { return e.metrics.Snapshot() }
+
+// HasStore reports whether the store has ever been installed on this
+// engine (pinned layout exists), even if it has since been retired.
+func (e *Engine) HasStore(id topology.StoreID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.pinnedPar[id]
+	return ok
+}
 
 // Clock returns the engine's time source (the VirtualClock on a
 // simulated engine, the wall clock otherwise).
@@ -477,7 +495,7 @@ func (e *Engine) Ingest(rel string, ts tuple.Time, vals ...tuple.Value) error {
 	schema := e.schemas[rel]
 	e.mu.RUnlock()
 	if schema == nil {
-		return fmt.Errorf("runtime: unknown relation %q", rel)
+		return fmt.Errorf("%w %q", ErrUnknownRelation, rel)
 	}
 	if len(vals) != schema.Len()-1 {
 		return fmt.Errorf("runtime: %d values for relation %s with %d attributes", len(vals), rel, schema.Len()-1)

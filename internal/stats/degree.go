@@ -162,8 +162,8 @@ func (s *SpaceSaving) Top(n int) []HeavyHitter {
 // (observation count, estimated distinct count, mean degree) plus the
 // heavy hitters that dominate a hash partitioning of the stream.
 type AttrDegrees struct {
-	Count    int64        // observed tuples carrying the attribute
-	Distinct float64      // estimated distinct values (KMV)
+	Count    int64         // observed tuples carrying the attribute
+	Distinct float64       // estimated distinct values (KMV)
 	Top      []HeavyHitter // heaviest keys, count-descending
 }
 
