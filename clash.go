@@ -300,6 +300,19 @@ type Config struct {
 	// Adaptive re-optimizes at epoch boundaries from gathered
 	// statistics. Requires EpochLength > 0.
 	Adaptive bool
+	// IncrementalReopt carries optimizer state across re-optimization
+	// steps (query arrival/expiry, epoch boundaries): the previous plan
+	// seeds the solver, candidate enumeration is memoized, and
+	// unchanged ILP components are answered from cache. Re-planning
+	// cost becomes proportional to the change, not the installed query
+	// count; plans are never worse than re-optimizing from scratch.
+	IncrementalReopt bool
+	// MeasuredCosts calibrates the optimizer's cost model from runtime
+	// measurements: tasks meter nanoseconds per probed, inserted, and
+	// pruned tuple, and at each epoch boundary the controller blends
+	// the measured insert/prune-to-probe ratios into the plan costing
+	// (EWMA, clamped). Calibration changes plan choice, never results.
+	MeasuredCosts bool
 	// Shared enables multi-query optimization and state sharing
 	// (default). Independent mode deploys one topology per query.
 	Independent bool
@@ -520,13 +533,16 @@ func start(cfg Config, journal runtime.Journal) (*Engine, error) {
 		Supervision:      cfg.Supervision,
 		Journal:          journal,
 		TwoChoiceRouting: cfg.TwoChoiceRouting,
+		MeasuredCosts:    cfg.MeasuredCosts,
 		Observer:         func(rel string, t *tuple.Tuple) { col.Observe(rel, t) },
 	})
 	ctl, err := runtime.NewController(eng, runtime.ControllerConfig{
-		Optimizer: core.NewOptimizer(cfg.Optimizer),
-		Collector: col,
-		Shared:    !cfg.Independent,
-		Static:    !cfg.Adaptive,
+		Optimizer:        core.NewOptimizer(cfg.Optimizer),
+		Collector:        col,
+		Shared:           !cfg.Independent,
+		Static:           !cfg.Adaptive,
+		IncrementalReopt: cfg.IncrementalReopt,
+		MeasuredCosts:    cfg.MeasuredCosts,
 	}, qs, est)
 	if err != nil {
 		return nil, err

@@ -30,6 +30,13 @@
 //	             throughput, routing imbalance, and admission drops,
 //	             with the result count gated identical across shard
 //	             counts
+//	churn      — incremental re-optimization: Fig. 9-regime query churn
+//	             at 100/500/1000 queries, re-optimizing every step from
+//	             scratch vs with cross-churn state (incumbent warm
+//	             start, MIR memo, component-solution cache); reports
+//	             optimizer wall time, BnB nodes explored, memo hit
+//	             rate, and plan cost per arm, with incremental cost
+//	             required ≤ scratch at every step
 //	chaos      — crash-recovery chaos suite: -seeds crash-restart-replay
 //	             runs per state backend (task panics + torn WAL tails
 //	             active), each byte-compared against an uninterrupted
@@ -62,7 +69,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clash-bench: ")
 	var (
-		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,skew,cluster,chaos,all)")
+		fig        = flag.String("fig", "all", "comma-separated figures to regenerate (7b,7c,7d,8a,8b,9a..9f,overload,simsweep,longstate,skew,cluster,churn,chaos,all)")
 		sf         = flag.Float64("sf", 0.002, "TPC-H scale factor for Fig. 7")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
@@ -91,14 +98,16 @@ func main() {
 	var baseline []fig7Series
 	var baselineSkew []bench.SkewResult
 	var baselineCluster []bench.ClusterBenchResult
+	var baselineChurn []bench.ChurnResult
 	if *compareTo != "" {
-		bsf, bseed, series, skew, clusterRows, err := readFig7JSON(*compareTo)
+		bsf, bseed, series, skew, clusterRows, churnRows, err := readFig7JSON(*compareTo)
 		if err != nil {
 			log.Fatal(err)
 		}
 		baseline = series
 		baselineSkew = skew
 		baselineCluster = clusterRows
+		baselineChurn = churnRows
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if !explicit["sf"] {
@@ -135,6 +144,14 @@ func main() {
 	if want("cluster") || len(baselineCluster) > 0 {
 		clusterRows = runClusterBench(*seed)
 	}
+	// Churn plan costs are deterministic in (seed, node budget), so the
+	// gate compares them exactly; wall times use the -regress-pct
+	// threshold. Quick runs shrink the query counts, so a quick compare
+	// only gates the counts present in both.
+	var churnRows []bench.ChurnResult
+	if want("churn") || len(baselineChurn) > 0 {
+		churnRows = runChurn(*quick, *seed)
+	}
 	if *jsonOut != "" {
 		// A written baseline must always carry the Fig. 7 series the
 		// -compare gate diffs against — a longstate-only write would
@@ -145,7 +162,7 @@ func main() {
 		if longstate == nil {
 			log.Print("note: no -fig longstate in this run — the baseline's longstate section will be absent")
 		}
-		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate, skewRows, clusterRows); err != nil {
+		if err := writeFig7JSON(*jsonOut, *sf, *seed, series, longstate, skewRows, clusterRows, churnRows); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)
@@ -156,6 +173,9 @@ func main() {
 			ok = false
 		}
 		if len(baselineCluster) > 0 && !compareCluster(baselineCluster, clusterRows, *regressPct/100) {
+			ok = false
+		}
+		if len(baselineChurn) > 0 && !compareChurn(baselineChurn, churnRows, *regressPct/100) {
 			ok = false
 		}
 		if !ok {
@@ -274,7 +294,7 @@ func runFig7(sf float64, quick bool, seed uint64) []fig7Series {
 	return series
 }
 
-func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult) error {
+func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, churnRows []bench.ChurnResult) error {
 	doc := struct {
 		Figure    string                     `json:"figure"`
 		SF        float64                    `json:"sf"`
@@ -283,7 +303,8 @@ func writeFig7JSON(path string, sf float64, seed uint64, series []fig7Series, lo
 		LongState []bench.LongStateResult    `json:"longstate,omitempty"`
 		Skew      []bench.SkewResult         `json:"skew,omitempty"`
 		Cluster   []bench.ClusterBenchResult `json:"cluster,omitempty"`
-	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate, Skew: skew, Cluster: clusterRows}
+		Churn     []bench.ChurnResult        `json:"churn,omitempty"`
+	}{Figure: "7", SF: sf, Seed: seed, Series: series, LongState: longstate, Skew: skew, Cluster: clusterRows, Churn: churnRows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -400,10 +421,10 @@ func runChaos(seeds int, quick bool, seed uint64) {
 }
 
 // readFig7JSON loads a baseline written by -json.
-func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, err error) {
+func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, churnRows []bench.ChurnResult, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, nil, nil, err
+		return 0, 0, nil, nil, nil, nil, err
 	}
 	var doc struct {
 		SF      float64                    `json:"sf"`
@@ -411,11 +432,72 @@ func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, sk
 		Series  []fig7Series               `json:"series"`
 		Skew    []bench.SkewResult         `json:"skew"`
 		Cluster []bench.ClusterBenchResult `json:"cluster"`
+		Churn   []bench.ChurnResult        `json:"churn"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, 0, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return 0, 0, nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return doc.SF, doc.Seed, doc.Series, doc.Skew, doc.Cluster, nil
+	return doc.SF, doc.Seed, doc.Series, doc.Skew, doc.Cluster, doc.Churn, nil
+}
+
+// runChurn drives the incremental re-optimization sweep; the bench
+// itself dies when the incremental plan ever costs more than scratch.
+func runChurn(quick bool, seed uint64) []bench.ChurnResult {
+	nQs := []int{100, 500, 1000}
+	if quick {
+		nQs = []int{50, 100}
+	}
+	fmt.Println("=== Churn — re-optimization under query churn: scratch vs incremental ===")
+	rows, err := bench.Churn(bench.ChurnConfig{Seed: seed}, nQs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatChurn(rows))
+	fmt.Println()
+	return rows
+}
+
+// compareChurn gates the incremental re-optimizer against the
+// baseline: plan costs are deterministic in (seed, node budget) and
+// must match exactly for both arms; optimizer wall time may not
+// regress beyond the threshold. A quick run carries fewer query
+// counts, so only counts present in both sides are gated.
+func compareChurn(baseline, current []bench.ChurnResult, threshold float64) bool {
+	baseOf := map[int]bench.ChurnResult{}
+	for _, r := range baseline {
+		baseOf[r.NQ] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range current {
+		b, ok := baseOf[r.NQ]
+		if !ok {
+			fmt.Printf("(no churn baseline for %d queries — skipped)\n", r.NQ)
+			continue
+		}
+		compared++
+		if r.ScratchCost != b.ScratchCost || r.IncrementalCost != b.IncrementalCost {
+			regressions++
+			fmt.Printf("REGRESSION  churn nQ=%-4d plan cost scratch %g -> %g, incremental %g -> %g (plan drift!)\n",
+				r.NQ, b.ScratchCost, r.ScratchCost, b.IncrementalCost, r.IncrementalCost)
+		}
+		if b.IncrementalWall > 0 {
+			if d := float64(r.IncrementalWall-b.IncrementalWall) / float64(b.IncrementalWall); d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  churn nQ=%-4d incremental wall %+.1f%%\n", r.NQ, d*100)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("GATE FAILURE: baseline has a churn section but no query count matched the current run")
+		return false
+	}
+	if regressions > 0 {
+		fmt.Printf("%d churn regression(s)\n", regressions)
+		return false
+	}
+	fmt.Println("churn: no regressions")
+	return true
 }
 
 // compareCluster gates the scale-out scenario against the baseline:

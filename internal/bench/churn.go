@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clash/internal/core"
+	"clash/internal/query"
+	"clash/internal/workload"
+)
+
+// ChurnConfig parameterizes the incremental re-optimization benchmark
+// (DESIGN.md §14): a Fig. 9-regime workload where the active query set
+// churns one query at a time and the optimizer re-runs after every
+// step — once from scratch and once with cross-churn state (incumbent
+// warm start, MIR memo, component-solution cache).
+type ChurnConfig struct {
+	Relations int     // environment size (default 100, the Fig. 9c regime)
+	Rate      float64 // arrival rate per relation (default 100)
+	QuerySize int     // relations per query (default 3)
+	Seed      uint64
+	Steps     int // churn steps per query count (default 5)
+	// MaxNodes bounds each BnB solve by explored nodes instead of wall
+	// time, so both arms are deterministic and the -compare gate can
+	// require exact plan costs (default 200k).
+	MaxNodes int
+	// Parallel fixes the BnB worker count; parallel node evaluation is
+	// deterministic when no TimeLimit is set (default 4).
+	Parallel int
+	// CapCandidates caps decorated candidates per group (the Fig. 9f
+	// knob): at 1k queries over 100 relations the sharing graph is
+	// dense enough that uncapped models dwarf the node budget in both
+	// arms and the comparison measures only the cap (default 12).
+	CapCandidates int
+}
+
+func (c *ChurnConfig) fill() {
+	if c.Relations == 0 {
+		c.Relations = 100
+	}
+	if c.Rate == 0 {
+		c.Rate = 100
+	}
+	if c.QuerySize == 0 {
+		c.QuerySize = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Steps == 0 {
+		c.Steps = 5
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 200000
+	}
+	if c.Parallel == 0 {
+		c.Parallel = 4
+	}
+	if c.CapCandidates == 0 {
+		c.CapCandidates = 12
+	}
+}
+
+// ChurnResult is one query-count row of the churn series, serialized
+// into BENCH_fig7.json: plan costs are deterministic in the config and
+// gated exactly; wall times are gated at the regression threshold.
+type ChurnResult struct {
+	NQ              int     `json:"nq"`
+	Steps           int     `json:"steps"`
+	ScratchWallNS   int64   `json:"scratch_wall_ns"`
+	IncrementalWall int64   `json:"incremental_wall_ns"`
+	ScratchNodes    int     `json:"scratch_nodes"`
+	IncrementalNode int     `json:"incremental_nodes"`
+	MemoHitRate     float64 `json:"memo_hit_rate"`
+	ScratchCost     float64 `json:"scratch_cost"`
+	IncrementalCost float64 `json:"incremental_cost"`
+}
+
+// Speedup is the scratch/incremental optimizer wall-time ratio.
+func (r ChurnResult) Speedup() float64 {
+	if r.IncrementalWall == 0 {
+		return 0
+	}
+	return float64(r.ScratchWallNS) / float64(r.IncrementalWall)
+}
+
+// Churn runs the churn sweep for each query count: seed an active set,
+// prime the incremental optimizer once (untimed — the steady-state
+// regime is what re-optimization lives in), then re-optimize after
+// every single-query churn step (alternating: admit a fresh query,
+// retire the oldest) both from scratch and incrementally. The
+// incremental plan must cost no more than the scratch plan at every
+// step; both arms run under the same deterministic node budget.
+func Churn(cfg ChurnConfig, nQs []int) ([]ChurnResult, error) {
+	cfg.fill()
+	var out []ChurnResult
+	for _, nQ := range nQs {
+		r, err := churnOne(cfg, nQ)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func churnOne(cfg ChurnConfig, nQ int) (ChurnResult, error) {
+	env := workload.NewEnv(cfg.Relations, cfg.Rate)
+	est := env.Estimates()
+	pool := env.RandomQueries(nQ+cfg.Steps, cfg.QuerySize, cfg.Seed)
+	if len(pool) < nQ+cfg.Steps {
+		return ChurnResult{}, fmt.Errorf("bench: churn nQ=%d: workload generation came up short (%d queries)", nQ, len(pool))
+	}
+	active := append([]*query.Query(nil), pool[:nQ]...)
+	fresh := pool[nQ:]
+
+	base := core.Options{
+		NoPartitionConsistency: true, // the Fig. 9 regime
+		DeterministicWarmStart: true,
+		MaxCandidatesPerGroup:  cfg.CapCandidates,
+	}
+	base.Solver.MaxNodes = cfg.MaxNodes
+	base.Solver.Parallel = cfg.Parallel
+
+	reopt := core.NewReopt()
+	inc := base
+	inc.Reopt = reopt
+
+	// Prime the cross-churn state with the pre-churn query set.
+	if _, err := core.NewOptimizer(inc).Optimize(active, est); err != nil {
+		return ChurnResult{}, fmt.Errorf("bench: churn nQ=%d prime: %w", nQ, err)
+	}
+
+	res := ChurnResult{NQ: nQ, Steps: cfg.Steps}
+	for step := 0; step < cfg.Steps; step++ {
+		// Single-query churn: grow by one fresh query, then shrink by
+		// the oldest — each step changes exactly one installed query.
+		if step%2 == 0 {
+			active = append(active, fresh[step/2])
+		} else {
+			active = append([]*query.Query(nil), active[1:]...)
+		}
+
+		t0 := time.Now()
+		scratch, err := core.NewOptimizer(base).Optimize(active, est)
+		if err != nil {
+			return ChurnResult{}, fmt.Errorf("bench: churn nQ=%d step %d scratch: %w", nQ, step, err)
+		}
+		res.ScratchWallNS += time.Since(t0).Nanoseconds()
+
+		reopt.Advance()
+		t0 = time.Now()
+		incr, err := core.NewOptimizer(inc).Optimize(active, est)
+		if err != nil {
+			return ChurnResult{}, fmt.Errorf("bench: churn nQ=%d step %d incremental: %w", nQ, step, err)
+		}
+		res.IncrementalWall += time.Since(t0).Nanoseconds()
+
+		res.ScratchNodes += scratch.Stats.Nodes
+		res.IncrementalNode += incr.Stats.Nodes
+		res.ScratchCost += scratch.Objective
+		res.IncrementalCost += incr.Objective
+		if incr.Objective > scratch.Objective+1e-6 {
+			return ChurnResult{}, fmt.Errorf("bench: churn nQ=%d step %d: incremental cost %g exceeds scratch %g",
+				nQ, step, incr.Objective, scratch.Objective)
+		}
+	}
+	if s := reopt.Stats(); s.MemoHits+s.MemoMisses > 0 {
+		res.MemoHitRate = float64(s.MemoHits) / float64(s.MemoHits+s.MemoMisses)
+	}
+	return res, nil
+}
+
+// FormatChurn renders the churn series.
+func FormatChurn(rows []ChurnResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s %12s %12s %8s %10s %10s %8s %14s %14s\n",
+		"nQ", "steps", "scratch", "incr", "speedup", "scr-nodes", "incr-nodes", "memo%", "scratch-cost", "incr-cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %6d %12v %12v %7.1fx %10d %10d %7.1f%% %14.6g %14.6g\n",
+			r.NQ, r.Steps,
+			time.Duration(r.ScratchWallNS).Round(time.Millisecond),
+			time.Duration(r.IncrementalWall).Round(time.Millisecond),
+			r.Speedup(), r.ScratchNodes, r.IncrementalNode,
+			100*r.MemoHitRate, r.ScratchCost, r.IncrementalCost)
+	}
+	return b.String()
+}

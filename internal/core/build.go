@@ -23,10 +23,16 @@ type builder struct {
 
 	model *ilp.Model
 
-	orders   []*DecoratedOrder
-	xVar     map[string]int // DecoratedOrder.Key() -> ILP var
-	yVar     map[string]int // step key -> ILP var
-	stepCost map[string]float64
+	orders     []*DecoratedOrder
+	xVar       map[string]int // DecoratedOrder.Key() -> ILP var
+	yVar       map[string]int // step key -> ILP var
+	stepCost   map[string]float64
+	orderByKey map[string]*DecoratedOrder
+
+	// cross-churn cache key components (set when opts.Reopt != nil)
+	optsFP string
+	wsig   string
+	estVer uint64
 
 	// top-level candidate groups: query name -> start -> orders
 	topGroups map[string]map[string][]*DecoratedOrder
@@ -38,7 +44,7 @@ type builder struct {
 }
 
 func newBuilder(opts Options, queries []*query.Query, est *stats.Estimates) *builder {
-	return &builder{
+	b := &builder{
 		opts:       opts,
 		queries:    queries,
 		rawEst:     est,
@@ -47,10 +53,26 @@ func newBuilder(opts Options, queries []*query.Query, est *stats.Estimates) *bui
 		xVar:       map[string]int{},
 		yVar:       map[string]int{},
 		stepCost:   map[string]float64{},
+		orderByKey: map[string]*DecoratedOrder{},
 		topGroups:  map[string]map[string][]*DecoratedOrder{},
 		feedGroups: map[string]map[string][]*DecoratedOrder{},
 		zVar:       map[string]map[string]int{},
 	}
+	if r := opts.Reopt; r != nil {
+		r.beginSolve(est)
+		b.optsFP = opts.optsFingerprint()
+		b.wsig = hashSig(b.workloadSig())
+		b.estVer = r.estVersion()
+	}
+	return b
+}
+
+// groupSig keys one query's cached candidate group: name (part of the
+// decorated-order identity), join shape, MIR eligibility, estimates
+// version, options, and — in partition-aware modes — the workload shape.
+func (b *builder) groupSig(q *query.Query) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%s",
+		q.Name, mir.Fingerprint(q), b.eligSig(q), b.estVer, b.optsFP, b.wsig)
 }
 
 func (b *builder) run() (*Plan, error) {
@@ -64,6 +86,9 @@ func (b *builder) run() (*Plan, error) {
 
 	t1 := time.Now()
 	solverOpts := b.opts.Solver
+	if r := b.opts.Reopt; r != nil && solverOpts.Cache == nil {
+		solverOpts.Cache = r.Cache
+	}
 	if ws := b.warmStart(); ws != nil {
 		solverOpts.WarmStart = ws
 	}
@@ -95,12 +120,22 @@ func (b *builder) run() (*Plan, error) {
 		BuildTime:   build,
 		Nodes:       sol.Nodes,
 		Status:      sol.Status,
+		CacheHits:   sol.CacheHits,
+		CacheMisses: sol.CacheMisses,
+	}
+	if r := b.opts.Reopt; r != nil && !b.opts.reoptChild {
+		r.noteIncumbent(plan)
 	}
 	return plan, nil
 }
 
 func (b *builder) enumerateMIRs() {
-	all := mir.Enumerate(b.queries)
+	var all []*mir.MIR
+	if r := b.opts.Reopt; r != nil && r.Memo != nil {
+		all = r.Memo.Enumerate(b.queries)
+	} else {
+		all = mir.Enumerate(b.queries)
+	}
 	for _, m := range all {
 		if !m.IsBase() {
 			if !b.opts.mirsEnabled() {
@@ -118,23 +153,50 @@ func (b *builder) enumerateMIRs() {
 	}
 }
 
+// candidates enumerates probe orders for q, through the cross-churn memo
+// when one is installed.
+func (b *builder) candidates(q *query.Query) map[string][]*mir.ProbeOrder {
+	if r := b.opts.Reopt; r != nil && r.Memo != nil {
+		return r.Memo.Candidates(q, b.mirs)
+	}
+	return mir.Candidates(q, b.mirs)
+}
+
 // generateCandidates produces decorated probe orders for every query and,
 // transitively, feeding orders for every MIR referenced by a candidate.
+// With Options.Reopt set, whole decorated groups are reused across churn
+// steps when the query's shape, its MIR eligibility, the estimates
+// snapshot, and the options are unchanged.
 func (b *builder) generateCandidates() error {
+	r := b.opts.Reopt
 	neededMIRs := map[string]*mir.MIR{}
 	for _, q := range b.queries {
-		cands := mir.Candidates(q, b.mirs)
-		group := map[string][]*DecoratedOrder{}
-		for start, orders := range cands {
-			if len(orders) == 0 {
+		var group map[string][]*DecoratedOrder
+		sig := ""
+		if r != nil {
+			sig = b.groupSig(q)
+			if cached, ok := r.topLookup(sig); ok {
+				group = rebindGroup(cached, q)
+			}
+		}
+		if group == nil {
+			cands := b.candidates(q)
+			group = map[string][]*DecoratedOrder{}
+			for start, orders := range cands {
+				var dec []*DecoratedOrder
+				for _, po := range orders {
+					dec = append(dec, b.decorate(q, "", start, po)...)
+				}
+				group[start] = b.capGroup(dec)
+			}
+			if r != nil {
+				r.topStore(sig, group)
+			}
+		}
+		for start, dec := range group {
+			if len(dec) == 0 {
 				return fmt.Errorf("core: query %s has no probe order from %s (disconnected query graph?)", q.Name, start)
 			}
-			var dec []*DecoratedOrder
-			for _, po := range orders {
-				dec = append(dec, b.decorate(q, "", start, po)...)
-			}
-			dec = b.capGroup(dec)
-			group[start] = dec
 			for _, d := range dec {
 				b.noteMIRUse(d, neededMIRs)
 			}
@@ -154,19 +216,38 @@ func (b *builder) generateCandidates() error {
 		done[key] = true
 		m := neededMIRs[key]
 		sub := m.Subquery()
-		cands := mir.Candidates(sub, b.mirs)
-		group := map[string][]*DecoratedOrder{}
-		newNeeds := map[string]*mir.MIR{}
-		for start, orders := range cands {
-			var dec []*DecoratedOrder
-			for _, po := range orders {
-				for _, d := range b.decorate(sub, key, start, po) {
-					d.Fed = m
-					dec = append(dec, d)
+		var group map[string][]*DecoratedOrder
+		sig := ""
+		if r != nil {
+			sig = "feed|" + key + "|" + b.groupSig(sub)
+			if cached, ok := r.feedLookup(sig); ok {
+				group = rebindGroup(cached, sub)
+				for _, dec := range group {
+					for _, d := range dec {
+						d.Fed = m
+					}
 				}
 			}
-			dec = b.capGroup(dec)
-			group[start] = dec
+		}
+		if group == nil {
+			cands := b.candidates(sub)
+			group = map[string][]*DecoratedOrder{}
+			for start, orders := range cands {
+				var dec []*DecoratedOrder
+				for _, po := range orders {
+					for _, d := range b.decorate(sub, key, start, po) {
+						d.Fed = m
+						dec = append(dec, d)
+					}
+				}
+				group[start] = b.capGroup(dec)
+			}
+			if r != nil {
+				r.feedStore(sig, group)
+			}
+		}
+		newNeeds := map[string]*mir.MIR{}
+		for _, dec := range group {
 			for _, d := range dec {
 				b.noteMIRUse(d, newNeeds)
 			}
@@ -301,7 +382,7 @@ func (b *builder) computeSteps(d *DecoratedOrder) {
 		m := b.mirByKy[d.ForMIR]
 		if m != nil {
 			card := b.est.JoinCardinality(m.RelSet(), d.Query.Preds)
-			c := card / float64(len(d.Elems))
+			c := card / float64(len(d.Elems)) * b.est.MaterializationUnit()
 			key := d.Start + ":" + mir.New(prefixRels, d.Query.Preds).Key() + "=>" + d.ForMIR
 			d.Steps = append(d.Steps, Step{Key: key, PrefixKey: d.ForMIR, Cost: c})
 			d.Cost += c
@@ -319,6 +400,7 @@ func (b *builder) buildModel() {
 			return
 		}
 		b.orders = append(b.orders, d)
+		b.orderByKey[key] = d
 		b.xVar[key] = b.model.AddBinary("x:"+key, 0)
 		for _, s := range d.Steps {
 			if _, ok := b.yVar[s.Key]; !ok {

@@ -59,6 +59,27 @@ type Options struct {
 	NoPartitionConsistency bool
 	// Solver passes through branch-and-bound options.
 	Solver ilp.Options
+	// Reopt, when set, carries optimizer state across churn steps:
+	// the previous incumbent seeds branch-and-bound, MIR containment
+	// verdicts and candidate groups are memoized, and unchanged ILP
+	// components are answered from their cached optimal solutions.
+	// nil re-optimizes from scratch (the previous behavior).
+	Reopt *Reopt
+	// CostCoefficients scales the analytic cost model by runtime-
+	// measured per-tuple work (probe/insert/prune units normalized to
+	// probe = 1). nil keeps the analytic constants.
+	CostCoefficients *cost.Coefficients
+	// DeterministicWarmStart replaces the wall-clock budget of the
+	// local-search warm start with an evaluation-count budget so that
+	// repeated solves of the same model explore identically (required
+	// by the reproducible churn benchmarks; solve quality is
+	// equivalent, the budget is just counted instead of timed).
+	DeterministicWarmStart bool
+
+	// reoptChild marks internal sub-solves (per-query individual plans
+	// computed for warm starts) so they share the caches without
+	// overwriting the joint incumbent.
+	reoptChild bool
 }
 
 func (o Options) parallelism() int {
@@ -152,6 +173,10 @@ type ProblemStats struct {
 	BuildTime   time.Duration
 	Nodes       int
 	Status      ilp.Status
+	// CacheHits/CacheMisses count ILP component-solution cache probes
+	// (zero unless Options.Reopt carries a cache).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Plan is the optimization result: the selected probe orders (including
@@ -304,5 +329,9 @@ func (o Options) estimator(queries []*query.Query, est *stats.Estimates) *cost.E
 	for _, q := range queries {
 		preds = append(preds, q.Preds...)
 	}
-	return cost.New(est, preds)
+	e := cost.New(est, preds)
+	if o.CostCoefficients != nil {
+		e.SetCoefficients(*o.CostCoefficients)
+	}
+	return e
 }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clash/internal/ilp"
+	"clash/internal/mir"
+	"clash/internal/query"
+	"clash/internal/stats"
+)
+
+// hashSig shortens a long signature string to a 64-bit hex digest for
+// use inside cache keys.
+func hashSig(s string) string {
+	if s == "" {
+		return ""
+	}
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Reopt carries optimizer state across churn steps so re-optimization
+// does work proportional to the delta, not the workload:
+//
+//   - Memo caches MIR enumeration and containment verdicts (pure
+//     functions of query shape).
+//   - Cache answers unchanged ILP components from their previous optimal
+//     solution without any search.
+//   - The incumbent selection of the previous joint solve seeds the new
+//     solve: surviving (query, start) groups keep their choice, only
+//     added or affected groups are re-placed greedily.
+//   - Per-query candidate groups and individual-plan selections are
+//     reused verbatim while the estimates snapshot is unchanged.
+//
+// A Reopt value is owned by one optimization loop (the adaptive
+// Controller or a bench harness); it is safe for concurrent use, and
+// Advance must be called once per churn step to age out stale entries.
+type Reopt struct {
+	Memo  *mir.Memo
+	Cache *ilp.SolutionCache
+
+	mu        sync.Mutex
+	gen       uint64
+	keep      uint64
+	lastEst   *stats.Estimates
+	estVer    uint64
+	incumbent map[string]string // query+"\x00"+start -> selected order key
+	topCands  map[string]*reoptEntry[map[string][]*DecoratedOrder]
+	feedCands map[string]*reoptEntry[map[string][]*DecoratedOrder]
+	indiv     map[string]*reoptEntry[indivPlan]
+}
+
+type reoptEntry[T any] struct {
+	val T
+	gen uint64
+}
+
+type indivPlan struct {
+	sig  string
+	keys []string // selected decorated-order keys of the single-query optimum
+}
+
+// NewReopt returns fresh cross-churn optimizer state.
+func NewReopt() *Reopt {
+	return &Reopt{
+		Memo:      mir.NewMemo(16),
+		Cache:     ilp.NewSolutionCache(16),
+		keep:      16,
+		incumbent: map[string]string{},
+		topCands:  map[string]*reoptEntry[map[string][]*DecoratedOrder]{},
+		feedCands: map[string]*reoptEntry[map[string][]*DecoratedOrder]{},
+		indiv:     map[string]*reoptEntry[indivPlan]{},
+	}
+}
+
+// ReoptStats aggregates the effectiveness counters of all cache layers.
+type ReoptStats struct {
+	MemoHits     uint64
+	MemoMisses   uint64
+	MemoEntries  int
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+	Incumbents   int
+}
+
+// Stats returns point-in-time counters.
+func (r *Reopt) Stats() ReoptStats {
+	ms := r.Memo.Stats()
+	cs := r.Cache.Stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReoptStats{
+		MemoHits:     ms.Hits,
+		MemoMisses:   ms.Misses,
+		MemoEntries:  ms.Entries,
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+		CacheEntries: cs.Entries,
+		Incumbents:   len(r.incumbent),
+	}
+}
+
+// Advance starts a new churn generation: the memo and solution cache age
+// one step and local candidate caches untouched for the retention window
+// are evicted. Call once per re-optimization step (the Controller does).
+func (r *Reopt) Advance() {
+	r.Memo.Advance()
+	r.Cache.Advance()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	if r.gen < r.keep {
+		return
+	}
+	cutoff := r.gen - r.keep
+	evictReopt(r.topCands, cutoff)
+	evictReopt(r.feedCands, cutoff)
+	evictReopt(r.indiv, cutoff)
+	// The incumbent map holds one short entry per live (query, start)
+	// group; stale entries for retired queries are never looked up and
+	// are rewritten wholesale, so only pathological churn can grow it.
+	if len(r.incumbent) > 1<<17 {
+		r.incumbent = map[string]string{}
+	}
+}
+
+func evictReopt[T any](m map[string]*reoptEntry[T], cutoff uint64) {
+	for k, e := range m {
+		if e.gen <= cutoff {
+			delete(m, k)
+		}
+	}
+}
+
+// beginSolve refreshes the estimates version: a new snapshot invalidates
+// every cost-bearing cache entry (their keys embed the version).
+func (r *Reopt) beginSolve(est *stats.Estimates) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastEst != est {
+		r.lastEst = est
+		r.estVer++
+	}
+}
+
+func (r *Reopt) estVersion() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.estVer
+}
+
+func (r *Reopt) incumbentFor(group string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.incumbent[group]
+	return k, ok
+}
+
+// noteIncumbent merges the top-level selection of a finished joint solve
+// into the incumbent map (one entry per (query, start) group).
+func (r *Reopt) noteIncumbent(plan *Plan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range plan.Selected {
+		if d.ForMIR == "" {
+			r.incumbent[d.Query.Name+"\x00"+d.Start] = d.Key()
+		}
+	}
+}
+
+func (r *Reopt) topLookup(sig string) (map[string][]*DecoratedOrder, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.topCands[sig]
+	if !ok {
+		return nil, false
+	}
+	e.gen = r.gen
+	return e.val, true
+}
+
+func (r *Reopt) topStore(sig string, group map[string][]*DecoratedOrder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.topCands[sig] = &reoptEntry[map[string][]*DecoratedOrder]{val: group, gen: r.gen}
+}
+
+func (r *Reopt) feedLookup(sig string) (map[string][]*DecoratedOrder, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.feedCands[sig]
+	if !ok {
+		return nil, false
+	}
+	e.gen = r.gen
+	return e.val, true
+}
+
+func (r *Reopt) feedStore(sig string, group map[string][]*DecoratedOrder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.feedCands[sig] = &reoptEntry[map[string][]*DecoratedOrder]{val: group, gen: r.gen}
+}
+
+func (r *Reopt) indivLookup(name, sig string) ([]string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.indiv[name]
+	if !ok || e.val.sig != sig {
+		return nil, false
+	}
+	e.gen = r.gen
+	return e.val.keys, true
+}
+
+func (r *Reopt) indivStore(name, sig string, keys []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.indiv[name] = &reoptEntry[indivPlan]{val: indivPlan{sig: sig, keys: keys}, gen: r.gen}
+}
+
+// rebindGroup clones cached decorated orders onto the current query
+// object. Element and step slices are immutable and shared; only the
+// query binding differs (a replaced query may be a fresh object with
+// identical content).
+func rebindGroup(cached map[string][]*DecoratedOrder, q *query.Query) map[string][]*DecoratedOrder {
+	out := make(map[string][]*DecoratedOrder, len(cached))
+	for start, orders := range cached {
+		clones := make([]*DecoratedOrder, len(orders))
+		for i, d := range orders {
+			cp := *d
+			cp.Query = q
+			clones[i] = &cp
+		}
+		out[start] = clones
+	}
+	return out
+}
+
+// optsFingerprint captures every option that flows into candidate
+// generation and step costing, so cache keys miss when configuration
+// changes.
+func (o Options) optsFingerprint() string {
+	coef := "-"
+	if o.CostCoefficients != nil {
+		c := *o.CostCoefficients
+		coef = fmt.Sprintf("%g:%g:%g", c.Probe, c.Insert, c.Prune)
+	}
+	return fmt.Sprintf("p%d|dp%t|uc%t|mc%t|cap%d|npc%t|c%s",
+		o.parallelism(), o.DisablePartitioning, o.UniformChi,
+		o.MaterializationCost, o.MaxCandidatesPerGroup,
+		o.NoPartitionConsistency, coef)
+}
+
+// eligSig fingerprints which of a query's own MIR subsets are eligible
+// under the current MIREligible policy. Per-query candidates depend on
+// exactly this set: MIRs from other queries are either key-identical
+// (deduplicated) or fail the containment verdict.
+func (b *builder) eligSig(q *query.Query) string {
+	var ms []*mir.MIR
+	if r := b.opts.Reopt; r != nil && r.Memo != nil {
+		ms = r.Memo.Enumerate([]*query.Query{q})
+	} else {
+		ms = mir.Enumerate([]*query.Query{q})
+	}
+	var sb strings.Builder
+	for _, m := range ms {
+		if m.IsBase() {
+			continue
+		}
+		ok := b.opts.mirsEnabled() && (b.opts.MIREligible == nil || b.opts.MIREligible(m.Key()))
+		if ok {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// workloadSig fingerprints the full query set's join shapes. Partition
+// decorations (and χ's equality-chain knowledge) depend on every
+// installed query, so partition-aware cache keys embed it; the
+// decomposing NoPartitionConsistency/DisablePartitioning regimes do not
+// and stay delta-stable.
+func (b *builder) workloadSig() string {
+	if b.opts.DisablePartitioning {
+		return ""
+	}
+	fps := make([]string, len(b.queries))
+	for i, q := range b.queries {
+		fps[i] = mir.Fingerprint(q)
+	}
+	sort.Strings(fps)
+	return strings.Join(fps, ",")
+}

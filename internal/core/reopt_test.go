@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"clash/internal/cost"
+	"clash/internal/query"
+	"clash/internal/workload"
+)
+
+// churnStep mutates the active query set like the adaptive controller
+// sees it: add from the pool, remove the oldest, or replace one (same
+// name, different shape).
+func churnStep(step int, active, pool []*query.Query) ([]*query.Query, []*query.Query) {
+	switch step % 3 {
+	case 0: // add
+		if len(pool) > 0 {
+			active = append(append([]*query.Query(nil), active...), pool[0])
+			pool = pool[1:]
+		}
+	case 1: // remove oldest
+		if len(active) > 1 {
+			active = append([]*query.Query(nil), active[1:]...)
+		}
+	default: // replace: new shape behind an existing name
+		if len(pool) > 0 && len(active) > 0 {
+			repl, err := query.NewQuery(active[0].Name, pool[0].Relations, pool[0].Preds)
+			if err == nil {
+				active = append([]*query.Query{repl}, active[1:]...)
+				pool = pool[1:]
+			}
+		}
+	}
+	return active, pool
+}
+
+// TestIncrementalMatchesScratchUnderChurn is the acceptance sweep of
+// the incremental re-optimizer: over seeded add/remove/replace churn
+// schedules, the plan found with cross-churn state (incumbent warm
+// start, memo, solution cache) costs no more than re-optimizing from
+// scratch at every step. Both solves run to optimality here, so the
+// costs must in fact be equal.
+func TestIncrementalMatchesScratchUnderChurn(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		env := workload.NewEnv(10, 100)
+		pool := env.RandomQueries(14, 3, uint64(seed)*31+1)
+		if len(pool) < 8 {
+			continue
+		}
+		est := env.Estimates()
+
+		base := Options{DeterministicWarmStart: true}
+		base.Solver.Parallel = 4 // deterministic: no TimeLimit set
+		if seed%4 != 3 {
+			// The decomposing Fig. 9 regime, where component caching
+			// carries the most weight.
+			base.NoPartitionConsistency = true
+		} else {
+			// Partition-aware regime, capped to keep models tractable.
+			base.MaxCandidatesPerGroup = 6
+		}
+		reopt := NewReopt()
+		inc := base
+		inc.Reopt = reopt
+
+		active := append([]*query.Query(nil), pool[:4]...)
+		pool = pool[4:]
+		for step := 0; step < 6; step++ {
+			active, pool = churnStep(step, active, pool)
+			reopt.Advance()
+
+			scratch, err := NewOptimizer(base).Optimize(active, est)
+			if err != nil {
+				t.Fatalf("seed %d step %d: scratch: %v", seed, step, err)
+			}
+			incr, err := NewOptimizer(inc).Optimize(active, est)
+			if err != nil {
+				t.Fatalf("seed %d step %d: incremental: %v", seed, step, err)
+			}
+			if incr.Objective > scratch.Objective+1e-6 {
+				t.Fatalf("seed %d step %d: incremental cost %g > scratch %g",
+					seed, step, incr.Objective, scratch.Objective)
+			}
+			if incr.Objective < scratch.Objective-1e-6 {
+				t.Fatalf("seed %d step %d: incremental cost %g below scratch optimum %g — one of them is not optimal",
+					seed, step, incr.Objective, scratch.Objective)
+			}
+		}
+		if s := reopt.Stats(); s.MemoHits == 0 {
+			t.Errorf("seed %d: memo never hit across the churn sweep", seed)
+		}
+	}
+}
+
+// TestReoptEstimateVersionInvalidates pins that a *new* estimates
+// snapshot invalidates cost-bearing cache entries while an unchanged
+// snapshot keeps them hot: plan costs must track the new rates.
+func TestReoptEstimateVersionInvalidates(t *testing.T) {
+	env := workload.NewEnv(8, 100)
+	qs := env.RandomQueries(4, 3, 9)
+	if len(qs) < 4 {
+		t.Skip("workload generation came up short")
+	}
+	est := env.Estimates()
+	reopt := NewReopt()
+	opts := Options{Reopt: reopt, DeterministicWarmStart: true}
+
+	p1, err := NewOptimizer(opts).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot: cached groups serve, same plan cost.
+	reopt.Advance()
+	p2, err := NewOptimizer(opts).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Objective != p2.Objective {
+		t.Fatalf("same estimates, different cost: %g vs %g", p1.Objective, p2.Objective)
+	}
+
+	// A changed snapshot must flow into the plan cost.
+	est2 := est.Clone()
+	for _, r := range []string{"E00", "E01", "E02", "E03"} {
+		est2.SetRate(r, 500)
+	}
+	reopt.Advance()
+	p3, err := NewOptimizer(opts).Optimize(qs, est2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewOptimizer(Options{DeterministicWarmStart: true}).Optimize(qs, est2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Objective != fresh.Objective {
+		t.Fatalf("stale cache: incremental cost %g, fresh cost %g after rate change",
+			p3.Objective, fresh.Objective)
+	}
+}
+
+// TestMeasuredCoefficientsChangeCostsNotValidity checks the calibrated
+// cost model end to end: non-default coefficients scale step costs and
+// may change plan choice, but the produced plan stays a valid solution
+// of the same ILP family (all selections feasible), and default
+// coefficients reproduce the analytic objective exactly.
+func TestMeasuredCoefficientsChangeCostsNotValidity(t *testing.T) {
+	env := workload.NewEnv(8, 100)
+	qs := env.RandomQueries(3, 3, 5)
+	est := env.Estimates()
+
+	analytic, err := NewOptimizer(Options{MaterializationCost: true}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := NewOptimizer(Options{
+		MaterializationCost: true,
+		CostCoefficients:    &cost.DefaultCoefficients,
+	}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.Objective != defaults.Objective {
+		t.Fatalf("default coefficients changed the analytic objective: %g vs %g",
+			defaults.Objective, analytic.Objective)
+	}
+
+	skewed := cost.DefaultCoefficients
+	skewed.Insert, skewed.Prune = 6, 4 // materialization 5x pricier
+	calibrated, err := NewOptimizer(Options{
+		MaterializationCost: true,
+		CostCoefficients:    &skewed,
+	}).Optimize(qs, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calibrated.Objective < analytic.Objective {
+		t.Fatalf("pricier materialization lowered the objective: %g < %g",
+			calibrated.Objective, analytic.Objective)
+	}
+	if len(calibrated.Selected) == 0 {
+		t.Fatal("calibrated plan selected nothing")
+	}
+}

@@ -9,13 +9,16 @@ import (
 )
 
 // warmStart constructs a feasible solution that seeds the branch-and-
-// bound incumbent. Two greedy variants are built and the cheaper one is
+// bound incumbent. Several variants are built and the cheapest one is
 // returned: (a) per (query, start) group the candidate with the smallest
 // *marginal* cost given the steps committed by earlier groups (exploits
-// sharing but can commit myopically), and (b) the union of per-group
+// sharing but can commit myopically), (b) the union of per-group
 // individually cheapest candidates, whose ILP objective is at most the
 // summed per-query optima — so the solver always starts at or below the
-// "Individual" baseline.
+// "Individual" baseline, and (c) with Options.Reopt set, the repaired
+// previous incumbent: surviving groups keep their prior selection and
+// only added or changed groups fall back to their cheapest candidate, so
+// a one-query churn step starts from a nearly optimal solution.
 func (b *builder) warmStart() []float64 {
 	var best []float64
 	bestObj := math.Inf(1)
@@ -27,11 +30,76 @@ func (b *builder) warmStart() []float64 {
 			best, bestObj = ws, obj
 		}
 	}
+	inc, matched, groups := b.warmStartFromIncumbent()
+	consider(inc)
 	consider(b.warmStartWith(true))
 	consider(b.warmStartWith(false))
 	consider(b.warmStartFromIndividualPlans())
-	consider(b.warmStartLocalSearch())
+	// The repaired incumbent is the previous churn step's (near-)optimal
+	// joint solution; when it covers most groups, re-deriving a seed by
+	// coordinate descent would dominate incremental re-optimization time
+	// for no bound improvement. Local search still runs on cold starts
+	// and after heavy churn (less than half the groups matched).
+	if inc == nil || 2*matched < groups {
+		consider(b.warmStartLocalSearch())
+	}
 	return best
+}
+
+// warmStartFromIncumbent repairs the previous joint solve's selection
+// into a feasible solution for the current model. Groups whose stable
+// identity (query name + start) survives churn keep their incumbent
+// order when it still exists among the group's candidates; new or
+// changed groups are placed greedily (cheapest candidate). The repaired
+// selection is completed and priced by evalSelection — feeds re-derived,
+// shared steps paid once — so it is exact, and nil is returned when
+// nothing survived or repair is infeasible. The matched/groups counts
+// let the caller judge repair coverage.
+func (b *builder) warmStartFromIncumbent() (vals []float64, matched, groups int) {
+	r := b.opts.Reopt
+	if r == nil || b.opts.reoptChild {
+		return nil, 0, 0
+	}
+	var order []groupPick
+	pick := map[groupPick]*DecoratedOrder{}
+	for _, q := range b.queries {
+		for _, s := range sortedKeys(b.topGroups[q.Name]) {
+			g := groupPick{query: q.Name, start: s}
+			order = append(order, g)
+			cands := b.topGroups[q.Name][s]
+			if len(cands) == 0 {
+				return nil, 0, 0
+			}
+			var chosen *DecoratedOrder
+			if key, ok := r.incumbentFor(q.Name + "\x00" + s); ok {
+				for _, d := range cands {
+					if d.Key() == key {
+						chosen = d
+						matched++
+						break
+					}
+				}
+			}
+			if chosen == nil {
+				chosen = cands[0]
+				for _, d := range cands {
+					if d.Cost < chosen.Cost {
+						chosen = d
+					}
+				}
+			}
+			pick[g] = chosen
+		}
+	}
+	if matched == 0 {
+		return nil, 0, len(order)
+	}
+	st := newLSState(b)
+	vals = make([]float64, b.model.NumVars())
+	if obj := b.evalSelection(st, order, pick, vals); math.IsInf(obj, 1) {
+		return nil, 0, len(order)
+	}
+	return vals, matched, len(order)
 }
 
 // groupPick identifies one top-level candidate group and its chosen
@@ -97,6 +165,16 @@ func (b *builder) warmStartLocalSearch() []float64 {
 		budget = tl / 3
 	}
 	deadline := time.Now().Add(budget)
+	// DeterministicWarmStart swaps the wall clock for an evaluation
+	// counter: repeated solves of the same model then explore identically
+	// regardless of machine speed (reproducible churn benchmarks).
+	evals, maxEvals := 0, 10000
+	overBudget := func() bool {
+		if b.opts.DeterministicWarmStart {
+			return evals >= maxEvals
+		}
+		return time.Now().After(deadline)
+	}
 
 	// Stable group order.
 	var order []groupPick
@@ -130,7 +208,7 @@ func (b *builder) warmStartLocalSearch() []float64 {
 	for sweep := 0; sweep < 64; sweep++ {
 		improved := false
 		for _, g := range order {
-			if time.Now().After(deadline) {
+			if overBudget() {
 				sweep = 64
 				break
 			}
@@ -141,6 +219,7 @@ func (b *builder) warmStartLocalSearch() []float64 {
 					continue
 				}
 				pick[g] = d
+				evals++
 				if obj := b.evalSelection(st, order, pick, nil); obj < bestObj-1e-9 {
 					bestD, bestObj = d, obj
 				}
@@ -289,30 +368,70 @@ func (b *builder) evalSelection(st *lsState, order []groupPick, pick map[groupPi
 // a subset of the joint candidate space. The union's objective is at
 // most the summed individual optima (shared steps only collapse), which
 // pins the MQO incumbent to the Individual baseline from the start.
+// With Options.Reopt set, per-query selections are cached by the query's
+// group signature, so churn steps re-solve only added or changed queries
+// (sub-solves are marked reoptChild: they share the memo and solution
+// cache without overwriting the joint incumbent).
 func (b *builder) warmStartFromIndividualPlans() []float64 {
 	if len(b.queries) < 2 {
 		return nil
 	}
-	opts := b.opts
-	opts.MIREligible = b.opts.MIREligible
-	plans, err := NewOptimizer(opts).OptimizeIndividually(b.queries, b.rawEst)
-	if err != nil {
-		return nil
+	r := b.opts.Reopt
+	child := b.opts
+	child.reoptChild = true
+	opt := NewOptimizer(child)
+
+	// resolve maps cached selection keys onto this builder's decorated
+	// orders; nil when any key is absent (candidate capped away).
+	resolve := func(keys []string) []*DecoratedOrder {
+		out := make([]*DecoratedOrder, 0, len(keys))
+		for _, k := range keys {
+			d := b.orderByKey[k]
+			if d == nil {
+				return nil
+			}
+			out = append(out, d)
+		}
+		return out
 	}
-	vals := make([]float64, b.model.NumVars())
-	for _, p := range plans {
+	freshKeys := func(q *query.Query) []string {
+		p, err := opt.Optimize([]*query.Query{q}, b.rawEst)
+		if err != nil {
+			return nil
+		}
+		keys := make([]string, 0, len(p.Selected))
 		for _, d := range p.Selected {
-			x, ok := b.xVar[d.Key()]
-			if !ok {
+			keys = append(keys, d.Key())
+		}
+		return keys
+	}
+
+	vals := make([]float64, b.model.NumVars())
+	for _, q := range b.queries {
+		var sel []*DecoratedOrder
+		sig := ""
+		if r != nil {
+			sig = b.groupSig(q)
+			if keys, ok := r.indivLookup(q.Name, sig); ok {
+				sel = resolve(keys)
+			}
+		}
+		if sel == nil {
+			keys := freshKeys(q)
+			if keys == nil {
+				return nil
+			}
+			if r != nil {
+				r.indivStore(q.Name, sig, keys)
+			}
+			if sel = resolve(keys); sel == nil {
 				return nil // candidate capped away in the joint model
 			}
-			vals[x] = 1
+		}
+		for _, d := range sel {
+			vals[b.xVar[d.Key()]] = 1
 			for _, s := range d.Steps {
-				y, ok := b.yVar[s.Key]
-				if !ok {
-					return nil
-				}
-				vals[y] = 1
+				vals[b.yVar[s.Key]] = 1
 			}
 			if b.opts.NoPartitionConsistency {
 				continue
@@ -321,8 +440,7 @@ func (b *builder) warmStartFromIndividualPlans() []float64 {
 				if i == 0 || e.Partition == (query.Attr{}) {
 					continue
 				}
-				z := b.zVar[e.MIR.Key()][e.Partition.String()]
-				vals[z] = 1
+				vals[b.zVar[e.MIR.Key()][e.Partition.String()]] = 1
 			}
 		}
 	}

@@ -1,0 +1,77 @@
+package cost
+
+// Coefficients scale the analytic cost model by runtime-measured
+// per-tuple work. The analytic model prices every transferred tuple at
+// one abstract unit; in a running engine a probe, an insert, and a prune
+// cost different (and workload-dependent) nanoseconds. The Controller
+// measures those and normalizes them to the probe unit (Probe is 1.0 by
+// construction), so relative plan comparisons stay meaningful while the
+// materialization-vs-probe tradeoff reflects the machine it runs on.
+//
+// The zero value and DefaultCoefficients both reproduce the uncalibrated
+// analytic model exactly.
+type Coefficients struct {
+	// Probe is the cost of one probed tuple (the normalization unit).
+	Probe float64
+	// Insert is the cost of storing one tuple, relative to Probe.
+	Insert float64
+	// Prune is the amortized cost of expiring one stored tuple,
+	// relative to Probe.
+	Prune float64
+}
+
+// DefaultCoefficients is the analytic model: every unit of work priced
+// equally.
+var DefaultCoefficients = Coefficients{Probe: 1, Insert: 1, Prune: 1}
+
+// normalized substitutes 1 for unset (zero) fields so the zero value is
+// the analytic model.
+func (c Coefficients) normalized() Coefficients {
+	if c.Probe == 0 {
+		c.Probe = 1
+	}
+	if c.Insert == 0 {
+		c.Insert = 1
+	}
+	if c.Prune == 0 {
+		c.Prune = 1
+	}
+	return c
+}
+
+// SetCoefficients installs measured coefficients on the estimator.
+// Unset (zero) fields fall back to the analytic constant 1.
+func (e *Estimator) SetCoefficients(c Coefficients) { e.coef = c.normalized() }
+
+// Coefficients returns the active coefficients.
+func (e *Estimator) Coefficients() Coefficients { return e.coef.normalized() }
+
+// MaterializationUnit prices one stored tuple: it pays one insert and,
+// eventually, one amortized prune. The mean of the two keeps the
+// analytic default at exactly 1 probe unit per stored tuple.
+func (e *Estimator) MaterializationUnit() float64 {
+	c := e.coef.normalized()
+	return (c.Insert + c.Prune) / 2
+}
+
+// BlendCoefficient advances an EWMA coefficient toward a fresh
+// measurement: next = (1-alpha)*old + alpha*measured, with the result
+// clamped into [lo, hi] so one noisy window can never capsize plan
+// choice. A non-positive measurement (shape never executed) leaves the
+// old value untouched — the analytic fallback.
+func BlendCoefficient(old, measured, alpha, lo, hi float64) float64 {
+	if measured <= 0 {
+		return old
+	}
+	if old <= 0 {
+		old = 1
+	}
+	next := (1-alpha)*old + alpha*measured
+	if next < lo {
+		next = lo
+	}
+	if next > hi {
+		next = hi
+	}
+	return next
+}

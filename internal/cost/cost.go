@@ -30,6 +30,7 @@ type Target struct {
 type Estimator struct {
 	est   *stats.Estimates
 	preds []query.Predicate
+	coef  Coefficients // zero value = analytic model
 }
 
 // New builds an estimator for the given estimates. queryPreds should
@@ -165,7 +166,11 @@ func (e *Estimator) StepCost(prefix []Target, next Target, preds []query.Predica
 	if sf := e.SkewFactor(next); sf > chi {
 		chi = sf
 	}
-	return card / float64(j) * chi
+	probe := e.coef.Probe
+	if probe == 0 {
+		probe = 1
+	}
+	return card / float64(j) * chi * probe
 }
 
 // ProbeOrderCost sums the step costs of a full probe order

@@ -23,6 +23,20 @@ type Options struct {
 	// WarmStart, when it has one value per variable and is feasible,
 	// seeds the incumbent so the search starts with a strong bound.
 	WarmStart []float64
+	// Parallel, when > 1, evaluates independent branch-and-bound
+	// subtrees (and independent components) on up to Parallel
+	// goroutines. The search stays deterministic: sibling subtrees in a
+	// wave share the wave-start incumbent and their results merge in
+	// node-index order, so the explored tree is identical across runs
+	// whenever TimeLimit is 0 (wall-clock deadlines are inherently
+	// scheduling-sensitive). 0 or 1 means serial.
+	Parallel int
+	// Cache, when set, memoizes optimal solutions of independent
+	// components keyed by a canonical serialization of the component
+	// sub-model. Across churn steps, unchanged components hit the cache
+	// and are not re-solved. Only provably Optimal component solutions
+	// are cached, so the solver stays exact.
+	Cache *SolutionCache
 }
 
 func (o *Options) fill() {
@@ -53,8 +67,17 @@ func (m *Model) Solve(opt *Options) *Solution {
 		o = *opt
 	}
 	o.fill()
-	if comps := components(m); len(comps) > 1 {
+	if comps := components(m); len(comps) > 1 || o.Cache != nil {
 		return solveByComponents(m, comps, o)
+	}
+	return solveOne(m, o)
+}
+
+// solveOne solves a single connected component, parallelizing subtree
+// evaluation when requested.
+func solveOne(m *Model, o Options) *Solution {
+	if o.Parallel > 1 {
+		return solveParallel(m, o)
 	}
 	s := &searcher{m: m, o: o}
 	return s.solve()
@@ -104,6 +127,11 @@ func components(m *Model) [][]int {
 
 // solveByComponents solves each component independently and stitches the
 // solutions together. Time and node budgets are shared across components.
+// With Options.Cache set, components whose canonical serialization was
+// solved to optimality before are answered from the cache without any
+// search. With Options.Parallel > 1, components run concurrently on a
+// bounded pool; results are merged in component-index order so the
+// outcome is independent of goroutine scheduling.
 func solveByComponents(m *Model, comps [][]int, o Options) *Solution {
 	total := &Solution{Values: make([]float64, len(m.Vars))}
 	deadline := time.Time{}
@@ -125,7 +153,8 @@ func solveByComponents(m *Model, comps [][]int, o Options) *Solution {
 		ci := compOf[c.Terms[0].Var]
 		consOf[ci] = append(consOf[ci], c)
 	}
-	for ci, vs := range comps {
+	solveComp := func(ci int) *Solution {
+		vs := comps[ci]
 		sub := NewModel()
 		remap := make(map[int]int, len(vs))
 		for _, v := range vs {
@@ -138,24 +167,78 @@ func solveByComponents(m *Model, comps [][]int, o Options) *Solution {
 			}
 			sub.AddConstraint(c.Name, c.Rel, c.RHS, terms...)
 		}
+		var fp uint64
+		var key []byte
+		if o.Cache != nil {
+			fp, key = canonicalModel(sub)
+			if vals, obj, ok := o.Cache.lookup(fp, key, false); ok {
+				return &Solution{Status: Optimal, Objective: obj, Values: vals, CacheHits: 1}
+			}
+		}
 		so := o
+		if len(comps) > 1 {
+			so.Parallel = 0 // component-level parallelism only
+		}
 		if !deadline.IsZero() {
 			so.TimeLimit = time.Until(deadline)
 			if so.TimeLimit <= 0 {
 				so.TimeLimit = time.Nanosecond
 			}
 		}
-		if len(o.WarmStart) == len(m.Vars) {
-			ws := make([]float64, len(vs))
-			for _, v := range vs {
-				ws[remap[v]] = o.WarmStart[v]
+		so.WarmStart = sliceWarmStart(o.WarmStart, len(m.Vars), vs, remap)
+		// A node-capped search with no wall-clock deadline is a
+		// deterministic function of (model, budget, warm start): its
+		// stored incumbent replays byte-identically, so hard components
+		// churned once don't re-pay the full budget every later step.
+		var lfp uint64
+		var lkey []byte
+		if o.Cache != nil && so.TimeLimit == 0 {
+			lfp, lkey = limitKey(key, &so, so.WarmStart)
+			if vals, obj, ok := o.Cache.lookup(lfp, lkey, true); ok {
+				return &Solution{Status: Limit, Objective: obj, Values: vals, CacheHits: 1}
 			}
-			so.WarmStart = ws
 		}
-		s := &searcher{m: sub, o: so}
-		res := s.solve()
+		res := solveOne(sub, so)
+		if o.Cache != nil {
+			res.CacheMisses = 1
+			if res.Status == Optimal {
+				o.Cache.insert(fp, key, res.Values, res.Objective, false)
+			} else if res.Status == Limit && lkey != nil && res.Values != nil {
+				o.Cache.insert(lfp, lkey, res.Values, res.Objective, true)
+			}
+		}
+		return res
+	}
+
+	results := make([]*Solution, len(comps))
+	if o.Parallel > 1 && len(comps) > 1 {
+		sem := make(chan struct{}, o.Parallel)
+		done := make(chan int, len(comps))
+		for ci := range comps {
+			sem <- struct{}{}
+			go func(ci int) {
+				defer func() { <-sem; done <- ci }()
+				results[ci] = solveComp(ci)
+			}(ci)
+		}
+		for range comps {
+			<-done
+		}
+	} else {
+		for ci := range comps {
+			results[ci] = solveComp(ci)
+		}
+	}
+
+	for ci, vs := range comps {
+		res := results[ci]
 		total.Nodes += res.Nodes
 		total.Iterations += res.Iterations
+		total.CacheHits += res.CacheHits
+		total.CacheMisses += res.CacheMisses
+		if res.TimedOut {
+			total.TimedOut = true
+		}
 		switch res.Status {
 		case Infeasible, Unbounded:
 			total.Status = res.Status
@@ -168,12 +251,28 @@ func solveByComponents(m *Model, comps [][]int, o Options) *Solution {
 			total.Values = nil
 			return total
 		}
-		for _, v := range vs {
-			total.Values[v] = res.Values[remap[v]]
+		// remap assigned component-local indices in vs order, so
+		// res.Values[i] is the value of vs[i].
+		for i, v := range vs {
+			total.Values[v] = res.Values[i]
 		}
 		total.Objective += res.Objective
 	}
 	return total
+}
+
+// sliceWarmStart projects a full-model warm start onto one component's
+// variable order. Returns nil when the warm start does not cover the
+// model.
+func sliceWarmStart(ws []float64, n int, vs []int, remap map[int]int) []float64 {
+	if len(ws) != n {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	for _, v := range vs {
+		out[remap[v]] = ws[v]
+	}
+	return out
 }
 
 type searcher struct {
@@ -191,9 +290,10 @@ type searcher struct {
 	nodes   int
 	lpIters int
 	useLP   bool
-	st      *structure
-	deadln  time.Time
-	hitLim  bool
+	st       *structure
+	deadln   time.Time
+	hitLim   bool
+	timedOut bool
 
 	// reusable propagation buffers (hot path)
 	pendingBuf []int
@@ -207,6 +307,17 @@ type trailEntry struct {
 }
 
 func (s *searcher) solve() *Solution {
+	if early := s.init(); early != nil {
+		return early
+	}
+	s.dfs(-1)
+	return s.finish()
+}
+
+// init prepares bounds, structure, and the warm-start incumbent, and runs
+// root propagation. A non-nil return is an early terminal solution
+// (trivially infeasible or unbounded models).
+func (s *searcher) init() *Solution {
 	m := s.m
 	n := len(m.Vars)
 	s.lo = make([]float64, n)
@@ -249,10 +360,12 @@ func (s *searcher) solve() *Solution {
 			break
 		}
 	}
+	return nil
+}
 
-	s.dfs(-1)
-
-	sol := &Solution{Nodes: s.nodes, Iterations: s.lpIters}
+// finish packages the search state into a Solution.
+func (s *searcher) finish() *Solution {
+	sol := &Solution{Nodes: s.nodes, Iterations: s.lpIters, TimedOut: s.timedOut}
 	switch {
 	case s.best == nil && s.hitLim:
 		sol.Status = Limit
@@ -270,23 +383,30 @@ func (s *searcher) solve() *Solution {
 	return sol
 }
 
-// dfs explores the current node: propagate, bound, find or branch.
-// branched is the variable fixed by the parent (-1 at the root).
-func (s *searcher) dfs(branched int) {
-	if s.hitLim {
-		return
-	}
+// countNode charges one node against the budget and the deadline.
+// Returns false when a limit was hit (search must stop).
+func (s *searcher) countNode() bool {
 	s.nodes++
-	if s.nodes > s.o.MaxNodes || (!s.deadln.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadln)) {
+	if s.nodes > s.o.MaxNodes {
 		s.hitLim = true
-		return
+		return false
 	}
+	if !s.deadln.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadln) {
+		s.hitLim = true
+		s.timedOut = true
+		return false
+	}
+	return true
+}
 
-	mark := len(s.trail)
-	defer s.undo(mark)
-
+// stepNode runs the body of one node under the current bounds:
+// propagation, group implications, bounding, near-root LP, and branch
+// selection. Returns open=false when the node is closed (pruned,
+// infeasible, or a leaf whose incumbent was already offered); otherwise
+// (bv, first) describe the branching variable and first branch value.
+func (s *searcher) stepNode(branched int) (bv int, first float64, open bool) {
 	if !s.propagate(branched) {
-		return
+		return -1, 0, false
 	}
 	// Group-implication inference: a variable forced by every still-
 	// available candidate of a choice group must be 1 regardless of the
@@ -294,20 +414,20 @@ func (s *searcher) dfs(branched int) {
 	for {
 		fixed, ok := s.groupImplications()
 		if !ok {
-			return
+			return -1, 0, false
 		}
 		if len(fixed) == 0 {
 			break
 		}
 		for _, v := range fixed {
 			if !s.propagate(v) {
-				return
+				return -1, 0, false
 			}
 		}
 	}
 	lb := s.boxBound() + s.st.groupBound(s.m, s.lo, s.hi)
 	if lb >= s.bestObj-s.o.Tol {
-		return
+		return -1, 0, false
 	}
 
 	branchVar := -1
@@ -321,17 +441,17 @@ func (s *searcher) dfs(branched int) {
 		s.lpIters += r.iters
 		switch r.status {
 		case Infeasible:
-			return
+			return -1, 0, false
 		case Optimal:
 			if r.obj >= s.bestObj-s.o.Tol {
-				return
+				return -1, 0, false
 			}
 			lpVals = r.x
 			branchVar = s.mostFractional(r.x)
 			if branchVar < 0 {
 				// LP solution is integral: incumbent.
 				s.offer(r.x, r.obj)
-				return
+				return -1, 0, false
 			}
 		}
 	}
@@ -341,15 +461,35 @@ func (s *searcher) dfs(branched int) {
 	if branchVar < 0 {
 		// All integer variables fixed.
 		s.finishLeaf()
-		return
+		return -1, 0, false
 	}
 
 	// Branch order: follow the LP hint when present, else try 1 first
 	// (selection rows need one chosen candidate; diving on 1 finds
 	// incumbents fast for the CLASH structure).
-	first := 1.0
+	first = 1.0
 	if lpVals != nil && lpVals[branchVar] < 0.5 {
 		first = 0
+	}
+	return branchVar, first, true
+}
+
+// dfs explores the current node: propagate, bound, find or branch.
+// branched is the variable fixed by the parent (-1 at the root).
+func (s *searcher) dfs(branched int) {
+	if s.hitLim {
+		return
+	}
+	if !s.countNode() {
+		return
+	}
+
+	mark := len(s.trail)
+	defer s.undo(mark)
+
+	branchVar, first, open := s.stepNode(branched)
+	if !open {
+		return
 	}
 	for _, val := range []float64{first, 1 - first} {
 		m2 := len(s.trail)

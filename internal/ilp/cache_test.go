@@ -1,0 +1,201 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"clash/internal/rng"
+)
+
+// twoComponentModel builds two disjoint choice groups (independent ILP
+// components). scale multiplies the second group's costs so tests can
+// change one component while the other stays byte-identical.
+func twoComponentModel(scale float64) *Model {
+	m := NewModel()
+	group := func(costs []float64) {
+		var terms []Term
+		for _, c := range costs {
+			y := m.AddBinary("y", c)
+			x := m.AddBinary("x", 0)
+			m.AddConstraint("cost", GE, 0, T(x, -1), T(y, 1))
+			terms = append(terms, T(x, 1))
+		}
+		m.AddConstraint("choice", EQ, 1, terms...)
+	}
+	group([]float64{5, 3, 9})
+	group([]float64{2 * scale, 7 * scale, 4 * scale})
+	return m
+}
+
+func TestSolutionCacheAnswersUnchangedComponents(t *testing.T) {
+	cache := NewSolutionCache(4)
+	m := twoComponentModel(1)
+
+	a := m.Solve(&Options{Cache: cache})
+	if a.Status != Optimal {
+		t.Fatalf("status = %v", a.Status)
+	}
+	if a.CacheHits != 0 || a.CacheMisses != 2 {
+		t.Fatalf("first solve: hits=%d misses=%d, want 0/2", a.CacheHits, a.CacheMisses)
+	}
+
+	b := m.Solve(&Options{Cache: cache})
+	if b.CacheHits != 2 || b.CacheMisses != 0 {
+		t.Fatalf("second solve: hits=%d misses=%d, want 2/0", b.CacheHits, b.CacheMisses)
+	}
+	if b.NodesExplored() != 0 {
+		t.Fatalf("cached solve explored %d nodes, want 0", b.NodesExplored())
+	}
+	if math.Abs(a.Objective-b.Objective) > 1e-9 {
+		t.Fatalf("objective %g vs cached %g", a.Objective, b.Objective)
+	}
+	if err := m.Feasible(b.Values, 1e-9); err != nil {
+		t.Fatalf("cached solution infeasible: %v", err)
+	}
+
+	// Change one component: the other still answers from cache.
+	m2 := twoComponentModel(3)
+	c := m2.Solve(&Options{Cache: cache})
+	if c.Status != Optimal {
+		t.Fatalf("status = %v", c.Status)
+	}
+	if c.CacheHits != 1 || c.CacheMisses != 1 {
+		t.Fatalf("changed solve: hits=%d misses=%d, want 1/1", c.CacheHits, c.CacheMisses)
+	}
+	if math.Abs(c.Objective-(3+2*3)) > 1e-9 {
+		t.Fatalf("objective %g, want %g", c.Objective, 3+2*3.0)
+	}
+}
+
+func TestSolutionCacheEviction(t *testing.T) {
+	cache := NewSolutionCache(2)
+	m := twoComponentModel(1)
+	m.Solve(&Options{Cache: cache})
+	if cache.Stats().Entries != 2 {
+		t.Fatalf("entries = %d, want 2", cache.Stats().Entries)
+	}
+	// Within the retention window the entries survive...
+	cache.Advance()
+	m2 := twoComponentModel(1)
+	if sol := m2.Solve(&Options{Cache: cache}); sol.CacheHits != 2 {
+		t.Fatalf("hits after 1 advance = %d, want 2", sol.CacheHits)
+	}
+	// ...and far past it they are evicted.
+	for i := 0; i < 5; i++ {
+		cache.Advance()
+	}
+	if got := cache.Stats().Entries; got != 0 {
+		t.Fatalf("entries after eviction = %d, want 0", got)
+	}
+}
+
+// TestCachedSolveMatchesFresh cross-checks cached component answers
+// against fresh solves over random clash-shaped models: caching must
+// never change the reported optimum.
+func TestCachedSolveMatchesFresh(t *testing.T) {
+	r := rng.New(90210)
+	cache := NewSolutionCache(8)
+	for trial := 0; trial < 60; trial++ {
+		m := buildClashShaped(r)
+		fresh := m.Solve(nil)
+		cached := m.Solve(&Options{Cache: cache})
+		again := m.Solve(&Options{Cache: cache})
+		if fresh.Status != cached.Status || fresh.Status != again.Status {
+			t.Fatalf("trial %d: status %v / %v / %v", trial, fresh.Status, cached.Status, again.Status)
+		}
+		if fresh.Status != Optimal {
+			continue
+		}
+		if math.Abs(fresh.Objective-cached.Objective) > 1e-6 ||
+			math.Abs(fresh.Objective-again.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective fresh %g cached %g again %g",
+				trial, fresh.Objective, cached.Objective, again.Objective)
+		}
+		if err := m.Feasible(again.Values, 1e-6); err != nil {
+			t.Fatalf("trial %d: cached values infeasible: %v", trial, err)
+		}
+		cache.Advance()
+	}
+}
+
+// cappedKnapsack is a model the solver cannot finish under a small node
+// budget but for which a truncated search still carries an incumbent.
+func cappedKnapsack() *Model {
+	m := NewModel()
+	var terms []Term
+	for i := 0; i < 14; i++ {
+		v := m.AddBinary("", float64(i%3+1))
+		terms = append(terms, T(v, float64(1+i%4)))
+	}
+	m.AddConstraint("", EQ, 7, terms...)
+	return m
+}
+
+// TestSolutionCacheCapsReplay pins the Limit-entry class: a node-capped
+// solve with no wall-clock deadline is deterministic in (model, budget,
+// warm start), so its truncated incumbent is cached and replayed —
+// identical objective and values, zero search — while a different
+// budget or warm start keys a different entry and re-searches.
+func TestSolutionCacheCapsReplay(t *testing.T) {
+	m := cappedKnapsack()
+	capped := m.Solve(&Options{MaxNodes: 5, LPCellLimit: 1})
+	if capped.Status != Limit || capped.Values == nil {
+		t.Fatalf("uncached capped solve: status %v, values-nil %v — model no longer exercises the cap",
+			capped.Status, capped.Values == nil)
+	}
+
+	cache := NewSolutionCache(4)
+	first := m.Solve(&Options{MaxNodes: 5, LPCellLimit: 1, Cache: cache})
+	if first.Status != Limit || first.CacheHits != 0 {
+		t.Fatalf("first capped solve: status %v hits %d", first.Status, first.CacheHits)
+	}
+	replay := m.Solve(&Options{MaxNodes: 5, LPCellLimit: 1, Cache: cache})
+	if replay.CacheHits != 1 || replay.Status != Limit {
+		t.Fatalf("replay not served from cache: hits=%d status=%v", replay.CacheHits, replay.Status)
+	}
+	if replay.Objective != first.Objective {
+		t.Fatalf("replay objective %g, first %g", replay.Objective, first.Objective)
+	}
+	if replay.Nodes != 0 {
+		t.Fatalf("replay explored %d nodes, want 0", replay.Nodes)
+	}
+	if len(replay.Values) != len(first.Values) {
+		t.Fatalf("replay values length %d, first %d", len(replay.Values), len(first.Values))
+	}
+	for j := range first.Values {
+		if replay.Values[j] != first.Values[j] {
+			t.Fatalf("replay values diverge at %d: %g vs %g", j, replay.Values[j], first.Values[j])
+		}
+	}
+
+	// A different node budget is a different truncated search — the
+	// limit entry must not answer it.
+	other := m.Solve(&Options{MaxNodes: 10, LPCellLimit: 1, Cache: cache})
+	if other.CacheHits != 0 {
+		t.Fatal("budget change served from cache")
+	}
+
+	// A different warm start seeds a different incumbent — miss, and
+	// the seeded solve is never worse than its seed.
+	full := m.Solve(&Options{LPCellLimit: 1})
+	if full.Status != Optimal {
+		t.Fatalf("uncapped solve status %v, want optimal", full.Status)
+	}
+	seeded := m.Solve(&Options{MaxNodes: 5, LPCellLimit: 1, Cache: cache, WarmStart: full.Values})
+	if seeded.CacheHits != 0 {
+		t.Fatal("warm-start change served from cache")
+	}
+	if seeded.Objective > full.Objective {
+		t.Fatalf("seeded capped solve %g worse than its seed %g", seeded.Objective, full.Objective)
+	}
+
+	// Limit entries must never answer an uncapped lookup: the optimal
+	// solve keys the model alone and finds the true optimum.
+	exact := m.Solve(&Options{LPCellLimit: 1, Cache: cache})
+	if exact.Status != Optimal {
+		t.Fatalf("uncapped cached solve status %v, want optimal", exact.Status)
+	}
+	if exact.Objective != full.Objective {
+		t.Fatalf("uncapped cached solve %g, want %g — limit entry leaked", exact.Objective, full.Objective)
+	}
+}

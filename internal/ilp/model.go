@@ -152,7 +152,22 @@ type Solution struct {
 	Values     []float64
 	Nodes      int // branch-and-bound nodes explored
 	Iterations int // simplex iterations across all LP solves
+
+	// TimedOut reports that the wall-clock TimeLimit (not the
+	// deterministic node budget) stopped the search. When false and
+	// Status == Limit, the MaxNodes budget was exhausted — a
+	// reproducible event tests can assert on.
+	TimedOut bool
+	// CacheHits/CacheMisses count component-solution cache probes
+	// when Options.Cache is set.
+	CacheHits   int
+	CacheMisses int
 }
+
+// NodesExplored returns the number of branch-and-bound nodes explored.
+// It is deterministic for a given model + options when no TimeLimit is
+// set: the node budget is counted, never clock-sampled.
+func (s *Solution) NodesExplored() int { return s.Nodes }
 
 // Value returns the solution value of variable v rounded to integrality
 // when the variable is integer.

@@ -1,0 +1,81 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"clash/internal/rng"
+)
+
+// TestParallelDeterministic pins the reproducibility contract of the
+// parallel node evaluator: with no TimeLimit, repeated solves of the
+// same model explore the same number of nodes and report the same
+// status and optimum, regardless of goroutine scheduling. Run under
+// -race this also exercises the shared read-only structures.
+func TestParallelDeterministic(t *testing.T) {
+	r := rng.New(4242)
+	for trial := 0; trial < 30; trial++ {
+		m := buildClashShaped(r)
+		serial := m.Solve(&Options{LPCellLimit: 1})
+		var prevNodes = -1
+		for run := 0; run < 3; run++ {
+			sol := m.Solve(&Options{LPCellLimit: 1, Parallel: 4})
+			if sol.Status != serial.Status {
+				t.Fatalf("trial %d run %d: status %v, serial %v\n%s",
+					trial, run, sol.Status, serial.Status, m)
+			}
+			if serial.Status == Optimal && math.Abs(sol.Objective-serial.Objective) > 1e-6 {
+				t.Fatalf("trial %d run %d: objective %g, serial %g\n%s",
+					trial, run, sol.Objective, serial.Objective, m)
+			}
+			if sol.Values != nil {
+				if err := m.Feasible(sol.Values, 1e-6); err != nil {
+					t.Fatalf("trial %d run %d: infeasible values: %v", trial, run, err)
+				}
+			}
+			if prevNodes >= 0 && sol.NodesExplored() != prevNodes {
+				t.Fatalf("trial %d run %d: nodes %d, previous run %d — parallel solve is nondeterministic",
+					trial, run, sol.NodesExplored(), prevNodes)
+			}
+			prevNodes = sol.NodesExplored()
+		}
+	}
+}
+
+// TestParallelRespectsNodeBudget checks the shared budget: a parallel
+// solve under MaxNodes stops with Limit status like the serial solver.
+func TestParallelRespectsNodeBudget(t *testing.T) {
+	m := NewModel()
+	n := 14
+	var terms []Term
+	for i := 0; i < n; i++ {
+		v := m.AddBinary("", float64(i%3+1))
+		terms = append(terms, T(v, float64(1+i%4)))
+	}
+	m.AddConstraint("", EQ, 7, terms...)
+	sol := m.Solve(&Options{MaxNodes: 1, LPCellLimit: 1, Parallel: 4})
+	if sol.Status != Limit {
+		t.Fatalf("status = %v, want limit", sol.Status)
+	}
+	if sol.TimedOut {
+		t.Fatal("node budget must not report TimedOut")
+	}
+}
+
+// TestParallelWithWarmStart ensures a seeded incumbent survives the
+// frontier split and the final solution is never worse than the seed.
+func TestParallelWithWarmStart(t *testing.T) {
+	r := rng.New(555)
+	for trial := 0; trial < 20; trial++ {
+		m := buildClashShaped(r)
+		serial := m.Solve(&Options{LPCellLimit: 1})
+		if serial.Status != Optimal {
+			continue
+		}
+		sol := m.Solve(&Options{LPCellLimit: 1, Parallel: 3, WarmStart: serial.Values})
+		if sol.Status != Optimal || math.Abs(sol.Objective-serial.Objective) > 1e-6 {
+			t.Fatalf("trial %d: warm-started parallel got %v %g, want optimal %g",
+				trial, sol.Status, sol.Objective, serial.Objective)
+		}
+	}
+}

@@ -119,6 +119,39 @@ func permute(m *Model, r *rng.RNG) (*Model, []int) {
 	return out, perm
 }
 
+// TestNodeBudgetDeterministic pins the deterministic accounting the
+// churn benchmarks rely on: with a node budget (and no TimeLimit) the
+// explored-node count, status, and objective are identical across
+// repeated solves of the same model, and a node budget never reports
+// TimedOut — that flag is reserved for the wall clock.
+func TestNodeBudgetDeterministic(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 40; trial++ {
+		m := buildClashShaped(r)
+		for _, opt := range []Options{
+			{MaxNodes: 50, LPCellLimit: 1},
+			{MaxNodes: 5000},
+		} {
+			o1, o2 := opt, opt
+			a := m.Solve(&o1)
+			b := m.Solve(&o2)
+			if a.TimedOut || b.TimedOut {
+				t.Fatalf("trial %d: node budget reported TimedOut", trial)
+			}
+			if a.NodesExplored() != b.NodesExplored() {
+				t.Fatalf("trial %d: nodes %d vs %d across identical solves",
+					trial, a.NodesExplored(), b.NodesExplored())
+			}
+			if a.Status != b.Status {
+				t.Fatalf("trial %d: status %v vs %v", trial, a.Status, b.Status)
+			}
+			if a.Values != nil && b.Values != nil && math.Abs(a.Objective-b.Objective) > 1e-9 {
+				t.Fatalf("trial %d: objective %g vs %g", trial, a.Objective, b.Objective)
+			}
+		}
+	}
+}
+
 func TestClashShapedModelsStress(t *testing.T) {
 	trials := 120
 	if testing.Short() {

@@ -1,0 +1,105 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"clash/internal/query"
+	"clash/internal/rng"
+)
+
+// TestMemoMatchesFreshUnderMutation is the cross-churn safety property:
+// interleaving queries of different shapes (including shape changes
+// behind a stable query name — the churn "replace" case) through one
+// Memo must produce exactly the candidate sets a fresh enumeration
+// produces, with every returned probe order rebound to the live query
+// object.
+func TestMemoMatchesFreshUnderMutation(t *testing.T) {
+	mo := NewMemo(4)
+	r := rng.New(7)
+	for trial := 0; trial < 80; trial++ {
+		q := randomQuery(r.Uint64()%10000+1, 2+r.Intn(4))
+		if q == nil {
+			continue
+		}
+		// Same stable identity across mutations: the memo must key on
+		// content, not name.
+		q.Name = "q"
+		ms := mo.Enumerate([]*query.Query{q})
+		freshMs := Enumerate([]*query.Query{q})
+		if strings.Join(labels(ms), " ") != strings.Join(labels(freshMs), " ") {
+			t.Fatalf("trial %d: memoized enumeration %v, fresh %v", trial, labels(ms), labels(freshMs))
+		}
+
+		fresh := Candidates(q, ms)
+		memod := mo.Candidates(q, ms)
+		if len(fresh) != len(memod) {
+			t.Fatalf("trial %d: %d starts memoized, %d fresh", trial, len(memod), len(fresh))
+		}
+		for start, fo := range fresh {
+			po := memod[start]
+			if strings.Join(orderStrings(po), ";") != strings.Join(orderStrings(fo), ";") {
+				t.Fatalf("trial %d start %s: memoized %v, fresh %v",
+					trial, start, orderStrings(po), orderStrings(fo))
+			}
+			for _, o := range po {
+				if o.Query != q {
+					t.Fatalf("trial %d: cached order not rebound to the live query object", trial)
+				}
+			}
+		}
+		if trial%8 == 7 {
+			mo.Advance()
+		}
+	}
+	if s := mo.Stats(); s.Hits == 0 {
+		t.Fatal("memo never hit — repeated shapes should be served from cache")
+	}
+}
+
+// TestMemoSecondLookupHits pins that an identical query (fresh object,
+// same content) is answered from the memo.
+func TestMemoSecondLookupHits(t *testing.T) {
+	mo := NewMemo(4)
+	q1 := query.MustParse("q1: R(b) S(b,c) T(c)")
+	ms := mo.Enumerate([]*query.Query{q1})
+	mo.Candidates(q1, ms)
+	miss := mo.Stats().Misses
+
+	q1b := query.MustParse("q1: R(b) S(b,c) T(c)") // content-identical, new object
+	got := mo.Candidates(q1b, ms)
+	if mo.Stats().Misses != miss {
+		t.Fatalf("second lookup missed (misses %d -> %d)", miss, mo.Stats().Misses)
+	}
+	for _, orders := range got {
+		for _, o := range orders {
+			if o.Query != q1b {
+				t.Fatal("cached order still bound to the previous query object")
+			}
+		}
+	}
+}
+
+// TestMemoInvalidationFires pins the generational eviction: entries
+// untouched for the retention window disappear and the next lookup is
+// a miss (re-verified fresh), so stale verdicts cannot survive.
+func TestMemoInvalidationFires(t *testing.T) {
+	mo := NewMemo(2)
+	q := query.MustParse("q1: R(b) S(b,c) T(c)")
+	ms := mo.Enumerate([]*query.Query{q})
+	mo.Candidates(q, ms)
+	if mo.Stats().Entries == 0 {
+		t.Fatal("no entries after first use")
+	}
+	for i := 0; i < 5; i++ {
+		mo.Advance()
+	}
+	if got := mo.Stats().Entries; got != 0 {
+		t.Fatalf("entries after aging out = %d, want 0", got)
+	}
+	miss := mo.Stats().Misses
+	mo.Candidates(q, ms)
+	if mo.Stats().Misses == miss {
+		t.Fatal("lookup after eviction should miss and recompute")
+	}
+}

@@ -92,28 +92,48 @@ func (m *MIR) String() string { return m.Label() }
 func Enumerate(queries []*query.Query) []*MIR {
 	byKey := map[string]*MIR{}
 	for _, q := range queries {
-		n := len(q.Relations)
-		// Iterate over all non-empty proper subsets via bitmask; n is small.
-		for mask := 1; mask < (1<<n)-1; mask++ {
-			var rels []string
-			for i := 0; i < n; i++ {
-				if mask&(1<<i) != 0 {
-					rels = append(rels, q.Relations[i])
-				}
-			}
-			set := map[string]bool{}
-			for _, r := range rels {
-				set[r] = true
-			}
-			if !q.Connected(set) {
-				continue
-			}
-			m := New(rels, q.Preds)
+		for _, m := range enumerateQuery(q) {
 			if _, ok := byKey[m.Key()]; !ok {
 				byKey[m.Key()] = m
 			}
 		}
 	}
+	return sortMIRs(byKey)
+}
+
+// enumerateQuery returns every connected proper subset of one query's
+// relations as an MIR. The result is a pure function of the query's
+// relation list and predicate set, which is what makes it memoizable
+// across churn steps.
+func enumerateQuery(q *query.Query) []*MIR {
+	var out []*MIR
+	seen := map[string]bool{}
+	n := len(q.Relations)
+	// Iterate over all non-empty proper subsets via bitmask; n is small.
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var rels []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				rels = append(rels, q.Relations[i])
+			}
+		}
+		set := map[string]bool{}
+		for _, r := range rels {
+			set[r] = true
+		}
+		if !q.Connected(set) {
+			continue
+		}
+		m := New(rels, q.Preds)
+		if !seen[m.Key()] {
+			seen[m.Key()] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sortMIRs(byKey map[string]*MIR) []*MIR {
 	out := make([]*MIR, 0, len(byKey))
 	for _, m := range byKey {
 		out = append(out, m)
@@ -181,25 +201,42 @@ func Candidates(q *query.Query, mirs []*MIR) map[string][]*ProbeOrder {
 	// Usable extension MIRs: strict subsets of q with matching predicates.
 	var usable []*MIR
 	for _, m := range mirs {
-		if m.Size() >= len(q.Relations) {
+		if !usableQuick(q, qset, m) {
 			continue
 		}
-		inside := true
-		for _, r := range m.Rels {
-			if !qset[r] {
-				inside = false
-				break
-			}
-		}
-		if !inside {
-			continue
-		}
-		if New(m.Rels, q.Preds).Key() != m.Key() {
+		if !usableVerdict(q, m) {
 			continue // predicate mismatch: stores a different join
 		}
 		usable = append(usable, m)
 	}
+	return candidatesFromUsable(q, usable)
+}
 
+// usableQuick applies the cheap structural filters: the MIR must be a
+// strict subset of the query's relations.
+func usableQuick(q *query.Query, qset map[string]bool, m *MIR) bool {
+	if m.Size() >= len(q.Relations) {
+		return false
+	}
+	for _, r := range m.Rels {
+		if !qset[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// usableVerdict is the containment check proper: the predicates the MIR
+// materializes must be exactly the query's predicates within its
+// relation set. It is a pure function of (query predicate set, MIR key),
+// which is what the cross-churn memo keys on.
+func usableVerdict(q *query.Query, m *MIR) bool {
+	return New(m.Rels, q.Preds).Key() == m.Key()
+}
+
+// candidatesFromUsable runs Algorithm 1 over an already-filtered usable
+// set.
+func candidatesFromUsable(q *query.Query, usable []*MIR) map[string][]*ProbeOrder {
 	out := map[string][]*ProbeOrder{}
 	for _, start := range q.Relations {
 		base := findBase(usable, start)

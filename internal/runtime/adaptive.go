@@ -2,11 +2,13 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"clash/internal/core"
+	"clash/internal/cost"
 	"clash/internal/query"
 	"clash/internal/stats"
 	"clash/internal/tuple"
@@ -31,6 +33,21 @@ type ControllerConfig struct {
 	// OnDecision, when set, observes every installed configuration
 	// change: the active plans and the plans warming up MIR stores.
 	OnDecision func(epoch int64, plans, warming []*core.Plan)
+	// IncrementalReopt carries optimizer state across re-optimization
+	// steps (core.Reopt): the previous plan seeds branch-and-bound, MIR
+	// containment verdicts and candidate groups are memoized, unchanged
+	// ILP components are answered from cache, and node evaluation runs
+	// on a bounded worker pool — re-planning cost becomes proportional
+	// to the churn delta, not the installed query count.
+	IncrementalReopt bool
+	// MeasuredCosts calibrates the optimizer's cost coefficients from
+	// the engine's runtime counters (requires the engine's
+	// Config.MeasuredCosts): at each epoch boundary the measured
+	// insert/prune cost per tuple, normalized to the probe unit, is
+	// blended into the cost model by EWMA and clamped into [1/8, 8] so
+	// one noisy window cannot capsize plan choice. Shapes never executed
+	// keep the analytic constant 1.
+	MeasuredCosts bool
 	// PressureQueueDepth, when > 0, closes the loop from runtime
 	// pressure back into re-optimization: at each epoch boundary the
 	// controller reads the engine's per-task gauges (metrics.go), and
@@ -63,6 +80,8 @@ type Controller struct {
 	lastSig    string
 	liveSince  map[string]int64 // composite MIR key -> first epoch fed
 	startEpoch int64
+	reopt      *core.Reopt       // nil unless IncrementalReopt
+	coef       cost.Coefficients // calibrated cost coefficients (MeasuredCosts)
 }
 
 // NewController creates a controller over the engine, optimizes the
@@ -79,6 +98,10 @@ func NewController(eng *Engine, cfg ControllerConfig, queries []*query.Query, in
 		est:        initial.Clone(),
 		lastSealed: -1,
 		liveSince:  map[string]int64{},
+		coef:       cost.DefaultCoefficients,
+	}
+	if cfg.IncrementalReopt {
+		c.reopt = core.NewReopt()
 	}
 	for _, q := range queries {
 		c.queries[q.Name] = q
@@ -158,6 +181,55 @@ func (c *Controller) applyPressureLocked(p Pressure, fresh *stats.Estimates) {
 	}
 }
 
+// calibrateLocked blends the engine's measured per-tuple costs into the
+// optimizer coefficients. Probe is the normalization unit (always 1);
+// insert and prune move by EWMA toward their measured ratio, clamped
+// into [1/8, 8]. Shapes never executed measure zero and leave their
+// coefficient untouched (analytic fallback).
+func (c *Controller) calibrateLocked() {
+	obs := c.eng.CostObservations()
+	p := obs.ProbePerTuple()
+	if p <= 0 {
+		return
+	}
+	alpha := c.cfg.BlendAlpha
+	c.coef.Probe = 1
+	c.coef.Insert = cost.BlendCoefficient(c.coef.Insert, obs.InsertPerTuple()/p, alpha, 0.125, 8)
+	c.coef.Prune = cost.BlendCoefficient(c.coef.Prune, obs.PrunePerTuple()/p, alpha, 0.125, 8)
+}
+
+// CostCoefficients returns the currently calibrated coefficients (the
+// analytic defaults until measurements arrive).
+func (c *Controller) CostCoefficients() cost.Coefficients {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coef
+}
+
+// ReoptStats reports the incremental re-optimization cache counters;
+// the zero value when IncrementalReopt is off.
+func (c *Controller) ReoptStats() core.ReoptStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reopt == nil {
+		return core.ReoptStats{}
+	}
+	return c.reopt.Stats()
+}
+
+// parallelSolvers bounds the branch-and-bound worker pool: enough to
+// cover frontier waves without oversubscribing small machines.
+func parallelSolvers() int {
+	n := goruntime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Estimates returns the current blended estimates (read-only).
 func (c *Controller) Estimates() *stats.Estimates {
 	c.mu.Lock()
@@ -190,6 +262,11 @@ func (c *Controller) Tick() error {
 	// Fold runtime pressure into the estimates (overload feedback).
 	if c.cfg.PressureQueueDepth > 0 {
 		c.applyPressureLocked(c.eng.Pressure(), fresh)
+	}
+
+	// Calibrate the cost model from the engine's measured per-tuple work.
+	if c.cfg.MeasuredCosts {
+		c.calibrateLocked()
 	}
 
 	// Window expiry.
@@ -264,9 +341,22 @@ func (c *Controller) reoptimizeLocked(epoch int64) error {
 		qs = append(qs, c.queries[n])
 	}
 
+	if c.reopt != nil {
+		c.reopt.Advance()
+	}
 	optimize := func(elig func(string) bool) ([]*core.Plan, error) {
 		opts := c.cfg.Optimizer.Options()
 		opts.MIREligible = elig
+		if c.reopt != nil {
+			opts.Reopt = c.reopt
+			if opts.Solver.Parallel == 0 {
+				opts.Solver.Parallel = parallelSolvers()
+			}
+		}
+		if c.cfg.MeasuredCosts {
+			coef := c.coef
+			opts.CostCoefficients = &coef
+		}
 		o := core.NewOptimizer(opts)
 		if c.cfg.Shared {
 			p, err := o.Optimize(qs, c.est)

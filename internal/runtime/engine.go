@@ -100,6 +100,14 @@ type Config struct {
 	// attached later with SetJournal — recovery replays a log with the
 	// journal detached so replayed traffic is not re-logged.
 	Journal Journal
+	// MeasuredCosts enables per-task cost instrumentation: tasks count
+	// nanoseconds and tuples spent probing, inserting, and pruning
+	// (through the engine Clock, so the simulation substrate measures
+	// virtual time). Engine.CostObservations aggregates the counters;
+	// the adaptive Controller calibrates the optimizer's cost
+	// coefficients from them. Off by default — the hot path then pays
+	// only a branch per message.
+	MeasuredCosts bool
 	// Supervision tunes the task panic supervisor (supervise.go): every
 	// substrate's task-execution path runs under recover(), panicked
 	// messages are redelivered after exponential backoff, and a task

@@ -49,6 +49,17 @@ type task struct {
 	handled   atomic.Int64
 	busyNanos atomic.Int64
 
+	// Measured-cost counters (Config.MeasuredCosts): nanoseconds and
+	// tuple counts per work shape, read by Engine.CostObservations to
+	// calibrate the optimizer's probe/insert/prune coefficients. Zero
+	// unless measurement is enabled.
+	probeNanos   atomic.Int64
+	probeTuples  atomic.Int64
+	insertNanos  atomic.Int64
+	insertTuples atomic.Int64
+	pruneNanos   atomic.Int64
+	pruneTuples  atomic.Int64
+
 	// Supervisor state (supervise.go). restartStreak counts consecutive
 	// panics and is touched only by the goroutine executing the task;
 	// restarts and failed are the cross-goroutine health gauges.
@@ -157,7 +168,17 @@ func (t *task) handle(msg *message) {
 	if t.planComp != ec.comp {
 		t.setComp(ec.comp)
 	}
+	measure := t.e.cfg.MeasuredCosts
 	for _, rp := range t.edgePlans[msg.edge] {
+		var start int64
+		if measure {
+			start = t.e.clock.Now()
+		}
+		n := 0
+		if msg.t != nil {
+			n = 1
+		}
+		n += len(msg.batch)
 		switch rp.kind {
 		case topology.StoreRule:
 			if msg.t != nil {
@@ -165,6 +186,10 @@ func (t *task) handle(msg *message) {
 			}
 			for _, tp := range msg.batch {
 				t.insert(tp, msg.seq)
+			}
+			if measure && n > 0 {
+				t.insertNanos.Add(t.e.clock.Now() - start)
+				t.insertTuples.Add(int64(n))
 			}
 		case topology.ProbeRule:
 			if t.e.cfg.legacyProbe {
@@ -174,9 +199,13 @@ func (t *task) handle(msg *message) {
 				for _, tp := range msg.batch {
 					t.probeLegacy(tp, msg, rp)
 				}
-				continue
+			} else {
+				t.probeBatched(msg, rp, t.stateFor(rp))
 			}
-			t.probeBatched(msg, rp, t.stateFor(rp))
+			if measure && n > 0 {
+				t.probeNanos.Add(t.e.clock.Now() - start)
+				t.probeTuples.Add(int64(n))
+			}
 		}
 	}
 }
@@ -428,6 +457,10 @@ func (t *task) forward(out []emitStep, msg *message, results []*tuple.Tuple) {
 // backend maintains its indices across the prune (no rebuild on the
 // next probe) and releases emptied epochs entirely.
 func (t *task) prune(cut tuple.Time) {
+	var start int64
+	if t.e.cfg.MeasuredCosts {
+		start = t.e.clock.Now()
+	}
 	// A prune can only touch epochs at or below the cutoff's epoch
 	// (a tuple's epoch is derived from the same timestamp the prune
 	// compares against). Marking them before the prune keeps vanished
@@ -439,6 +472,10 @@ func (t *task) prune(cut tuple.Time) {
 		}
 	}
 	removed, delta, idxDelta := t.state.prune(cut)
+	if t.e.cfg.MeasuredCosts && removed > 0 {
+		t.pruneNanos.Add(t.e.clock.Now() - start)
+		t.pruneTuples.Add(int64(removed))
+	}
 	if removed == 0 && delta == 0 {
 		return
 	}

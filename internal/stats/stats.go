@@ -124,8 +124,23 @@ func Blend(old, new *Estimates, alpha float64) *Estimates {
 	if new == nil {
 		return old.Clone()
 	}
-	out := old.Clone()
-	out.DefaultSel = new.DefaultSel
+	out := NewEstimates(new.DefaultSel)
+	for k, v := range old.Rates {
+		out.Rates[k] = v
+	}
+	for k, v := range old.Sels {
+		out.Sels[k] = v
+	}
+	for k, v := range old.Windows {
+		out.Windows[k] = v
+	}
+	// Degree sketches of relations without a fresh observation are reused
+	// by reference: a sealed sketch is immutable, and re-cloning it every
+	// epoch recomputed estimates for stores untouched by churn (and broke
+	// object-identity caching downstream).
+	for k, v := range old.Degrees {
+		out.Degrees[k] = v
+	}
 	for k, v := range new.Rates {
 		if o, ok := out.Rates[k]; ok {
 			out.Rates[k] = alpha*v + (1-alpha)*o

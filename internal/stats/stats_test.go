@@ -68,6 +68,37 @@ func TestBlend(t *testing.T) {
 	}
 }
 
+// TestBlendReusesUntouchedDegrees is the regression test for estimate
+// recomputation on untouched stores: a relation with no fresh degree
+// observation must keep its *same* sealed sketch object across Blend —
+// re-cloning it every epoch recomputed estimates for stores the churn
+// never touched and defeated object-identity caching downstream.
+func TestBlendReusesUntouchedDegrees(t *testing.T) {
+	old := NewEstimates(0.01)
+	untouched := &AttrDegrees{Count: 100, Distinct: 10}
+	observed := &AttrDegrees{Count: 50, Distinct: 5}
+	old.SetDegree("R.a", untouched)
+	old.SetDegree("S.b", observed)
+
+	nw := NewEstimates(0.01)
+	freshS := &AttrDegrees{Count: 80, Distinct: 8}
+	nw.SetDegree("S.b", freshS)
+
+	out := Blend(old, nw, 0.5)
+	if out.Degree("R.a") != untouched {
+		t.Error("untouched degree sketch was re-created instead of reused")
+	}
+	if out.Degree("S.b") == observed {
+		t.Error("freshly observed attribute kept the stale sketch")
+	}
+	if out.Degree("S.b") == freshS {
+		t.Error("fresh sketch must be cloned, not aliased to the collector's")
+	}
+	if got := out.Degree("S.b").Count; got != 80 {
+		t.Errorf("fresh degree count = %d, want 80", got)
+	}
+}
+
 func TestKMVExactBelowK(t *testing.T) {
 	sk := NewKMV(64)
 	for i := 0; i < 40; i++ {
