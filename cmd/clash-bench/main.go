@@ -75,7 +75,7 @@ func main() {
 		solveTO    = flag.Duration("solve-limit", 20*time.Second, "per-ILP time limit for Fig. 9")
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		seeds      = flag.Int("seeds", 16, "schedule seeds for -fig simsweep")
-		backendF   = flag.String("backend", "container", "state backend for the -fig simsweep runs (container|columnar)")
+		backendF   = flag.String("backend", "container", "state backend for the -fig simsweep runs, and filter for -fig longstate (container|columnar|tiered)")
 		jsonOut    = flag.String("json", "", "write the Fig. 7 series as machine-readable JSON to this file (perf tracking across PRs)")
 		compareTo  = flag.String("compare", "", "baseline Fig. 7 JSON (e.g. BENCH_fig7.json): diff this run against it and exit 1 on regressions")
 		regressPct = flag.Float64("regress-pct", 10, "regression threshold for -compare, in percent")
@@ -96,15 +96,17 @@ func main() {
 	// A comparison run must reproduce the baseline's workload: adopt its
 	// recorded scale factor and seed unless explicitly overridden.
 	var baseline []fig7Series
+	var baselineLong []bench.LongStateResult
 	var baselineSkew []bench.SkewResult
 	var baselineCluster []bench.ClusterBenchResult
 	var baselineChurn []bench.ChurnResult
 	if *compareTo != "" {
-		bsf, bseed, series, skew, clusterRows, churnRows, err := readFig7JSON(*compareTo)
+		bsf, bseed, series, longstate, skew, clusterRows, churnRows, err := readFig7JSON(*compareTo)
 		if err != nil {
 			log.Fatal(err)
 		}
 		baseline = series
+		baselineLong = longstate
 		baselineSkew = skew
 		baselineCluster = clusterRows
 		baselineChurn = churnRows
@@ -128,8 +130,15 @@ func main() {
 	if want("7b") || want("7c") || want("7d") || *fig == "7" || *compareTo != "" {
 		series = runFig7(*sf, *quick, *seed)
 	}
-	if want("longstate") {
-		longstate = runLongState(*quick, *seed)
+	// A longstate baseline forces the longstate run: the gate compares
+	// per-backend ns/op and the tiered backend's absolute invariants.
+	// An explicit -backend narrows the shoot-out to that backend.
+	if want("longstate") || len(baselineLong) > 0 {
+		var only []bench.StateBackendKind
+		if flagWasSet("backend") {
+			only = []bench.StateBackendKind{backend}
+		}
+		longstate = runLongState(*quick, *seed, only...)
 	}
 	// The skew scenario runs at full scale regardless of -quick: its
 	// result counts and imbalance are deterministic in (seed, tuples),
@@ -169,6 +178,9 @@ func main() {
 	}
 	if *compareTo != "" {
 		ok := compareFig7(*compareTo, baseline, series, *regressPct/100)
+		if len(baselineLong) > 0 && !compareLongState(baselineLong, longstate, *regressPct/100) {
+			ok = false
+		}
 		if len(baselineSkew) > 0 && !compareSkew(baselineSkew, skewRows, *regressPct/100) {
 			ok = false
 		}
@@ -329,18 +341,18 @@ func runOverload(quick bool, seed uint64) {
 	fmt.Println()
 }
 
-// runLongState drives the state-backend shoot-out (DESIGN.md §10) on
-// both backends and dies on a vacuous or inconclusive stage (an
-// EvictFail run that survives its budget, a survivor that never
-// evicts).
-func runLongState(quick bool, seed uint64) []bench.LongStateResult {
+// runLongState drives the state-backend shoot-out (DESIGN.md §10,
+// §15) on every backend — or only the ones named — and dies on a
+// vacuous or inconclusive stage (an EvictFail run that survives its
+// budget, a survivor that never evicts, a tiered run that sheds).
+func runLongState(quick bool, seed uint64, only ...bench.StateBackendKind) []bench.LongStateResult {
 	cfg := bench.LongStateConfig{Seed: seed}
 	if quick {
 		cfg.Tuples = 6000
 		cfg.PruneWindow = 1024
 	}
 	fmt.Println("=== Long state — state-backend shoot-out (probe / prune / eviction) ===")
-	results, err := bench.LongState(cfg)
+	results, err := bench.LongState(cfg, only...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -421,23 +433,24 @@ func runChaos(seeds int, quick bool, seed uint64) {
 }
 
 // readFig7JSON loads a baseline written by -json.
-func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, churnRows []bench.ChurnResult, err error) {
+func readFig7JSON(path string) (sf float64, seed uint64, series []fig7Series, longstate []bench.LongStateResult, skew []bench.SkewResult, clusterRows []bench.ClusterBenchResult, churnRows []bench.ChurnResult, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, nil, nil, nil, err
+		return 0, 0, nil, nil, nil, nil, nil, err
 	}
 	var doc struct {
-		SF      float64                    `json:"sf"`
-		Seed    uint64                     `json:"seed"`
-		Series  []fig7Series               `json:"series"`
-		Skew    []bench.SkewResult         `json:"skew"`
-		Cluster []bench.ClusterBenchResult `json:"cluster"`
-		Churn   []bench.ChurnResult        `json:"churn"`
+		SF        float64                    `json:"sf"`
+		Seed      uint64                     `json:"seed"`
+		Series    []fig7Series               `json:"series"`
+		LongState []bench.LongStateResult    `json:"longstate"`
+		Skew      []bench.SkewResult         `json:"skew"`
+		Cluster   []bench.ClusterBenchResult `json:"cluster"`
+		Churn     []bench.ChurnResult        `json:"churn"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, 0, nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return 0, 0, nil, nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return doc.SF, doc.Seed, doc.Series, doc.Skew, doc.Cluster, doc.Churn, nil
+	return doc.SF, doc.Seed, doc.Series, doc.LongState, doc.Skew, doc.Cluster, doc.Churn, nil
 }
 
 // runChurn drives the incremental re-optimization sweep; the bench
@@ -548,6 +561,87 @@ func compareCluster(baseline, current []bench.ClusterBenchResult, threshold floa
 		return false
 	}
 	fmt.Println("cluster: no regressions")
+	return true
+}
+
+// flagWasSet reports whether the named flag was passed explicitly on
+// the command line (as opposed to sitting at its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// compareLongState gates the state-backend shoot-out against the
+// baseline. Alloc counts are deterministic and must not grow; probe,
+// prune, and cold-probe ns/op may not regress beyond the threshold.
+// The tiered backend's lossless invariants — zero evictions in both
+// the eviction stage and the 10×-window stage — are gated absolutely,
+// regardless of what the baseline recorded.
+func compareLongState(baseline, current []bench.LongStateResult, threshold float64) bool {
+	baseOf := map[string]bench.LongStateResult{}
+	for _, r := range baseline {
+		baseOf[r.Backend] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range current {
+		if r.Backend == "tiered" {
+			if r.EvictedEpochs != 0 || r.EvictedTuples != 0 {
+				regressions++
+				fmt.Printf("REGRESSION  longstate tiered evicted %d epochs / %d tuples — must demote, never shed\n", r.EvictedEpochs, r.EvictedTuples)
+			}
+			if r.Tiered != nil && r.Tiered.EvictedTuples != 0 {
+				regressions++
+				fmt.Printf("REGRESSION  longstate tiered 10x stage evicted %d tuples\n", r.Tiered.EvictedTuples)
+			}
+		}
+		b, ok := baseOf[r.Backend]
+		if !ok {
+			fmt.Printf("(no longstate baseline for backend %s — skipped)\n", r.Backend)
+			continue
+		}
+		compared++
+		if r.ProbeAllocsOp > b.ProbeAllocsOp {
+			regressions++
+			fmt.Printf("REGRESSION  longstate %-9s probe allocs/op %d -> %d\n", r.Backend, b.ProbeAllocsOp, r.ProbeAllocsOp)
+		}
+		if r.PruneAllocsOp > b.PruneAllocsOp {
+			regressions++
+			fmt.Printf("REGRESSION  longstate %-9s prune allocs/op %d -> %d\n", r.Backend, b.PruneAllocsOp, r.PruneAllocsOp)
+		}
+		if b.ProbeNsOp > 0 {
+			if d := float64(r.ProbeNsOp-b.ProbeNsOp) / float64(b.ProbeNsOp); d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  longstate %-9s probe ns/op %+.1f%%\n", r.Backend, d*100)
+			}
+		}
+		if b.PruneNsOp > 0 {
+			if d := float64(r.PruneNsOp-b.PruneNsOp) / float64(b.PruneNsOp); d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  longstate %-9s prune ns/op %+.1f%%\n", r.Backend, d*100)
+			}
+		}
+		if b.Tiered != nil && r.Tiered != nil && b.Tiered.ColdProbeNsOp > 0 {
+			if d := float64(r.Tiered.ColdProbeNsOp-b.Tiered.ColdProbeNsOp) / float64(b.Tiered.ColdProbeNsOp); d > threshold {
+				regressions++
+				fmt.Printf("REGRESSION  longstate tiered cold probe ns/op %+.1f%%\n", d*100)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("GATE FAILURE: baseline has a longstate section but no backend matched the current run")
+		return false
+	}
+	if regressions > 0 {
+		fmt.Printf("%d longstate regression(s)\n", regressions)
+		return false
+	}
+	fmt.Println("longstate: no regressions")
 	return true
 }
 

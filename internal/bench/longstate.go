@@ -95,9 +95,33 @@ type LongStateResult struct {
 	// Eviction stage (budget = StateBytes/3 of this backend's build).
 	FailDiedAt    int   `json:"fail_died_at"`   // tuple index where EvictFail hit ErrMemoryLimit (-1: never — a failure)
 	EvictSurvived bool  `json:"evict_survived"` // EvictOldestEpoch finished the same stream
-	EvictedEpochs int64 `json:"evicted_epochs"` // epochs shed at the budget
+	EvictedEpochs int64 `json:"evicted_epochs"` // epochs shed at the budget (tiered: must stay 0 — it demotes instead)
 	EvictedTuples int64 `json:"evicted_tuples"` //
 	EvictResults  int64 `json:"evict_results"`  // results the surviving run still produced
+	DemotedEpochs int64 `json:"demoted_epochs,omitempty"` // tiered eviction stage: epochs spilled instead of shed
+
+	// Tiered stage (tiered backend only): a 10× window under a hot
+	// budget sized from the 1× resident footprint — a store no
+	// in-memory backend survives on that budget.
+	Tiered *TieredStageResult `json:"tiered,omitempty"`
+}
+
+// TieredStageResult is the 10×-window tiered run tracked in
+// BENCH_fig7.json: the resident/spilled split, the tier traffic, and
+// the cold-probe cost. EvictedTuples is gated at exactly zero — the
+// whole point of the tier is surviving the budget without touching the
+// answer.
+type TieredStageResult struct {
+	WindowTuples   int64 `json:"window_tuples"`    // stored tuples (10× the probe stage)
+	HotBudget      int64 `json:"hot_budget"`       // Config.StateHotBytes for the run
+	ResidentBytes  int64 `json:"resident_bytes"`   // accounted resident bytes after the run
+	SpilledBytes   int64 `json:"spilled_bytes"`    // live cold payload on disk
+	DemotedEpochs  int64 `json:"demoted_epochs"`   //
+	PromotedEpochs int64 `json:"promoted_epochs"`  //
+	ColdProbeNsOp  int64 `json:"cold_probe_ns_op"` // skewed probe against the mostly-cold store
+	ColdHits       int64 `json:"cold_hits"`        // cold probes that consulted disk
+	ColdMisses     int64 `json:"cold_misses"`      // cold probes dismissed by cut/Bloom
+	EvictedTuples  int64 `json:"evicted_tuples"`   // gated absolutely at 0
 }
 
 // StateBackendKind re-exports the runtime's backend selector so
@@ -111,8 +135,10 @@ func ParseBackend(name string) (runtime.StateBackendKind, error) {
 		return runtime.BackendContainer, nil
 	case "columnar":
 		return runtime.BackendColumnar, nil
+	case "tiered":
+		return runtime.BackendTiered, nil
 	}
-	return 0, fmt.Errorf("bench: unknown state backend %q (container|columnar)", name)
+	return 0, fmt.Errorf("bench: unknown state backend %q (container|columnar|tiered)", name)
 }
 
 // longStateTopo compiles the two-way join deployed in every stage.
@@ -152,12 +178,17 @@ func heapInUse() int64 {
 	return int64(ms.HeapAlloc)
 }
 
-// LongState runs all three stages on both backends and reports one
-// result per backend, container first (the baseline).
-func LongState(cfg LongStateConfig) ([]LongStateResult, error) {
+// LongState runs all stages on every backend — or only the backends
+// named in only — and reports one result per backend, container first
+// (the baseline) when running the full set.
+func LongState(cfg LongStateConfig, only ...runtime.StateBackendKind) ([]LongStateResult, error) {
 	cfg.fill()
+	backends := only
+	if len(backends) == 0 {
+		backends = []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar, runtime.BackendTiered}
+	}
 	var out []LongStateResult
-	for _, backend := range []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar} {
+	for _, backend := range backends {
 		r, err := longStateBackend(backend, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: longstate %v: %w", backend, err)
@@ -247,7 +278,16 @@ func longStateBackend(backend runtime.StateBackendKind, cfg LongStateConfig) (Lo
 	}
 
 	// ---- Eviction stage: budget from the measured resident bytes.
-	return res, res.evictStage(backend, cfg, res.StateBytes/3)
+	if err := res.evictStage(backend, cfg, res.StateBytes/3); err != nil {
+		return res, err
+	}
+
+	// ---- Tiered stage (tiered only): 10× the window under a hot
+	// budget equal to the 1× resident footprint measured above.
+	if backend == runtime.BackendTiered {
+		return res, res.tieredStage(cfg, res.StateBytes)
+	}
+	return res, nil
 }
 
 func (res *LongStateResult) pruneStage(backend runtime.StateBackendKind, cfg LongStateConfig) error {
@@ -374,8 +414,105 @@ func (res *LongStateResult) evictStage(backend runtime.StateBackendKind, cfg Lon
 	m := eng.Metrics().Snapshot()
 	res.EvictSurvived = true
 	res.EvictedEpochs, res.EvictedTuples = m.EvictedEpochs, m.EvictedTuples
-	if res.EvictedEpochs == 0 {
+	res.DemotedEpochs = m.DemotedEpochs
+	if backend == runtime.BackendTiered {
+		// Demote-first: the tier honors the budget by spilling; any
+		// eviction would have changed the answer.
+		if res.EvictedEpochs != 0 || res.EvictedTuples != 0 {
+			return fmt.Errorf("tiered backend evicted %d epochs / %d tuples instead of demoting",
+				res.EvictedEpochs, res.EvictedTuples)
+		}
+		if res.DemotedEpochs == 0 {
+			return fmt.Errorf("tiered backend survived the budget without demoting — scenario too weak")
+		}
+	} else if res.EvictedEpochs == 0 {
 		return fmt.Errorf("EvictOldestEpoch survived without evicting — scenario too weak")
+	}
+	return nil
+}
+
+// tieredStage grows the store to 10× the probe stage's span under
+// StateHotBytes equal to the 1× resident footprint — a budget both
+// in-memory backends demonstrably cannot hold this stream in (the
+// eviction stage killed them at a third of it) — then probes the
+// mostly-cold store with the same skewed mix. Nothing may be evicted:
+// the overflow lives on disk and every probe still sees the full
+// window.
+func (res *LongStateResult) tieredStage(cfg LongStateConfig, budget int64) error {
+	_, cat, topo, err := longStateTopo(1)
+	if err != nil {
+		return err
+	}
+	tuples := 10 * cfg.Tuples
+	eng := runtime.New(runtime.Config{
+		Catalog:       cat,
+		Synchronous:   true,
+		StateBackend:  runtime.BackendTiered,
+		DefaultWindow: time.Duration(4 * tuples),
+		EpochLength:   cfg.EpochLength,
+		StateHotBytes: budget,
+	})
+	defer eng.Stop()
+	var results int64
+	eng.OnResult("q1", func(*tuple.Tuple) { results++ })
+	if err := eng.Install(topo, 0); err != nil {
+		return err
+	}
+	r := rng.New(cfg.Seed + 4)
+	ts := tuple.Time(0)
+	for i := 0; i < tuples; i++ {
+		ts++
+		if err := eng.Ingest("R", ts, tuple.IntValue(cfg.key(r))); err != nil {
+			return err
+		}
+	}
+	eng.Drain()
+	st := &TieredStageResult{HotBudget: budget}
+	m := eng.Metrics().Snapshot()
+	st.WindowTuples, st.DemotedEpochs = m.Stored, m.DemotedEpochs
+	if st.DemotedEpochs == 0 {
+		return fmt.Errorf("tiered stage demoted nothing under a %d-byte hot budget — vacuous", budget)
+	}
+
+	// Skewed probes against the mostly-cold store: misses are dismissed
+	// by the stubs' Bloom filters; hits read cold epochs through and
+	// swing them hot and back (the reused frames make the swing cheap).
+	probeTS := ts
+	miss := cfg.Keys * 4
+	br := testing.Benchmark(func(b *testing.B) {
+		pr := rng.New(cfg.Seed + 5)
+		for i := 0; i < b.N; i++ {
+			k := miss + pr.Int64n(cfg.Keys)
+			if pr.Intn(8) == 0 {
+				k = cfg.key(pr)
+			}
+			if err := eng.Ingest("S", probeTS, tuple.IntValue(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st.ColdProbeNsOp = br.NsPerOp()
+
+	m = eng.Metrics().Snapshot()
+	st.ResidentBytes = m.StoreBytes
+	st.SpilledBytes = m.SpilledBytes
+	st.DemotedEpochs, st.PromotedEpochs = m.DemotedEpochs, m.PromotedEpochs
+	st.ColdHits, st.ColdMisses = m.ColdProbeHits, m.ColdProbeMisses
+	st.EvictedTuples = m.EvictedTuples
+	res.Tiered = st
+	if st.EvictedTuples != 0 {
+		return fmt.Errorf("tiered stage evicted %d tuples — the tier must absorb the overflow losslessly", st.EvictedTuples)
+	}
+	if st.SpilledBytes == 0 {
+		return fmt.Errorf("tiered stage holds nothing on disk — vacuous")
+	}
+	// Resident state must track the budget, with slack for the hot tail
+	// (the newest epoch never demotes) and the cold stubs.
+	if st.ResidentBytes > 2*budget {
+		return fmt.Errorf("tiered stage resident bytes %d far exceed the %d hot budget", st.ResidentBytes, budget)
+	}
+	if results == 0 {
+		return fmt.Errorf("tiered stage produced no results — vacuous")
 	}
 	return nil
 }
@@ -392,8 +529,18 @@ func FormatLongState(results []LongStateResult) string {
 			r.ProbeNsOp, r.ProbeAllocsOp, r.PruneNsOp, r.PruneAllocsOp)
 	}
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-10s eviction: EvictFail died at tuple %d; EvictOldestEpoch survived=%v shed %d epochs / %d tuples, %d results\n",
-			r.Backend, r.FailDiedAt, r.EvictSurvived, r.EvictedEpochs, r.EvictedTuples, r.EvictResults)
+		fmt.Fprintf(&b, "%-10s eviction: EvictFail died at tuple %d; EvictOldestEpoch survived=%v shed %d epochs / %d tuples (demoted %d), %d results\n",
+			r.Backend, r.FailDiedAt, r.EvictSurvived, r.EvictedEpochs, r.EvictedTuples, r.DemotedEpochs, r.EvictResults)
+	}
+	for _, r := range results {
+		if r.Tiered == nil {
+			continue
+		}
+		st := r.Tiered
+		fmt.Fprintf(&b, "%-10s 10x window: %d tuples under %.2f MiB hot budget — resident %.2f MiB, spilled %.2f MiB, demoted %d / promoted %d epochs, cold probe %d ns (%d hits / %d misses), evicted %d\n",
+			r.Backend, st.WindowTuples, float64(st.HotBudget)/(1<<20),
+			float64(st.ResidentBytes)/(1<<20), float64(st.SpilledBytes)/(1<<20),
+			st.DemotedEpochs, st.PromotedEpochs, st.ColdProbeNsOp, st.ColdHits, st.ColdMisses, st.EvictedTuples)
 	}
 	return b.String()
 }

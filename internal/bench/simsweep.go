@@ -135,6 +135,12 @@ func SimSweep(cfg SimSweepConfig) (SimSweepResult, error) {
 		trace := &sim.Trace{}
 		simCfg := runtime.Config{Substrate: runtime.SubstrateSim, StepMode: true,
 			StateBackend: cfg.Backend, Sim: runtime.SimConfig{Seed: uint64(seed)}}
+		// A tiered run with no hot budget never demotes; force real
+		// tiering so the oracle comparison covers spill/promote paths.
+		if cfg.Backend == runtime.BackendTiered {
+			simCfg.EpochLength = 64 * time.Second
+			simCfg.StateHotBytes = 32 << 10
+		}
 		got, _, err := run(simCfg, trace.Hook())
 		if err != nil {
 			return res, fmt.Errorf("bench: seed %d: %w", seed, err)
@@ -179,6 +185,10 @@ func SimSweep(cfg SimSweepConfig) (SimSweepResult, error) {
 			sim.SourceHiccup{At: 100, Hold: 120},
 			sim.TaskStall{Part: -1, Every: 3, Until: 600},
 		},
+	}
+	if cfg.Backend == runtime.BackendTiered {
+		fault.EpochLength = 8
+		fault.StateHotBytes = 4 << 10
 	}
 	fres, err := fault.Run()
 	if err != nil {

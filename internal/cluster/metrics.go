@@ -13,8 +13,14 @@ type ShardMetrics struct {
 	Results    int64
 	QueueDepth int64 // queued messages at read time
 	Stored     int64
-	StateBytes int64
+	StateBytes int64 // resident (hot) state incl. index overhead
 	Shed       int64
+	// Tiered-backend tiering counters (zero on in-memory backends):
+	// SpilledBytes is live cold-segment payload on disk — NOT part of
+	// StateBytes, which gauges resident memory only.
+	SpilledBytes  int64
+	DemotedEpochs int64
+	ColdHits      int64 // cold-epoch probe visits that consulted disk
 }
 
 // Metrics is the cluster-level aggregate.
@@ -24,6 +30,9 @@ type Metrics struct {
 	ReplicaTuples  int64 // extra placements beyond one per admitted tuple
 	AdmissionDrops int64
 	Results        int64
+	// SpilledBytes is the cluster-wide live cold state on disk across
+	// all shards' tiered backends.
+	SpilledBytes int64
 	// Imbalance is max/mean routed tuples per shard (1.0 = perfectly
 	// even; 0 before any routing).
 	Imbalance float64
@@ -55,9 +64,14 @@ func (c *Cluster) Metrics() Metrics {
 			Stored:     snap.Stored,
 			StateBytes: snap.StoreBytes + snap.IndexBytes,
 			Shed:       snap.ShedTuples,
+
+			SpilledBytes:  snap.SpilledBytes,
+			DemotedEpochs: snap.DemotedEpochs,
+			ColdHits:      snap.ColdProbeHits,
 		}
 		m.Shards = append(m.Shards, sm)
 		m.Results += sm.Results
+		m.SpilledBytes += sm.SpilledBytes
 		sum += sm.Routed
 		if sm.Routed > max {
 			max = sm.Routed

@@ -386,4 +386,5 @@ func (t *task) handleRun(run []message, plans []*rulePlan) {
 	}
 	clear(pbs)
 	t.pbRun = pbs[:0]
+	t.maintainTier()
 }

@@ -49,6 +49,18 @@ type Config struct {
 	// exceeded: fail the engine (EvictFail, the default) or shed whole
 	// epochs oldest-first with counted drops (EvictOldestEpoch).
 	StatePolicy StatePolicy
+	// StateHotBytes bounds the resident (in-memory) portion of
+	// materialized state on the tiered backend (0 = unlimited): above
+	// it, tasks demote their coldest whole epochs to the on-disk spill
+	// store (tiered.go) instead of evicting them. Demotion moves bytes,
+	// never tuples — results are unaffected. Ignored by the in-memory
+	// backends.
+	StateHotBytes int64
+	// StateSpillDir is where the tiered backend places its per-task
+	// spill files (default: the OS temp directory). Files are unlinked
+	// at creation where the platform allows, so crashed engines leak
+	// nothing.
+	StateSpillDir string
 	// StepMode drains the topology after every ingested tuple, giving
 	// deterministic symmetric-join semantics for correctness tests.
 	StepMode bool
@@ -229,6 +241,7 @@ type Engine struct {
 	failure     atomic.Value // error
 	stopped     atomic.Bool
 	stopDone    chan struct{} // closed when the winning Stop finishes
+	closeErr    error         // first backend-teardown failure; written by the winning Stop before stopDone closes
 	jrnl        atomic.Pointer[journalBox]
 }
 
@@ -1099,15 +1112,32 @@ func (e *Engine) Stop() {
 	}
 	e.mu.Unlock()
 	e.sub.stop()
+	// Release backend-held OS resources (the tiered backend's mmap'd
+	// spill files: munmap, fsync, truncate, close). The substrate has
+	// stopped, so no task executes and its backend is safe to touch
+	// from here; the first failure surfaces through Close. The
+	// closeErr write is published to concurrent Stop/Close callers by
+	// the stopDone close below.
+	e.mu.RLock()
+	for _, t := range e.tasks {
+		if bc, ok := t.state.(backendCloser); ok {
+			if err := bc.closeBackend(); err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
+		}
+	}
+	e.mu.RUnlock()
 	close(e.stopDone)
 }
 
-// Close stops the engine. It exists so an Engine satisfies io.Closer
-// in teardown paths and is, like Stop, idempotent and safe to call
-// concurrently (and after Stop).
+// Close stops the engine and reports the first backend-teardown
+// failure (a spill file that would not sync/close). It exists so an
+// Engine satisfies io.Closer in teardown paths and is, like Stop,
+// idempotent and safe to call concurrently (and after Stop): every
+// caller returns the same error.
 func (e *Engine) Close() error {
 	e.Stop()
-	return nil
+	return e.closeErr
 }
 
 // StoreSizes returns per-store materialized tuple counts, for memory

@@ -28,6 +28,17 @@ type Metrics struct {
 	evictedTuples atomic.Int64 // tuples those epochs carried
 	retiredTuples atomic.Int64 // tuples released by store retirement
 
+	// Tiered-state counters (BackendTiered, tiered.go). spilledBytes is
+	// a gauge of live on-disk segment payload; the epoch counters are
+	// cumulative tier transitions; the cold-probe counters split probes
+	// that survived a cold stub's filters by whether the read-through
+	// found candidates.
+	spilledBytes    atomic.Int64
+	demotedEpochs   atomic.Int64
+	promotedEpochs  atomic.Int64
+	coldProbeHits   atomic.Int64
+	coldProbeMisses atomic.Int64
+
 	// Supervisor counters (supervise.go): panics recovered on the
 	// task-execution path, and how many of those led to a supervised
 	// restart (the rest exhausted the budget and failed the engine).
@@ -129,7 +140,17 @@ type Snapshot struct {
 	EvictedEpochs int64
 	EvictedTuples int64
 	RetiredTuples int64
-	Results       int64
+	// Tiered-state observability (BackendTiered): SpilledBytes gauges
+	// live on-disk segment payload, DemotedEpochs/PromotedEpochs count
+	// tier transitions, and ColdProbeHits/ColdProbeMisses split probes
+	// that reached a cold segment's data by whether they found
+	// candidates — tiering is observable, not inferred.
+	SpilledBytes    int64
+	DemotedEpochs   int64
+	PromotedEpochs  int64
+	ColdProbeHits   int64
+	ColdProbeMisses int64
+	Results         int64
 	ByQuery       map[string]int64
 	AvgLatency    time.Duration
 	MaxLatency    time.Duration
@@ -179,6 +200,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		EvictedEpochs:   m.evictedEpochs.Load(),
 		EvictedTuples:   m.evictedTuples.Load(),
 		RetiredTuples:   m.retiredTuples.Load(),
+		SpilledBytes:    m.spilledBytes.Load(),
+		DemotedEpochs:   m.demotedEpochs.Load(),
+		PromotedEpochs:  m.promotedEpochs.Load(),
+		ColdProbeHits:   m.coldProbeHits.Load(),
+		ColdProbeMisses: m.coldProbeMisses.Load(),
 		Results:         m.results.Load(),
 		ByQuery:         byQ,
 		AvgLatency:      avg,
@@ -220,7 +246,11 @@ type TaskGauge struct {
 	Stored     int64  // tuples materialized in the task
 	StateBytes int64  // resident state bytes incl. index overhead
 	IndexBytes int64  // index-overhead portion of StateBytes
-	Backend    string // state backend serving this task
+	// SpilledBytes is the task's live on-disk segment payload (tiered
+	// backend only; zero elsewhere) — NOT part of StateBytes, which
+	// gauges resident memory.
+	SpilledBytes int64
+	Backend      string // state backend serving this task
 	Handled    int64  // messages handled since spawn
 	BusyNanos  int64  // time spent handling batches (async substrates)
 	Restarts   int64  // supervised restarts after recovered panics
@@ -245,14 +275,19 @@ func (e *Engine) TaskGauges() []TaskGauge {
 		if t.mailbox != nil {
 			depth = t.mailbox.depth()
 		}
+		var spilled int64
+		if tb, ok := t.state.(tieredBackend); ok {
+			spilled = tb.spilledBytes()
+		}
 		out = append(out, TaskGauge{
-			Store:      k.store,
-			Part:       k.part,
-			QueueDepth: depth,
-			Stored:     t.storedCount.Load(),
-			StateBytes: t.stateBytes.Load(),
-			IndexBytes: t.stateIdxBytes.Load(),
-			Backend:    e.cfg.StateBackend.String(),
+			Store:        k.store,
+			Part:         k.part,
+			QueueDepth:   depth,
+			Stored:       t.storedCount.Load(),
+			StateBytes:   t.stateBytes.Load(),
+			IndexBytes:   t.stateIdxBytes.Load(),
+			SpilledBytes: spilled,
+			Backend:      e.cfg.StateBackend.String(),
 			Handled:      t.handled.Load(),
 			BusyNanos:    t.busyNanos.Load(),
 			Restarts:     t.restarts.Load(),

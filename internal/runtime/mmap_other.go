@@ -1,0 +1,13 @@
+//go:build !unix
+
+package runtime
+
+import "os"
+
+// Non-unix fallback: no mapping is ever established, so spillStore
+// reads always take the pread path. Same semantics, different syscall.
+type mmapRegion struct{}
+
+func (m *mmapRegion) slice(f *os.File, fileSize, off, n int64) []byte { return nil }
+
+func (m *mmapRegion) drop() {}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package runtime
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapRegion is a lazily (re)established read-only mapping of a spill
+// file's prefix. The spill file is append-only between resets, so a
+// mapping taken at size S stays valid for every segment that lies
+// wholly below S; when the file grows past the mapped prefix the
+// region is remapped. Callers bounds-check against the *current* file
+// size before slicing — pages past EOF are SIGBUS, not EOF errors.
+type mmapRegion struct {
+	data []byte
+}
+
+// slice returns file bytes [off, off+n) through the mapping, or nil if
+// the region cannot serve the request (mmap failure → caller falls
+// back to pread). fileSize is the caller's fstat'd size; off+n ≤
+// fileSize is already verified.
+func (m *mmapRegion) slice(f *os.File, fileSize, off, n int64) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	if off+n > int64(len(m.data)) {
+		m.drop()
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(fileSize), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err != nil {
+			return nil
+		}
+		m.data = data
+	}
+	return m.data[off : off+n]
+}
+
+// drop releases the mapping. Safe to call repeatedly.
+func (m *mmapRegion) drop() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

@@ -102,10 +102,23 @@ func TestCompiledPlanEquivalenceTPCH(t *testing.T) {
 		"sim":         {Catalog: cat, Substrate: SubstrateSim, StepMode: true, Sim: SimConfig{Seed: 7}},
 	}
 	for subName, base := range substrates {
-		for _, backend := range []StateBackendKind{BackendContainer, BackendColumnar} {
+		for _, backend := range backendKinds() {
 			name := fmt.Sprintf("compiled-%s-%s", subName, backend)
 			cfg := base
 			cfg.StateBackend = backend
+			if backend == BackendTiered {
+				// The tight hot budget makes most probes read through
+				// to cold epochs — the point of the arm, but an order
+				// of magnitude slower under the race detector, so the
+				// -short race run trims it (tiering is single-task
+				// work; its concurrency surface is covered by the
+				// tiered Stop/Close and checkpoint tests).
+				if testing.Short() {
+					continue
+				}
+				cfg.EpochLength = 48
+				cfg.StateHotBytes = 32 << 10
+			}
 			compiled := runWorkload(t, cfg, topo, queries, records)
 			for _, q := range queries {
 				c, l := compiled[q.Name], legacy[q.Name]
@@ -231,11 +244,13 @@ func TestProbeAllocs(t *testing.T) {
 
 // TestBatchProbeAllocs pins the batched probe path under a multi-tuple
 // probe message: 16 probes scanned in one backend pass must stay at
-// amortized ≤1 allocation per probe on both backends — the whole point
+// amortized ≤1 allocation per probe on every backend — the whole point
 // of the selection-vector design is that batching adds no per-probe
-// allocation on top of the scalar budget.
+// allocation on top of the scalar budget. The tiered backend runs with
+// an empty cold tier: its hot path is the columnar path plus a cold
+// check that must not allocate.
 func TestBatchProbeAllocs(t *testing.T) {
-	for _, backend := range []StateBackendKind{BackendContainer, BackendColumnar} {
+	for _, backend := range backendKinds() {
 		t.Run(fmt.Sprint(backend), func(t *testing.T) {
 			tk, rp, st, probe, msg := probeFixture(t, 8, backend)
 			const nProbes = 16

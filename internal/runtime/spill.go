@@ -1,0 +1,301 @@
+package runtime
+
+// On-disk segment store for the tiered state backend (tiered.go,
+// DESIGN.md §15). Demoted epochs are appended to a per-task spill file
+// as CRC-framed segments; the frame layout is the recovery WAL's
+// (uvarint length ‖ crc32c ‖ payload, hash/crc32 Castagnoli) and the
+// payload is the checkpoint entry codec (schema table followed by
+// (schemaID, seq, tuple) entries in storage order) — one wire format
+// for everything that serializes materialized state, not a second one.
+//
+// The file is append-only and tombstone-pruned: expired segments are
+// simply forgotten (their stubs dropped); bytes are reclaimed only by
+// clear()/close(), never by rewriting — prune of cold state is O(1).
+// Reads go through a lazily refreshed read-only mmap of the file
+// prefix (mmap_unix.go) with a pread fallback, and every read
+// re-verifies the segment CRC: a truncated or corrupt spill file
+// surfaces a wrapped ErrCorruptSnapshot through the backend's failure
+// hook, never a panic and never silently wrong results.
+//
+// The spill file is NOT a durability source. Checkpoints and the WAL
+// are: recovery always builds a fresh engine with a fresh (empty)
+// spill file and re-materializes state from the checkpoint chain, so a
+// crash at any point of a demotion can neither lose nor duplicate an
+// epoch. The file is created unlinked where the OS allows it — an
+// abandoned (crashed) engine leaks no on-disk garbage.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"clash/internal/tuple"
+)
+
+var spillCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// spillStore is one task's append-only segment file. Like the backend
+// that owns it, it is confined to the task's execution context; only
+// close is called from the engine's shutdown path, after quiescence.
+type spillStore struct {
+	dir  string
+	f    *os.File
+	path string // non-empty only while a named file exists on disk
+	size int64  // append offset
+	live int64  // payload bytes of live (non-tombstoned) segments
+	mm   mmapRegion
+	done bool
+}
+
+func newSpillStore(dir string) *spillStore {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &spillStore{dir: dir}
+}
+
+// open creates the spill file on first demotion. The file is unlinked
+// immediately where the platform allows it: the fd keeps it alive, and
+// a crashed (abandoned) engine leaves nothing behind.
+func (sp *spillStore) open() error {
+	if sp.f != nil {
+		return nil
+	}
+	if sp.done {
+		return fmt.Errorf("runtime: spill store is closed")
+	}
+	f, err := os.CreateTemp(sp.dir, "clash-spill-*.seg")
+	if err != nil {
+		return fmt.Errorf("runtime: create spill file: %w", err)
+	}
+	sp.f = f
+	sp.path = f.Name()
+	if os.Remove(sp.path) == nil {
+		sp.path = ""
+	}
+	return nil
+}
+
+// append frames the payload (WAL frame layout) and appends it to the
+// file, returning the payload's offset and CRC.
+func (sp *spillStore) append(payload []byte) (off int64, crc uint32, err error) {
+	if err := sp.open(); err != nil {
+		return 0, 0, err
+	}
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	crc = crc32.Checksum(payload, spillCRC)
+	binary.LittleEndian.PutUint32(hdr[n:], crc)
+	if _, err := sp.f.WriteAt(hdr[:n+4], sp.size); err != nil {
+		return 0, 0, fmt.Errorf("runtime: spill append: %w", err)
+	}
+	off = sp.size + int64(n) + 4
+	if _, err := sp.f.WriteAt(payload, off); err != nil {
+		return 0, 0, fmt.Errorf("runtime: spill append: %w", err)
+	}
+	sp.size = off + int64(len(payload))
+	sp.live += int64(len(payload))
+	return off, crc, nil
+}
+
+// read returns the payload at [off, off+n), CRC-verified. The returned
+// slice may alias the mmap and is only valid until the next store
+// operation — decode immediately (the tuple codec copies).
+func (sp *spillStore) read(off, n int64, crc uint32) ([]byte, error) {
+	if sp.f == nil {
+		return nil, corruptSnapshot("spill read from absent file")
+	}
+	fi, err := sp.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: spill stat: %w", err)
+	}
+	// Bounds come before any mmap access: touching pages past EOF of a
+	// truncated file is a SIGBUS, not an error.
+	if off < 0 || n < 0 || off+n > fi.Size() {
+		return nil, corruptSnapshot("spill segment [%d,+%d) past end of %d-byte file (truncated?)", off, n, fi.Size())
+	}
+	b := sp.mm.slice(sp.f, fi.Size(), off, n)
+	if b == nil {
+		b = make([]byte, n)
+		if _, err := sp.f.ReadAt(b, off); err != nil {
+			return nil, fmt.Errorf("%w: spill segment read: %v", ErrCorruptSnapshot, err)
+		}
+	}
+	if got := crc32.Checksum(b, spillCRC); got != crc {
+		return nil, corruptSnapshot("spill segment at %d: crc %08x, want %08x", off, got, crc)
+	}
+	return b, nil
+}
+
+// reset truncates the file to empty (store clear/retirement); the next
+// demotion appends from offset zero again.
+func (sp *spillStore) reset() error {
+	sp.size, sp.live = 0, 0
+	if sp.f == nil {
+		return nil
+	}
+	sp.mm.drop()
+	if err := sp.f.Truncate(0); err != nil {
+		return fmt.Errorf("runtime: spill truncate: %w", err)
+	}
+	return nil
+}
+
+// close releases the mapping, fsyncs and truncates the file, closes
+// the descriptor, and removes the file if it still has a name.
+// Idempotent: Engine.Stop and Engine.Close may both reach it.
+func (sp *spillStore) close() error {
+	if sp.done {
+		return nil
+	}
+	sp.done = true
+	if sp.f == nil {
+		return nil
+	}
+	sp.mm.drop()
+	var first error
+	if err := sp.f.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := sp.f.Truncate(0); err != nil && first == nil {
+		first = err
+	}
+	if err := sp.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	if sp.path != "" {
+		if err := os.Remove(sp.path); err != nil && first == nil {
+			first = err
+		}
+		sp.path = ""
+	}
+	sp.f = nil
+	if first != nil {
+		return fmt.Errorf("runtime: spill close: %w", first)
+	}
+	return nil
+}
+
+// encodeColSegment serializes one epoch's segment in the checkpoint
+// entry codec: a local schema table (deduped by signature, like
+// Engine.Checkpoint's) followed by count entries of
+// (schemaID uvarint, seq uvarint, tuple) in storage order — the order
+// every backend's forEach and probe chains are defined over, so a
+// demote/promote round trip is byte-invisible to probes, checkpoints,
+// and results.
+func encodeColSegment(buf []byte, s *colSegment) []byte {
+	schemaID := map[*tuple.Schema]int{}
+	var schemas []*tuple.Schema
+	for _, tp := range s.tups {
+		if _, ok := schemaID[tp.Schema]; !ok {
+			schemaID[tp.Schema] = len(schemas)
+			schemas = append(schemas, tp.Schema)
+		}
+	}
+	buf = binary.AppendVarint(buf, s.epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(s.tups)))
+	buf = binary.AppendUvarint(buf, uint64(len(schemas)))
+	for _, sch := range schemas {
+		buf = tuple.AppendSchema(buf, sch)
+	}
+	for i, tp := range s.tups {
+		buf = binary.AppendUvarint(buf, uint64(schemaID[tp.Schema]))
+		buf = binary.AppendUvarint(buf, s.seqs[i])
+		buf = tuple.AppendTuple(buf, tp)
+	}
+	return buf
+}
+
+// decodeColSegment rebuilds a hot segment from an encoded spill
+// payload. Rows are re-added in storage order, so payload accounting,
+// min/max event times, and (lazily rebuilt) index chains come out
+// exactly as they were before demotion.
+func decodeColSegment(b []byte) (*colSegment, error) {
+	ep, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, corruptSnapshot("spill segment: truncated epoch")
+	}
+	b = b[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, corruptSnapshot("spill segment: truncated entry count")
+	}
+	b = b[n:]
+	nSchemas, n := binary.Uvarint(b)
+	if n <= 0 || nSchemas > uint64(len(b)-n) {
+		return nil, corruptSnapshot("spill segment: bad schema count")
+	}
+	b = b[n:]
+	schemas := make([]*tuple.Schema, nSchemas)
+	var err error
+	for i := range schemas {
+		schemas[i], b, err = tuple.DecodeSchema(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: spill segment schema %d: %v", ErrCorruptSnapshot, i, err)
+		}
+	}
+	s := newColSegment(ep)
+	for j := uint64(0); j < count; j++ {
+		sid, n := binary.Uvarint(b)
+		if n <= 0 || sid >= nSchemas {
+			return nil, corruptSnapshot("spill segment ep %d: bad schema reference (entry %d)", ep, j)
+		}
+		b = b[n:]
+		seq, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, corruptSnapshot("spill segment ep %d: truncated entry sequence", ep)
+		}
+		b = b[n:]
+		var tp *tuple.Tuple
+		tp, b, err = tuple.DecodeTuple(b, schemas[sid])
+		if err != nil {
+			return nil, fmt.Errorf("%w: spill segment ep %d entry %d: %v", ErrCorruptSnapshot, ep, j, err)
+		}
+		s.add(tp, seq)
+	}
+	if len(b) != 0 {
+		return nil, corruptSnapshot("spill segment ep %d: %d trailing bytes", ep, len(b))
+	}
+	return s, nil
+}
+
+// spillBloom is a per-attribute key filter carried by a cold segment's
+// in-memory stub: two derived probes of the value's colHash into a
+// power-of-two bit array (~8 bits per stored row). A negative answer is
+// definitive — the probe skips the segment without touching disk; a
+// positive one costs a read-through that may still match nothing.
+type spillBloom struct {
+	bits []uint64
+	mask uint64
+}
+
+func newSpillBloom(rows int) spillBloom {
+	bits := 64
+	for bits < rows*8 {
+		bits <<= 1
+	}
+	return spillBloom{bits: make([]uint64, bits/64), mask: uint64(bits - 1)}
+}
+
+// mix2 derives the second probe position (splitmix64 finalizer over h,
+// decorrelated from the table position colHash already is).
+func mix2(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (bl *spillBloom) add(h uint64) {
+	i, j := h&bl.mask, mix2(h)&bl.mask
+	bl.bits[i>>6] |= 1 << (i & 63)
+	bl.bits[j>>6] |= 1 << (j & 63)
+}
+
+func (bl *spillBloom) may(h uint64) bool {
+	i, j := h&bl.mask, mix2(h)&bl.mask
+	return bl.bits[i>>6]&(1<<(i&63)) != 0 && bl.bits[j>>6]&(1<<(j&63)) != 0
+}
+
+func (bl *spillBloom) bytes() int64 { return int64(len(bl.bits)) * 8 }

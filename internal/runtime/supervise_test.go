@@ -159,17 +159,31 @@ func TestSupervisorDisabledFailsOnFirstPanic(t *testing.T) {
 // repeatedly and concurrently, from any goroutine, possibly racing with
 // producers — every call returns (no deadlock on the second Stop, no
 // panic on closed mailboxes), and post-stop Ingest fails cleanly. This
-// is the regression test for the seed's double-Stop hang.
+// is the regression test for the seed's double-Stop hang. The tiered
+// arm additionally covers backend teardown: racing Stop/Close calls
+// must release the mmap'd spill segments exactly once (munmap, fsync,
+// truncate), with every later Close still returning nil.
 func TestStopIdempotentAndConcurrent(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		sub  SubstrateKind
-	}{{"unbounded", SubstrateUnbounded}, {"flow", SubstrateFlow}} {
+		name    string
+		sub     SubstrateKind
+		backend StateBackendKind
+		hot     int64
+	}{
+		{name: "unbounded", sub: SubstrateUnbounded},
+		{name: "flow", sub: SubstrateFlow},
+		{name: "tiered", sub: SubstrateUnbounded, backend: BackendTiered, hot: 4 << 10},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
 			workload := "q1: R(a) S(a,b) T(b)"
 			opts := core.Options{StoreParallelism: 2}
 			est := flatEstimates([]string{"R", "S", "T"}, 100)
-			h := newHarness(t, workload, opts, est, Config{Substrate: tc.sub, Flow: FlowConfig{MailboxCredits: 64}})
+			cfg := Config{Substrate: tc.sub, Flow: FlowConfig{MailboxCredits: 64},
+				StateBackend: tc.backend, StateHotBytes: tc.hot}
+			if tc.backend == BackendTiered {
+				cfg.EpochLength = 48
+			}
+			h := newHarness(t, workload, opts, est, cfg)
 			ins := randomStream(h.cat, 300, 5, 17)
 
 			var wg sync.WaitGroup

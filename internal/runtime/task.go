@@ -115,7 +115,7 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 		e:           e,
 		key:         k,
 		store:       s,
-		state:       newStateBackend(e.cfg.StateBackend),
+		state:       e.newBackend(),
 		states:      map[*rulePlan]*planState{},
 		schemaCache: map[[2]*tuple.Schema]*tuple.Schema{},
 	}
@@ -130,6 +130,17 @@ func newTask(e *Engine, k taskKey, s *topology.Store) *task {
 	}
 	t.winAll = len(t.wins) > 0 && len(t.wins) == len(s.Rels)
 	return t
+}
+
+// newBackend builds a task-store backend for this engine's config,
+// wiring the tiered backend to the engine's spill directory, metrics,
+// and failure hook (the bare newStateBackend factory stays for
+// engine-less tests).
+func (e *Engine) newBackend() stateBackend {
+	if e.cfg.StateBackend == BackendTiered {
+		return newTieredState(tieredConfig{dir: e.cfg.StateSpillDir, m: e.metrics, fail: e.fail})
+	}
+	return newStateBackend(e.cfg.StateBackend)
 }
 
 // accountState applies a backend byte delta to the task gauges and the
@@ -208,6 +219,7 @@ func (t *task) handle(msg *message) {
 			}
 		}
 	}
+	t.maintainTier()
 }
 
 // setComp switches the task to another installed config's compiled
@@ -260,6 +272,12 @@ func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 	t.storedCount.Add(1)
 	t.e.metrics.stored.Add(1)
 	bytes := t.accountState(delta, idxDelta)
+	// Tier layer: above the hot budget, cold whole epochs move to disk.
+	// Demotion relocates bytes without dropping tuples, so it runs
+	// before — and usually instead of — the eviction policy below.
+	if hot := t.e.cfg.StateHotBytes; hot > 0 && bytes > hot {
+		bytes = t.demoteToBudget(hot, bytes)
+	}
 	// Bounded-memory policy layer: the state budget is enforced against
 	// real resident state (payload + structure + index overhead).
 	// EvictOldestEpoch sheds whole epochs from this task instead of
@@ -285,7 +303,18 @@ func (t *task) insert(tp *tuple.Tuple, seq uint64) {
 // the re-made decisions against the logged ones.
 func (t *task) evictToLimit(lim int64) (bytes int64) {
 	bytes = t.e.metrics.storeBytes.Load()
+	tb, tiered := t.state.(tieredBackend)
 	for bytes > lim {
+		// Demote-first on the tiered backend: moving a cold epoch to
+		// disk frees resident bytes without losing tuples, so eviction
+		// only fires once nothing demotable remains (one hot epoch left
+		// and the overflow persists — e.g. stubs alone exceed the limit).
+		if tiered {
+			if d, xd, ok := tb.demoteOldest(); ok {
+				bytes = t.accountState(d, xd)
+				continue
+			}
+		}
 		epoch, removed, delta, idxDelta, ok := t.state.dropOldest()
 		if !ok {
 			return bytes
@@ -303,6 +332,51 @@ func (t *task) evictToLimit(lim int64) (bytes int64) {
 		bytes = t.accountState(delta, idxDelta)
 	}
 	return bytes
+}
+
+// demoteToBudget spills this task's coldest epochs until global
+// resident state fits the hot budget again or only the arrival epoch
+// remains hot. Demotion never drops a tuple — results are unaffected,
+// which is why (unlike evictions) it is not journaled: replay re-makes
+// the same demotions by re-running the same inserts.
+func (t *task) demoteToBudget(budget, bytes int64) int64 {
+	tb, ok := t.state.(tieredBackend)
+	if !ok {
+		return bytes
+	}
+	for bytes > budget {
+		d, xd, ok := tb.demoteOldest()
+		if !ok {
+			return bytes
+		}
+		bytes = t.accountState(d, xd)
+	}
+	return bytes
+}
+
+// maintainTier applies deferred tier maintenance at the end of a
+// dispatch: epochs a probe read-through touched are promoted into the
+// hot ring, and the hot and state budgets are re-enforced (a promotion
+// can overshoot them). Promotion is thereby off the probe's critical
+// path but stays on the task's own execution context — no
+// cross-goroutine machinery, no new messages, so seeded simulation
+// schedules and traces are byte-identical across backends.
+func (t *task) maintainTier() {
+	tb, ok := t.state.(tieredBackend)
+	if !ok {
+		return
+	}
+	d, xd := tb.promotePending()
+	if d == 0 && xd == 0 {
+		return
+	}
+	bytes := t.accountState(d, xd)
+	if hot := t.e.cfg.StateHotBytes; hot > 0 && bytes > hot {
+		bytes = t.demoteToBudget(hot, bytes)
+	}
+	if lim := t.e.cfg.StateLimitBytes; lim > 0 && bytes > lim && t.e.cfg.StatePolicy == EvictOldestEpoch {
+		t.evictToLimit(lim)
+	}
 }
 
 // resetVolatile drops the task's rebuildable caches after a supervised
@@ -477,11 +551,13 @@ func (t *task) prune(cut tuple.Time) {
 		t.pruneTuples.Add(int64(removed))
 	}
 	if removed == 0 && delta == 0 {
+		t.maintainTier()
 		return
 	}
 	t.storedCount.Add(int64(-removed))
 	t.e.metrics.stored.Add(int64(-removed))
 	t.accountState(delta, idxDelta)
+	t.maintainTier()
 }
 
 // clearState drops the task's entire materialized state (store

@@ -1,0 +1,691 @@
+package runtime
+
+// tieredState is the hot/cold tiered state backend (DESIGN.md §15): a
+// columnar epoch-ring (columnar.go) for the probe-hot tail of the
+// window plus an on-disk spill store (spill.go) for the cold mass.
+// When resident state crosses Config.StateHotBytes the task demotes
+// its coldest whole epochs: the segment is serialized in the
+// checkpoint entry codec, appended CRC-framed to the task's spill
+// file, and replaced in memory by a coldStub — epoch, tuple count,
+// min/max event time, the segment's file coordinates, and a per-attr
+// key-hash Bloom filter — so probes can dismiss cold segments by
+// window cut and key without touching disk.
+//
+// Tier invariants:
+//
+//   - An epoch is wholly hot or wholly cold, never split: demotion and
+//     promotion move whole epochs, so the epoch-ascending /
+//     insertion-order-within-epoch iteration contract (state.go) is
+//     trivially preserved — a probe's candidate order is byte-identical
+//     to the pure-columnar backend's, and so is everything downstream
+//     (results, checkpoint bytes, schedule traces).
+//   - The newest epoch is never demoted (demoteOldest refuses with one
+//     hot epoch left), so the arrival path always lands in memory; the
+//     ±one-epoch slack is the hot-budget tolerance the bench gates.
+//   - Demotion does not change an epoch's content, so it does NOT mark
+//     the epoch dirty: the incremental checkpointer (WalkDirtyState)
+//     skips clean cold epochs entirely and checkpoint cost follows hot
+//     state. The epoch's bytes in the checkpoint chain — written when
+//     it was hot and dirty — remain valid, which is the segment-reuse
+//     that makes checkpoints cheaper, not costlier, under tiering.
+//   - The spill file is not a durability source (spill.go): recovery
+//     re-materializes from the checkpoint chain + WAL into a fresh
+//     engine, so a crash anywhere inside a demotion (the window between
+//     the spill append and the hot-ring drop included) can neither lose
+//     nor duplicate an epoch.
+//
+// Probe read-through and promotion: a probe that survives a stub's cut
+// and Bloom filters decodes the segment synchronously (once — decoded
+// segments are cached in `pending`) and scans it with the exact
+// columnar chain walk. The touched epoch is then promoted back into
+// the hot ring by task.maintainTier at the end of the dispatch — off
+// the probe's critical path, but on the task's own execution context,
+// so no cross-goroutine machinery exists and seeded simulation
+// schedules are untouched. Prune tombstones wholly expired cold
+// segments in O(1) (the stub is dropped, the file bytes stay dead
+// until clear/close truncates) and promotes boundary segments so the
+// columnar compaction path handles them exactly.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"clash/internal/tuple"
+)
+
+// coldStubBase prices a stub's fixed overhead: the struct, its ring
+// slots, and the blooms map header.
+const coldStubBase = 160
+
+// coldStub is the in-memory residue of a demoted epoch: enough to skip
+// the segment (cut + Bloom), locate it (file coordinates + CRC), and
+// account it (count, resident bytes) without touching disk.
+type coldStub struct {
+	epoch int64
+	count int
+	minTS int64
+	maxTS int64
+	off   int64 // payload offset in the spill file
+	len   int64 // payload length
+	crc   uint32
+	// blooms holds one key-hash filter per attribute that had been
+	// probed on this task by demotion time; an attribute probed for the
+	// first time later has no filter and pays a read-through.
+	blooms     map[string]spillBloom
+	bloomBytes int64
+}
+
+func (st *coldStub) resident() int64 { return coldStubBase + st.bloomBytes }
+
+// buildBlooms fills the stub's per-attribute filters from the hot
+// segment being demoted. Rows whose schema lacks the attribute are
+// skipped: the columnar index never links them either, so a Bloom
+// negative remains a sound whole-segment skip.
+func (st *coldStub) buildBlooms(s *colSegment, attrs map[string]struct{}) {
+	if len(attrs) == 0 || len(s.tups) == 0 {
+		return
+	}
+	st.blooms = make(map[string]spillBloom, len(attrs))
+	for attr := range attrs {
+		bl := newSpillBloom(len(s.tups))
+		var lastSch *tuple.Schema
+		pos := -1
+		for _, tp := range s.tups {
+			if tp.Schema != lastSch {
+				lastSch = tp.Schema
+				pos = tp.Schema.Index(attr)
+			}
+			if pos < 0 {
+				continue
+			}
+			bl.add(colHash(tp.At(pos)))
+		}
+		st.blooms[attr] = bl
+		st.bloomBytes += bl.bytes()
+	}
+}
+
+// tieredState implements stateBackend (plus the tieredBackend and
+// backendCloser extensions declared in state.go). Like every backend
+// it is task-confined; `spilled` alone is atomic because the TaskGauges
+// sampler reads it cross-goroutine.
+type tieredState struct {
+	hot     *columnarState
+	cold    epochRing[coldStub]
+	coldN   int64 // tuples resident in cold segments
+	pending map[int64]*colSegment // read-through decodes awaiting promotion
+	probed  map[string]struct{}   // every attr ever probed on this task
+	// reuse remembers, per promoted epoch, the stub whose on-disk frame
+	// is still byte-valid because the epoch's content has not changed
+	// since it was spilled. Re-demoting such an epoch revives the frame
+	// in O(1) instead of re-encoding and re-appending it — without this,
+	// a probe/promote/demote cycle under a tight hot budget rewrites
+	// identical bytes on every swing and the spill file grows without
+	// bound. Entries are invalidated by anything that can change the
+	// epoch: insert, prune below the stub's minTS, eviction, clear.
+	reuse map[int64]*coldStub
+	store   *spillStore
+	m       *Metrics    // engine counters; nil under the bare factory
+	fail    func(error) // engine failure hook
+	spilled atomic.Int64
+
+	encBuf   []byte
+	epsBuf   []int64 // epochs() merge scratch
+	promoBuf []int64 // promotePending order scratch
+
+	// testCrashAfterSpill, when set, runs in demoteOldest's crash window:
+	// after the segment is durable in the spill file, before the epoch
+	// leaves the hot ring (tiered_test.go).
+	testCrashAfterSpill func()
+}
+
+// tieredConfig wires a tieredState to its engine. The zero value (bare
+// factory, tests) spills to the OS temp dir, counts nothing, and
+// swallows failures.
+type tieredConfig struct {
+	dir  string
+	m    *Metrics
+	fail func(error)
+}
+
+func newTieredState(cfg tieredConfig) *tieredState {
+	fail := cfg.fail
+	if fail == nil {
+		fail = func(error) {}
+	}
+	return &tieredState{
+		hot:     newColumnarState(),
+		cold:    newEpochRing[coldStub](),
+		pending: map[int64]*colSegment{},
+		probed:  map[string]struct{}{},
+		reuse:   map[int64]*coldStub{},
+		store:   newSpillStore(cfg.dir),
+		m:       cfg.m,
+		fail:    fail,
+	}
+}
+
+func (ts *tieredState) insert(tp *tuple.Tuple, seq uint64, epoch int64) (delta, idxDelta int64) {
+	if stub := ts.cold.get(epoch); stub != nil {
+		// A late arrival into a demoted epoch: epochs are wholly hot or
+		// wholly cold, so the epoch is promoted synchronously before the
+		// row lands.
+		delta, idxDelta = ts.promoteEpoch(epoch, stub)
+	}
+	d, xd := ts.hot.insert(tp, seq, epoch)
+	delete(ts.reuse, epoch) // the epoch's spilled frame no longer matches
+	return delta + d, idxDelta + xd
+}
+
+func (ts *tieredState) noteProbed(attr string) {
+	if _, ok := ts.probed[attr]; !ok {
+		ts.probed[attr] = struct{}{}
+	}
+}
+
+// readThrough returns the stub's decoded segment, reading and decoding
+// it on first touch and caching it in pending for promotion. A read or
+// decode failure (truncated/corrupt spill file) fails the engine with a
+// wrapped ErrCorruptSnapshot and returns nil — never a panic.
+func (ts *tieredState) readThrough(stub *coldStub) *colSegment {
+	if s := ts.pending[stub.epoch]; s != nil {
+		return s
+	}
+	b, err := ts.store.read(stub.off, stub.len, stub.crc)
+	if err != nil {
+		ts.fail(fmt.Errorf("runtime: tiered read-through of epoch %d: %w", stub.epoch, err))
+		return nil
+	}
+	s, err := decodeColSegment(b)
+	if err != nil {
+		ts.fail(fmt.Errorf("runtime: tiered read-through of epoch %d: %w", stub.epoch, err))
+		return nil
+	}
+	if s.epoch != stub.epoch || len(s.tups) != stub.count {
+		ts.fail(corruptSnapshot("spill segment at %d decodes to epoch %d (%d rows), stub says epoch %d (%d rows)",
+			stub.off, s.epoch, len(s.tups), stub.epoch, stub.count))
+		return nil
+	}
+	ts.pending[stub.epoch] = s
+	return s
+}
+
+func (ts *tieredState) coldHit(hit bool) {
+	if ts.m == nil {
+		return
+	}
+	if hit {
+		ts.m.coldProbeHits.Add(1)
+	} else {
+		ts.m.coldProbeMisses.Add(1)
+	}
+}
+
+// probeScan merges the hot ring and the cold stubs in epoch-ascending
+// order. Hot segments run the exact columnar scan; cold stubs are
+// dismissed by window cut or Bloom negative, and survivors pay a
+// read-through scanned with the same chain walk — candidate order is
+// byte-identical to pure-columnar.
+func (ts *tieredState) probeScan(attr string, v tuple.Value, cut int64, mv matchVisitor) (idxDelta int64) {
+	ts.noteProbed(attr)
+	h := colHash(v)
+	hotVals, hotEps := ts.hot.ring.vals, ts.hot.ring.eps
+	coldVals, coldEps := ts.cold.vals, ts.cold.eps
+	hi, ci := 0, 0
+	for hi < len(hotVals) || ci < len(coldVals) {
+		if ci >= len(coldVals) || (hi < len(hotVals) && hotEps[hi] < coldEps[ci]) {
+			s := hotVals[hi]
+			hi++
+			if s.maxTS < cut {
+				continue
+			}
+			ix, built := s.indexFor(attr)
+			if built {
+				idxDelta += ix.resident()
+			}
+			if slot, ok := ix.find(h); ok {
+				for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+					mv.visit(s.tups[row], s.seqs[row])
+				}
+			}
+			continue
+		}
+		stub := coldVals[ci]
+		ci++
+		if stub.maxTS < cut {
+			continue
+		}
+		if bl, ok := stub.blooms[attr]; ok && !bl.may(h) {
+			continue // definitive: no stored row hashes to h under attr
+		}
+		s := ts.readThrough(stub)
+		if s == nil {
+			continue // engine already failing
+		}
+		// The index is built on the pending segment unaccounted: it is
+		// charged when the segment's promotion delta (full resident cost,
+		// indices included) lands.
+		ix, _ := s.indexFor(attr)
+		hit := false
+		if slot, ok := ix.find(h); ok {
+			for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+				hit = true
+				mv.visit(s.tups[row], s.seqs[row])
+			}
+		}
+		ts.coldHit(hit)
+	}
+	return idxDelta
+}
+
+// probeScanBatch is the vectorized merged scan: hot segments run the
+// columnar batch body verbatim; a cold stub is consulted only if at
+// least one probe survives its cut and Bloom filters, and then the
+// decoded segment runs the same per-probe gather/eval loop. The result
+// log comes out segment-major in merged epoch order, which group()
+// restores to the same probe-major order as pure-columnar.
+func (ts *tieredState) probeScanBatch(attr string, pb *probeBatch) (idxDelta int64) {
+	ts.noteProbed(attr)
+	if cap(pb.hashes) < len(pb.vals) {
+		pb.hashes = make([]uint64, len(pb.vals))
+	}
+	hashes := pb.hashes[:len(pb.vals)]
+	for i, v := range pb.vals {
+		hashes[i] = colHash(v)
+	}
+	pb.hashes = hashes
+	cuts := pb.cuts
+	hotVals, hotEps := ts.hot.ring.vals, ts.hot.ring.eps
+	coldVals, coldEps := ts.cold.vals, ts.cold.eps
+	hi, ci := 0, 0
+	for hi < len(hotVals) || ci < len(coldVals) {
+		if ci >= len(coldVals) || (hi < len(hotVals) && hotEps[hi] < coldEps[ci]) {
+			s := hotVals[hi]
+			hi++
+			if s.maxTS < pb.minCut {
+				continue
+			}
+			ix, built := s.indexFor(attr)
+			if built {
+				idxDelta += ix.resident()
+			}
+			if ix.used == 0 {
+				continue
+			}
+			for i := range hashes {
+				if s.maxTS < cuts[i] {
+					continue
+				}
+				slot, ok := ix.find(hashes[i])
+				if !ok {
+					continue
+				}
+				sel := pb.sel[:0]
+				maxSeq := pb.maxSeqs[i]
+				for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+					if s.seqs[row] < maxSeq {
+						sel = append(sel, row)
+					}
+				}
+				pb.sel = sel
+				if len(sel) > 0 {
+					pb.evalRows(i, s, sel)
+				}
+			}
+			continue
+		}
+		stub := coldVals[ci]
+		ci++
+		if stub.maxTS < pb.minCut {
+			continue
+		}
+		bl, hasBloom := stub.blooms[attr]
+		any := false
+		for i := range hashes {
+			if stub.maxTS < cuts[i] {
+				continue
+			}
+			if hasBloom && !bl.may(hashes[i]) {
+				continue
+			}
+			any = true
+			break
+		}
+		if !any {
+			continue // every probe dismissed without touching disk
+		}
+		s := ts.readThrough(stub)
+		if s == nil {
+			continue
+		}
+		ix, _ := s.indexFor(attr)
+		for i := range hashes {
+			if s.maxTS < cuts[i] {
+				continue
+			}
+			if hasBloom && !bl.may(hashes[i]) {
+				continue // sound: the chain find below would miss anyway
+			}
+			slot, ok := ix.find(hashes[i])
+			if !ok {
+				ts.coldHit(false)
+				continue
+			}
+			sel := pb.sel[:0]
+			maxSeq := pb.maxSeqs[i]
+			for row := ix.heads[slot]; row >= 0; row = ix.next[row] {
+				if s.seqs[row] < maxSeq {
+					sel = append(sel, row)
+				}
+			}
+			pb.sel = sel
+			ts.coldHit(len(sel) > 0)
+			if len(sel) > 0 {
+				pb.evalRows(i, s, sel)
+			}
+		}
+	}
+	return idxDelta
+}
+
+func (ts *tieredState) prune(cut tuple.Time) (removed int, delta, idxDelta int64) {
+	w := int64(cut)
+	// Cold pass first: wholly expired segments are tombstoned in O(1) —
+	// the stub is dropped, the file bytes stay dead until clear/close.
+	// Boundary segments (window cut inside) are promoted so the columnar
+	// compaction below handles them with the exact in-epoch remap.
+	var boundary []int64
+	dropped := false
+	for i, stub := range ts.cold.vals {
+		if stub.minTS >= w {
+			continue
+		}
+		if stub.maxTS < w {
+			removed += stub.count
+			ts.coldN -= int64(stub.count)
+			delta -= stub.resident()
+			idxDelta -= stub.bloomBytes
+			ts.dropSpilled(stub)
+			delete(ts.pending, stub.epoch)
+			ts.cold.drop(i)
+			dropped = true
+			continue
+		}
+		boundary = append(boundary, ts.cold.eps[i])
+	}
+	if dropped {
+		ts.cold.compact()
+	}
+	for _, ep := range boundary {
+		if stub := ts.cold.get(ep); stub != nil {
+			d, xd := ts.promoteEpoch(ep, stub)
+			delta += d
+			idxDelta += xd
+		}
+	}
+	r, d, xd := ts.hot.prune(cut)
+	// Any reusable frame whose epoch could have lost rows to this cut is
+	// no longer byte-valid.
+	for ep, st := range ts.reuse {
+		if st.minTS < w {
+			delete(ts.reuse, ep)
+		}
+	}
+	return removed + r, delta + d, idxDelta + xd
+}
+
+func (ts *tieredState) epochs() []int64 {
+	he, ce := ts.hot.ring.eps, ts.cold.eps
+	if len(ce) == 0 {
+		return he
+	}
+	eps := ts.epsBuf[:0]
+	hi, ci := 0, 0
+	for hi < len(he) || ci < len(ce) {
+		if ci >= len(ce) || (hi < len(he) && he[hi] < ce[ci]) {
+			eps = append(eps, he[hi])
+			hi++
+		} else {
+			eps = append(eps, ce[ci])
+			ci++
+		}
+	}
+	ts.epsBuf = eps
+	return eps
+}
+
+func (ts *tieredState) epochLen(epoch int64) int {
+	if n := ts.hot.epochLen(epoch); n > 0 {
+		return n
+	}
+	if stub := ts.cold.get(epoch); stub != nil {
+		return stub.count
+	}
+	return 0
+}
+
+// forEach visits a cold epoch through a transient decode that is NOT
+// cached into pending: checkpoint walks are read-only and must not
+// churn the tiers. A spill read failure fails the engine and visits
+// nothing — the checkpointer's caller sees the failure, not a short
+// snapshot presented as complete.
+func (ts *tieredState) forEach(epoch int64, fn func(tp *tuple.Tuple, seq uint64)) {
+	if ts.hot.ring.get(epoch) != nil {
+		ts.hot.forEach(epoch, fn)
+		return
+	}
+	stub := ts.cold.get(epoch)
+	if stub == nil {
+		return
+	}
+	s := ts.pending[epoch]
+	if s == nil {
+		b, err := ts.store.read(stub.off, stub.len, stub.crc)
+		if err != nil {
+			ts.fail(fmt.Errorf("runtime: tiered state walk of epoch %d: %w", epoch, err))
+			return
+		}
+		if s, err = decodeColSegment(b); err != nil {
+			ts.fail(fmt.Errorf("runtime: tiered state walk of epoch %d: %w", epoch, err))
+			return
+		}
+	}
+	for i := range s.tups {
+		fn(s.tups[i], s.seqs[i])
+	}
+}
+
+// dropOldest sheds the globally oldest epoch — hot or cold — refusing
+// only when a single epoch remains in total (the arrival epoch is never
+// shed, matching the in-memory backends). Evicting a cold epoch is an
+// O(1) tombstone; the freed resident bytes are just the stub's.
+func (ts *tieredState) dropOldest() (epoch int64, removed int, delta, idxDelta int64, ok bool) {
+	he, ce := ts.hot.ring.eps, ts.cold.eps
+	if len(he)+len(ce) <= 1 {
+		return 0, 0, 0, 0, false
+	}
+	if len(ce) > 0 && (len(he) == 0 || ce[0] < he[0]) {
+		stub := ts.cold.vals[0]
+		epoch = ce[0]
+		ts.cold.drop(0)
+		ts.cold.compact()
+		ts.coldN -= int64(stub.count)
+		ts.dropSpilled(stub)
+		delete(ts.pending, epoch)
+		return epoch, stub.count, -stub.resident(), -stub.bloomBytes, true
+	}
+	if len(he) > 1 {
+		epoch, removed, delta, idxDelta, ok = ts.hot.dropOldest()
+		if ok {
+			delete(ts.reuse, epoch)
+		}
+		return epoch, removed, delta, idxDelta, ok
+	}
+	// One hot epoch, but newer cold epochs exist (a promotion reordered
+	// the tiers): the hot head is still the globally oldest and may go.
+	s := ts.hot.ring.vals[0]
+	epoch = he[0]
+	ts.hot.ring.drop(0)
+	ts.hot.ring.compact()
+	removed = len(s.tups)
+	ts.hot.n -= int64(removed)
+	delete(ts.reuse, epoch)
+	return epoch, removed, -s.resident(), -s.idxResident(), true
+}
+
+func (ts *tieredState) clear() (removed int, delta, idxDelta int64) {
+	removed, delta, idxDelta = ts.hot.clear()
+	for _, stub := range ts.cold.vals {
+		removed += stub.count
+		delta -= stub.resident()
+		idxDelta -= stub.bloomBytes
+	}
+	ts.cold.clear()
+	ts.coldN = 0
+	clear(ts.pending)
+	clear(ts.reuse)
+	if freed := ts.spilled.Swap(0); freed != 0 && ts.m != nil {
+		ts.m.spilledBytes.Add(-freed)
+	}
+	if err := ts.store.reset(); err != nil {
+		ts.fail(err)
+	}
+	return removed, delta, idxDelta
+}
+
+func (ts *tieredState) bytes() int64 {
+	b := ts.hot.bytes()
+	for _, stub := range ts.cold.vals {
+		b += stub.resident()
+	}
+	return b
+}
+
+func (ts *tieredState) indexBytes() int64 {
+	b := ts.hot.indexBytes()
+	for _, stub := range ts.cold.vals {
+		b += stub.bloomBytes
+	}
+	return b
+}
+
+// demoteOldest spills the oldest hot epoch to the segment store and
+// replaces it with a stub (tieredBackend). It refuses with one hot
+// epoch left — the arrival epoch always stays in memory. The hot ring
+// is untouched until the spill append has succeeded: a write failure
+// fails the engine with the state still intact, and a crash inside the
+// window after the append merely leaves an unreferenced frame in a
+// file that recovery discards wholesale.
+func (ts *tieredState) demoteOldest() (delta, idxDelta int64, ok bool) {
+	if len(ts.hot.ring.vals) <= 1 {
+		return 0, 0, false
+	}
+	s, ep := ts.hot.ring.vals[0], ts.hot.ring.eps[0]
+	stub := ts.reuse[ep]
+	if stub != nil && stub.count == len(s.tups) {
+		// The epoch's frame from its previous demotion is still
+		// byte-valid: revive it without touching the encoder or the file.
+		delete(ts.reuse, ep)
+		ts.store.live += stub.len
+	} else {
+		stub = nil
+	}
+	if stub == nil {
+		ts.encBuf = encodeColSegment(ts.encBuf[:0], s)
+		off, crc, err := ts.store.append(ts.encBuf)
+		if err != nil {
+			ts.fail(err)
+			return 0, 0, false
+		}
+		stub = &coldStub{
+			epoch: ep, count: len(s.tups),
+			minTS: s.minTS, maxTS: s.maxTS,
+			off: off, len: int64(len(ts.encBuf)), crc: crc,
+		}
+		stub.buildBlooms(s, ts.probed)
+	}
+	if ts.testCrashAfterSpill != nil {
+		ts.testCrashAfterSpill()
+	}
+	ts.hot.ring.dropHead()
+	ts.hot.n -= int64(len(s.tups))
+	ts.cold.put(ep, stub)
+	ts.coldN += int64(len(s.tups))
+	ts.spilled.Add(stub.len)
+	if ts.m != nil {
+		ts.m.demotedEpochs.Add(1)
+		ts.m.spilledBytes.Add(stub.len)
+	}
+	return stub.resident() - s.resident(), stub.bloomBytes - s.idxResident(), true
+}
+
+// promoteEpoch moves one cold epoch back into the hot ring, reusing the
+// pending read-through decode when a probe already paid for it. On a
+// spill read failure the engine is already failing; an empty segment
+// keeps the tier invariants consistent for the doomed engine's
+// remaining teardown.
+func (ts *tieredState) promoteEpoch(ep int64, stub *coldStub) (delta, idxDelta int64) {
+	s := ts.readThrough(stub)
+	if s == nil {
+		s = newColSegment(ep)
+	}
+	delete(ts.pending, ep)
+	ts.cold.remove(ep)
+	ts.coldN -= int64(stub.count)
+	ts.dropSpilled(stub)
+	ts.hot.ring.put(ep, s)
+	ts.hot.n += int64(len(s.tups))
+	// The frame stays byte-valid on disk until the epoch changes; keep
+	// the stub so a re-demotion of the unchanged epoch can revive it.
+	ts.reuse[ep] = stub
+	if ts.m != nil {
+		ts.m.promotedEpochs.Add(1)
+	}
+	return s.resident() - stub.resident(), s.idxResident() - stub.bloomBytes
+}
+
+// promotePending promotes every epoch a read-through touched since the
+// last call, in ascending epoch order (tieredBackend; called by
+// task.maintainTier after each dispatch).
+func (ts *tieredState) promotePending() (delta, idxDelta int64) {
+	if len(ts.pending) == 0 {
+		return 0, 0
+	}
+	eps := ts.promoBuf[:0]
+	for ep := range ts.pending {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	for _, ep := range eps {
+		if stub := ts.cold.get(ep); stub != nil {
+			d, xd := ts.promoteEpoch(ep, stub)
+			delta += d
+			idxDelta += xd
+		} else {
+			delete(ts.pending, ep)
+		}
+	}
+	ts.promoBuf = eps[:0]
+	return delta, idxDelta
+}
+
+// spilledBytes reports the live on-disk payload bytes (tieredBackend).
+// Atomic: the TaskGauges sampler reads it cross-goroutine.
+func (ts *tieredState) spilledBytes() int64 { return ts.spilled.Load() }
+
+// dropSpilled retires a stub's on-disk payload from the spill gauges
+// (tombstone, eviction, or promotion — the frame itself stays dead in
+// the file until clear/close truncates).
+func (ts *tieredState) dropSpilled(stub *coldStub) {
+	ts.spilled.Add(-stub.len)
+	if ts.m != nil {
+		ts.m.spilledBytes.Add(-stub.len)
+	}
+	ts.store.live -= stub.len
+}
+
+// closeBackend releases the spill store (backendCloser): munmap, fsync,
+// truncate, close, unlink. Idempotent — Engine.Stop and Engine.Close
+// may both reach it.
+func (ts *tieredState) closeBackend() error { return ts.store.close() }

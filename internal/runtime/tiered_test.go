@@ -1,0 +1,391 @@
+package runtime
+
+// Tiered-backend unit tests (DESIGN.md §15). The properties pinned
+// here are the ones the end-to-end sweeps can't isolate:
+//
+//   - demote → probe → promote is invisible: candidate order, forEach
+//     walks, and byte accounting match a columnar backend fed the same
+//     history, at every tiering configuration in between;
+//   - a corrupt or truncated spill file surfaces as a wrapped
+//     ErrCorruptSnapshot through the engine-failure hook — never a
+//     panic, never silent partial results;
+//   - a crash inside demotion's window (segment durable, epoch not yet
+//     dropped from the hot ring) neither loses nor duplicates the
+//     epoch, and the demotion can simply be retried.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"clash/internal/tuple"
+)
+
+// traceVisitor records the exact candidate sequence a probe delivers.
+type traceVisitor struct{ out []string }
+
+func (v *traceVisitor) visit(tp *tuple.Tuple, seq uint64) {
+	v.out = append(v.out, fmt.Sprintf("%v@%d#%d", tp.At(0), tp.TS, seq))
+}
+
+// tieredPair feeds the identical insert history to a columnar oracle
+// and a tiered backend: n tuples over one schema, epoch = ts/16, every
+// key drawn from a small ring so probes hit in every epoch.
+func tieredPair(n int) (*columnarState, *tieredState, *tuple.Schema) {
+	schema := tuple.NewSchema("R.a", "R.b", "R.τ")
+	col := newColumnarState()
+	tr := newTieredState(tieredConfig{})
+	for ts := int64(1); ts <= int64(n); ts++ {
+		tp := tuple.New(schema, tuple.Time(ts), tuple.IntValue(ts%5), tuple.IntValue(ts), tuple.IntValue(ts))
+		col.insert(tp, uint64(ts), ts/16)
+		tr.insert(tp, uint64(ts), ts/16)
+	}
+	return col, tr, schema
+}
+
+// probeAll scans every key in the ring on the given attribute and
+// returns the concatenated candidate trace plus the index-build delta
+// the probes charged (lazily built hot indices count toward bytes()).
+func probeAll(b stateBackend, cut int64) (string, int64) {
+	var v traceVisitor
+	var idx int64
+	for k := int64(0); k < 5; k++ {
+		v.out = append(v.out, fmt.Sprintf("--key %d--", k))
+		idx += b.probeScan("R.a", tuple.IntValue(k), cut, &v)
+	}
+	return strings.Join(v.out, "\n"), idx
+}
+
+// walkAll replays the checkpoint walk: every epoch, in order, with
+// every (tuple, seq) pair.
+func walkAll(b stateBackend) string {
+	var v traceVisitor
+	for _, ep := range b.epochs() {
+		v.out = append(v.out, fmt.Sprintf("--epoch %d len %d--", ep, b.epochLen(ep)))
+		b.forEach(ep, v.visit)
+	}
+	return strings.Join(v.out, "\n")
+}
+
+// TestTieredMatchesColumnarAcrossTiering demotes the tiered backend one
+// epoch at a time, from all-hot down to a single hot epoch, and at each
+// step byte-compares probe candidate order and checkpoint walks against
+// the all-in-memory columnar oracle; then promotes everything back and
+// compares once more. Accounting deltas must telescope to bytes() at
+// every step.
+func TestTieredMatchesColumnarAcrossTiering(t *testing.T) {
+	col, tr, _ := tieredPair(300)
+	sum, idxSum := tr.bytes(), tr.indexBytes()
+	check := func(op string) {
+		t.Helper()
+		if got := tr.bytes(); got != sum {
+			t.Fatalf("%s: bytes() = %d, accumulated %d", op, got, sum)
+		}
+		if got := tr.indexBytes(); got != idxSum {
+			t.Fatalf("%s: indexBytes() = %d, accumulated %d", op, got, idxSum)
+		}
+	}
+	wantWalk := walkAll(col)
+	// Probe both once while all-hot so the demoted stubs get Blooms on
+	// R.a (the backend only filters attrs it has seen probed).
+	cut := int64(120)
+	wantProbe, _ := probeAll(col, cut)
+	got, idx := probeAll(tr, cut)
+	if got != wantProbe {
+		t.Fatalf("all-hot probe diverges:\n got: %s\nwant: %s", got, wantProbe)
+	}
+	sum += idx
+	idxSum += idx
+	check("all-hot probe")
+	tr.promotePendingNoop(t) // nothing demoted yet
+
+	steps := 0
+	for {
+		d, xd, ok := tr.demoteOldest()
+		if !ok {
+			break
+		}
+		steps++
+		sum += d
+		idxSum += xd
+		check(fmt.Sprintf("demote %d", steps))
+		got, idx := probeAll(tr, cut)
+		if got != wantProbe {
+			t.Fatalf("after %d demotions, probe diverges from columnar:\n got: %s\nwant: %s", steps, got, wantProbe)
+		}
+		sum += idx
+		idxSum += idx
+		// Probing read cold segments through; that must not change the
+		// resident accounting (pending decodes are transient until
+		// promotion is applied).
+		check(fmt.Sprintf("probe after demote %d", steps))
+		if got := walkAll(tr); got != wantWalk {
+			t.Fatalf("after %d demotions, checkpoint walk diverges", steps)
+		}
+	}
+	if steps < 10 {
+		t.Fatalf("only %d demotions on a %d-epoch history — sweep vacuous", steps, len(col.ring.eps))
+	}
+	if len(tr.hot.ring.eps) != 1 {
+		t.Fatalf("%d hot epochs after demoting to refusal, want 1", len(tr.hot.ring.eps))
+	}
+	if tr.spilledBytes() == 0 {
+		t.Fatal("nothing spilled after demotions")
+	}
+
+	// Promote everything back (probes above marked the epochs pending)
+	// and verify the round trip restored an exact columnar state.
+	d, xd := tr.promotePending()
+	sum += d
+	idxSum += xd
+	check("promote")
+	if got, _ := probeAll(tr, cut); got != wantProbe {
+		t.Fatalf("after promotion, probe diverges:\n got: %s\nwant: %s", got, wantProbe)
+	}
+	if got := walkAll(tr); got != wantWalk {
+		t.Fatal("after promotion, checkpoint walk diverges")
+	}
+
+	// Prune both through the same cuts; removal counts and the
+	// remaining state must stay identical, including cold tombstones.
+	for _, pc := range []int64{0, 100, 200, 400} {
+		for i := 0; i < 4; i++ { // re-demote some epochs between prunes
+			if d, xd, ok := tr.demoteOldest(); ok {
+				sum += d
+				idxSum += xd
+			}
+		}
+		rc, dc, xc := col.prune(tuple.Time(pc))
+		rt, dt, xt := tr.prune(tuple.Time(pc))
+		sum += dt
+		idxSum += xt
+		check(fmt.Sprintf("prune %d", pc))
+		if rc != rt {
+			t.Fatalf("prune %d removed %d on tiered, %d on columnar", pc, rt, rc)
+		}
+		_, _ = dc, xc
+		if got, want := walkAll(tr), walkAll(col); got != want {
+			t.Fatalf("after prune %d, walks diverge:\n got: %s\nwant: %s", pc, got, want)
+		}
+	}
+	if _, d, xd := tr.clear(); true {
+		sum += d
+		idxSum += xd
+	}
+	if sum != 0 || idxSum != 0 {
+		t.Fatalf("deltas do not telescope: bytes %d, index %d after clear", sum, idxSum)
+	}
+	if tr.spilledBytes() != 0 {
+		t.Fatalf("%d bytes still spilled after clear", tr.spilledBytes())
+	}
+	if err := tr.closeBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.closeBackend(); err != nil {
+		t.Fatalf("second closeBackend: %v", err)
+	}
+}
+
+// promotePendingNoop applies promotePending and asserts it was a no-op
+// (used where the test expects nothing pending).
+func (ts *tieredState) promotePendingNoop(t *testing.T) {
+	t.Helper()
+	if d, xd := ts.promotePending(); d != 0 || xd != 0 {
+		t.Fatalf("unexpected pending promotions (delta %d, idx %d)", d, xd)
+	}
+}
+
+// TestTieredDemoteReusesFrames: a promote/demote swing of an unchanged
+// epoch must not rewrite the spill file — the frame from the first
+// demotion is revived in O(1). Only a mutation (an insert into the
+// promoted epoch) forces a fresh append.
+func TestTieredDemoteReusesFrames(t *testing.T) {
+	_, tr, schema := tieredPair(300)
+	defer tr.closeBackend()
+	demoteAll := func() {
+		for {
+			if _, _, ok := tr.demoteOldest(); !ok {
+				return
+			}
+		}
+	}
+	demoteAll()
+	size1 := tr.store.size
+	if size1 == 0 {
+		t.Fatal("nothing spilled")
+	}
+	want, _ := probeAll(tr, noCut) // reads every cold epoch through
+	tr.promotePending()
+	if len(tr.cold.eps) != 0 {
+		t.Fatalf("%d cold epochs after full promotion", len(tr.cold.eps))
+	}
+	demoteAll()
+	if tr.store.size != size1 {
+		t.Fatalf("re-demoting unchanged epochs grew the spill file %d → %d bytes", size1, tr.store.size)
+	}
+	if got, _ := probeAll(tr, noCut); got != want {
+		t.Fatal("probe diverges after a reuse round trip")
+	}
+
+	// Mutating a promoted epoch invalidates its frame: the next
+	// demotion of that epoch must append fresh bytes.
+	tr.promotePending()
+	ep := tr.hot.ring.eps[0]
+	tr.insert(tuple.New(schema, tuple.Time(ep*16+1), tuple.IntValue(3), tuple.IntValue(0), tuple.IntValue(0)), 9001, ep)
+	demoteAll()
+	if tr.store.size == size1 {
+		t.Fatal("demoting a mutated epoch reused its stale frame")
+	}
+}
+
+// TestTieredSpillCorruption truncates the spill file at every byte
+// offset and flips every byte of the newest cold frame: each mutation
+// must surface through the failure hook as a wrapped ErrCorruptSnapshot
+// — never a panic — and leave the probe path returning without the
+// damaged epoch rather than fabricating candidates.
+func TestTieredSpillCorruption(t *testing.T) {
+	var failErr error
+	schema := tuple.NewSchema("R.a", "R.τ")
+	tr := newTieredState(tieredConfig{fail: func(err error) {
+		if failErr == nil {
+			failErr = err
+		}
+	}})
+	defer tr.closeBackend()
+	for ts := int64(1); ts <= 64; ts++ {
+		tr.insert(tuple.New(schema, tuple.Time(ts), tuple.IntValue(1), tuple.IntValue(ts)), uint64(ts), ts/16)
+	}
+	for {
+		if _, _, ok := tr.demoteOldest(); !ok {
+			break
+		}
+	}
+	if len(tr.cold.eps) < 2 {
+		t.Fatalf("only %d cold epochs — corruption sweep vacuous", len(tr.cold.eps))
+	}
+	probe := func() {
+		// Drop the read-through cache so every cold epoch re-reads disk.
+		for ep := range tr.pending {
+			delete(tr.pending, ep)
+		}
+		var v traceVisitor
+		tr.probeScan("R.a", tuple.IntValue(1), noCut, &v)
+	}
+	probe()
+	if failErr != nil {
+		t.Fatalf("clean file failed: %v", failErr)
+	}
+
+	fi, err := tr.store.f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+	orig := make([]byte, size)
+	if _, err := tr.store.f.ReadAt(orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := tr.store.f.Truncate(size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.store.f.WriteAt(orig, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Truncation sweep: the newest cold frame ends at EOF, so every cut
+	// below size must fail its read with a wrapped corruption error.
+	for cut := size - 1; cut >= 0; cut-- {
+		restore()
+		if err := tr.store.f.Truncate(cut); err != nil {
+			t.Fatal(err)
+		}
+		failErr = nil
+		probe()
+		if failErr == nil {
+			t.Fatalf("truncation to %d/%d bytes probed successfully", cut, size)
+		}
+		if !errors.Is(failErr, ErrCorruptSnapshot) {
+			t.Fatalf("cut %d: error %v does not wrap ErrCorruptSnapshot", cut, failErr)
+		}
+	}
+
+	// Bit-flip sweep over the newest frame's payload: CRC must catch
+	// every single-byte mutation.
+	last := tr.cold.vals[len(tr.cold.vals)-1]
+	restore()
+	for i := last.off; i < last.off+last.len; i++ {
+		tr.store.f.WriteAt([]byte{orig[i] ^ 0xFF}, i)
+		failErr = nil
+		probe()
+		if failErr == nil {
+			t.Fatalf("flipped byte %d probed successfully", i)
+		}
+		if !errors.Is(failErr, ErrCorruptSnapshot) {
+			t.Fatalf("flip %d: error %v does not wrap ErrCorruptSnapshot", i, failErr)
+		}
+		tr.store.f.WriteAt([]byte{orig[i]}, i)
+	}
+
+	// Restored file reads clean again.
+	restore()
+	failErr = nil
+	probe()
+	if failErr != nil {
+		t.Fatalf("restored file still fails: %v", failErr)
+	}
+}
+
+// TestTieredCrashDuringDemotion panics inside demotion's crash window —
+// the segment frame is durable in the spill file, but the epoch has not
+// left the hot ring. The epoch must still be wholly hot (not lost, not
+// duplicated as a cold twin), the spill gauges untouched, and a plain
+// retry must complete the demotion.
+func TestTieredCrashDuringDemotion(t *testing.T) {
+	_, tr, _ := tieredPair(300)
+	defer tr.closeBackend()
+	wantWalk := walkAll(tr)
+	oldest := tr.hot.ring.eps[0]
+	hotBefore, coldBefore := len(tr.hot.ring.eps), len(tr.cold.eps)
+
+	tr.testCrashAfterSpill = func() { panic("injected crash between spill append and hot-ring drop") }
+	crashed := func() (r any) {
+		defer func() { r = recover() }()
+		tr.demoteOldest()
+		return nil
+	}()
+	if crashed == nil {
+		t.Fatal("injected crash did not fire — demotion never reached the window")
+	}
+	tr.testCrashAfterSpill = nil
+
+	if got := len(tr.hot.ring.eps); got != hotBefore {
+		t.Fatalf("crash lost hot epochs: %d, want %d", got, hotBefore)
+	}
+	if got := len(tr.cold.eps); got != coldBefore {
+		t.Fatalf("crash registered a cold twin: %d cold epochs, want %d", got, coldBefore)
+	}
+	if tr.cold.get(oldest) != nil {
+		t.Fatalf("epoch %d is both hot and cold after the crash", oldest)
+	}
+	if tr.spilledBytes() != 0 {
+		t.Fatalf("spilled gauge %d after aborted demotion, want 0 (orphan frames are dead weight, not live state)", tr.spilledBytes())
+	}
+	if got := walkAll(tr); got != wantWalk {
+		t.Fatal("state diverged across the crashed demotion")
+	}
+
+	// The retry demotes cleanly; the orphan frame from the crashed
+	// attempt stays dead in the file and is never read.
+	if _, _, ok := tr.demoteOldest(); !ok {
+		t.Fatal("retry after crashed demotion refused")
+	}
+	if tr.cold.get(oldest) == nil {
+		t.Fatalf("retry did not demote epoch %d", oldest)
+	}
+	if got := walkAll(tr); got != wantWalk {
+		t.Fatal("state diverged across the retried demotion")
+	}
+}

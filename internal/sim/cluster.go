@@ -120,8 +120,10 @@ func (cs *ClusterScenario) RunCluster() (*ClusterResult, error) {
 		oeng := runtime.New(runtime.Config{
 			Catalog:       cat,
 			DefaultWindow: cs.Window,
+			EpochLength:   cs.EpochLength,
 			Synchronous:   true,
 			StateBackend:  cs.Backend,
+			StateHotBytes: cs.StateHotBytes,
 		})
 		defer oeng.Stop()
 		if err := oeng.Install(topo, 0); err != nil {
@@ -163,10 +165,15 @@ func (cr *ClusterResult) VerifyExact() error {
 }
 
 // ClusterSweep verifies cluster exactness across seeds, shard counts,
-// and both state backends: every run's merged bytes must equal its
-// single-engine oracle's. Returns the number of verified runs.
+// and all three state backends: every run's merged bytes must equal
+// its single-engine oracle's. The tiered arm runs every shard (and the
+// oracle) under a hot budget that forces spills, so cross-shard merge
+// order is checked against cold-epoch read-through too. Returns the
+// number of verified runs.
 func ClusterSweep(base ClusterScenario, seeds int, shardCounts []int) (int, error) {
-	backends := []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar}
+	backends := []runtime.StateBackendKind{
+		runtime.BackendContainer, runtime.BackendColumnar, runtime.BackendTiered,
+	}
 	runs := 0
 	for _, backend := range backends {
 		for _, n := range shardCounts {
@@ -175,6 +182,14 @@ func ClusterSweep(base ClusterScenario, seeds int, shardCounts []int) (int, erro
 				cs.Seed = uint64(seed)
 				cs.Shards = n
 				cs.Backend = backend
+				if backend == runtime.BackendTiered {
+					if cs.EpochLength == 0 {
+						cs.EpochLength = 8
+					}
+					if cs.StateHotBytes == 0 {
+						cs.StateHotBytes = 4 << 10
+					}
+				}
 				if cs.Stream.Seed == 0 {
 					cs.Stream.Seed = uint64(seed) * 31
 				}

@@ -53,7 +53,7 @@ func TestClusterSweepKeyed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := seeds * 3 * 2; runs != want {
+	if want := seeds * 3 * 3; runs != want {
 		t.Errorf("verified %d runs, want %d", runs, want)
 	}
 }
@@ -85,7 +85,7 @@ func TestClusterSweepBroadcastChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := seeds * 2 * 2; runs != want {
+	if want := seeds * 2 * 3; runs != want {
 		t.Errorf("verified %d runs, want %d", runs, want)
 	}
 }
@@ -121,7 +121,7 @@ func TestClusterSweepMixedConflict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := seeds * 2 * 2; runs != want {
+	if want := seeds * 2 * 3; runs != want {
 		t.Errorf("verified %d runs, want %d", runs, want)
 	}
 }
@@ -170,7 +170,7 @@ func TestClusterSweepDegreeAware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := seeds * 2 * 2; runs != want {
+	if want := seeds * 2 * 3; runs != want {
 		t.Errorf("verified %d runs, want %d", runs, want)
 	}
 }

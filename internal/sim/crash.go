@@ -230,20 +230,34 @@ func (cs *CrashScenario) RunWithRecovery() (*CrashResult, error) {
 }
 
 // CrashSweep runs the crash-recovery scenario across seeds [1, n] on
-// both state backends, varying the schedule, the stream, and the crash
-// point with the seed, and verifies exactly-once output for every run.
-// It returns the total number of crash-recovery runs verified.
+// all three state backends, varying the schedule, the stream, and the
+// crash point with the seed, and verifies exactly-once output for
+// every run. The tiered arm runs under a hot budget that forces
+// demotions, so crashes land while epochs sit on disk — recovery must
+// rebuild them from the checkpoint chain and WAL alone (the spill file
+// of the dead engine is gone). It returns the total number of
+// crash-recovery runs verified.
 func CrashSweep(base CrashScenario, n int) (runs int, err error) {
 	tuples := base.Stream.Tuples
 	if tuples <= 0 {
 		tuples = 400
 	}
-	backends := []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar}
+	backends := []runtime.StateBackendKind{
+		runtime.BackendContainer, runtime.BackendColumnar, runtime.BackendTiered,
+	}
 	for _, backend := range backends {
 		for seed := 1; seed <= n; seed++ {
 			cs := base
 			cs.Seed = uint64(seed)
 			cs.Backend = backend
+			if backend == runtime.BackendTiered {
+				if cs.EpochLength == 0 {
+					cs.EpochLength = 8
+				}
+				if cs.StateHotBytes == 0 {
+					cs.StateHotBytes = 4 << 10
+				}
+			}
 			if cs.Stream.Seed == 0 {
 				cs.Stream.Seed = uint64(seed) * 31
 			}

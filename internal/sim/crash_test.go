@@ -137,8 +137,8 @@ func TestCrashSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 32 {
-		t.Errorf("verified %d runs, want 32 (16 seeds x 2 backends)", runs)
+	if runs != 48 {
+		t.Errorf("verified %d runs, want 48 (16 seeds x 3 backends)", runs)
 	}
 }
 
@@ -312,7 +312,7 @@ func TestCrashSweepSplitKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 16 {
-		t.Errorf("verified %d runs, want 16 (8 seeds x 2 backends)", runs)
+	if runs != 24 {
+		t.Errorf("verified %d runs, want 24 (8 seeds x 3 backends)", runs)
 	}
 }

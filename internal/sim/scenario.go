@@ -51,10 +51,19 @@ type Scenario struct {
 	// semantics (required for VerifyExact on multi-hop plans).
 	StepMode bool
 	// Backend selects the state backend serving the simulated run
-	// (container or columnar). The verification oracles always run on
-	// the default container backend, so a columnar scenario is also a
-	// cross-backend equivalence check.
+	// (container, columnar, or tiered). The verification oracles always
+	// run on the default container backend, so a columnar or tiered
+	// scenario is also a cross-backend equivalence check.
 	Backend runtime.StateBackendKind
+	// StateHotBytes bounds resident state on the tiered backend (see
+	// runtime.Config.StateHotBytes): above it, cold whole epochs spill
+	// to disk. A tiered sweep sets it low enough to force demotions, so
+	// equivalence covers the demote/read-through/promote cycle, not a
+	// tiered backend idling all-hot.
+	StateHotBytes int64
+	// EpochLength enables epoch granularity for demotion/eviction (0 =
+	// one epoch; tier moves need several).
+	EpochLength time.Duration
 	// Supervision tunes the task supervisor (restart budget/backoff for
 	// recovered panics). The zero value uses the runtime defaults.
 	Supervision runtime.SupervisionConfig
@@ -151,8 +160,10 @@ func (sc *Scenario) engineConfig(cat *query.Catalog, credits int, trace *Trace, 
 	return runtime.Config{
 		Catalog:       cat,
 		DefaultWindow: sc.Window,
+		EpochLength:   sc.EpochLength,
 		StepMode:      sc.StepMode,
 		StateBackend:  sc.Backend,
+		StateHotBytes: sc.StateHotBytes,
 		Substrate:     runtime.SubstrateSim,
 		Supervision:   sc.Supervision,
 		Journal:       journal,

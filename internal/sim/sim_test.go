@@ -97,24 +97,37 @@ func TestSweepExploresSchedules(t *testing.T) {
 }
 
 // TestSweepBackendMatrix is the 16-seed sim-sweep matrix over state
-// backends (DESIGN.md §10): for every schedule seed, the container and
-// columnar backends must produce byte-identical result multisets AND
-// byte-identical schedule traces — the store layout must be invisible
-// to both the answer and the scheduler — and each (seed, backend) run
-// must replay trace-identically from its seed.
+// backends (DESIGN.md §10, §15): for every schedule seed, the
+// container, columnar, and tiered backends must produce byte-identical
+// result multisets AND byte-identical schedule traces — the store
+// layout (including cold epochs spilled to disk) must be invisible to
+// both the answer and the scheduler — and each (seed, backend) run
+// must replay trace-identically from its seed. The tiered arm runs
+// under a hot budget small enough to force real demotions, and the
+// test rejects a sweep where no epoch ever went cold.
 func TestSweepBackendMatrix(t *testing.T) {
 	n := 16
 	if testing.Short() {
 		n = 4
 	}
-	backends := []runtime.StateBackendKind{runtime.BackendContainer, runtime.BackendColumnar}
+	backends := []runtime.StateBackendKind{
+		runtime.BackendContainer, runtime.BackendColumnar, runtime.BackendTiered,
+	}
 	distinct := map[uint64]bool{}
+	var demoted, coldHits int64
 	for seed := uint64(1); seed <= uint64(n); seed++ {
 		var ref *Result
 		for _, backend := range backends {
 			sc := base()
+			// Epoch granularity is shared by all three backends (it
+			// shapes pruning), so traces stay comparable; the hot
+			// budget only exists on the tiered backend.
+			sc.EpochLength = 8
 			sc.Seed = seed
 			sc.Backend = backend
+			if backend == runtime.BackendTiered {
+				sc.StateHotBytes = 4 << 10
+			}
 			res, err := sc.Run()
 			if err != nil {
 				t.Fatalf("seed %d backend %v: %v", seed, backend, err)
@@ -124,6 +137,14 @@ func TestSweepBackendMatrix(t *testing.T) {
 			}
 			if res.TotalResults() == 0 {
 				t.Fatalf("seed %d backend %v: no results — matrix vacuous", seed, backend)
+			}
+			if backend == runtime.BackendTiered {
+				demoted += res.Metrics.DemotedEpochs
+				coldHits += res.Metrics.ColdProbeHits
+				if res.Metrics.EvictedEpochs != 0 {
+					t.Fatalf("seed %d: tiered backend evicted %d epochs under demote-first",
+						seed, res.Metrics.EvictedEpochs)
+				}
 			}
 			// Same-seed determinism on this backend.
 			if _, at, err := sc.Replay(res); err != nil || at >= 0 {
@@ -156,6 +177,12 @@ func TestSweepBackendMatrix(t *testing.T) {
 	}
 	if len(distinct) < n/2 {
 		t.Errorf("%d seeds explored only %d distinct schedules", n, len(distinct))
+	}
+	if demoted == 0 {
+		t.Error("tiered arm never demoted an epoch — hot budget too generous, matrix vacuous for tiering")
+	}
+	if coldHits == 0 {
+		t.Error("tiered arm never answered a probe from a cold epoch — spill path untested")
 	}
 }
 
